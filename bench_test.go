@@ -1,0 +1,159 @@
+// Package ppdp holds the repository-level benchmark harness: one testing.B
+// benchmark per experiment of DESIGN.md (E1–E12), each regenerating the
+// corresponding survey table/figure through the internal/experiments runners,
+// plus micro-benchmarks for the hot paths (equivalence-class grouping,
+// Mondrian partitioning, Laplace noise) that the experiments are built on.
+//
+// The experiment benchmarks run in "quick" mode so that `go test -bench=.`
+// finishes in minutes; pass -ppdp.full to regenerate the full-size tables
+// reported in EXPERIMENTS.md.
+package ppdp
+
+import (
+	"flag"
+	"io"
+	"math/rand"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/algorithms/mondrian"
+	"github.com/ppdp/ppdp/internal/dp"
+	"github.com/ppdp/ppdp/internal/experiments"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+// fullRuns switches the experiment benchmarks from quick mode to the
+// full-size configurations used for EXPERIMENTS.md.
+var fullRuns = flag.Bool("ppdp.full", false, "run experiment benchmarks at full size")
+
+// benchOptions returns the experiment options for benchmarks.
+func benchOptions() experiments.Options {
+	return experiments.Options{Quick: !*fullRuns, Seed: 42}
+}
+
+// benchExperiment runs one experiment per benchmark iteration and reports the
+// result rows so the work cannot be optimized away.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opt := benchOptions()
+	b.ReportAllocs()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, opt)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		rows += len(rep.Rows)
+		if i == 0 && testing.Verbose() {
+			rep.Print(benchWriter{b})
+		}
+	}
+	b.ReportMetric(float64(rows)/float64(b.N), "result-rows")
+}
+
+// benchWriter adapts b.Log to io.Writer for verbose runs.
+type benchWriter struct{ b *testing.B }
+
+func (w benchWriter) Write(p []byte) (int, error) {
+	w.b.Log(string(p))
+	return len(p), nil
+}
+
+var _ io.Writer = benchWriter{}
+
+// BenchmarkE1InfoLossVsK regenerates E1: information loss vs k for
+// full-domain vs multidimensional recoding.
+func BenchmarkE1InfoLossVsK(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2RuntimeVsN regenerates E2: runtime scaling with dataset size.
+func BenchmarkE2RuntimeVsN(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3ClassificationVsK regenerates E3: classification accuracy vs k.
+func BenchmarkE3ClassificationVsK(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4LDiversity regenerates E4: attribute disclosure under
+// k-anonymity vs the l-diversity family.
+func BenchmarkE4LDiversity(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5TCloseness regenerates E5: t-closeness vs l-diversity on a
+// skewed sensitive attribute.
+func BenchmarkE5TCloseness(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6AnatomyQueries regenerates E6: aggregate query error of Anatomy
+// vs generalization.
+func BenchmarkE6AnatomyQueries(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7DeltaPresence regenerates E7: δ-presence bounds vs
+// generalization level.
+func BenchmarkE7DeltaPresence(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8LinkageRisk regenerates E8: linkage-attack success vs k.
+func BenchmarkE8LinkageRisk(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9DPQueryError regenerates E9: DP histogram error vs epsilon.
+func BenchmarkE9DPQueryError(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10RandomizedResponse regenerates E10: randomized-response
+// estimation error.
+func BenchmarkE10RandomizedResponse(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11Dimensionality regenerates E11: information loss vs |QI|.
+func BenchmarkE11Dimensionality(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12DPSynthetic regenerates E12: DP synthetic data vs k-anonymous
+// release.
+func BenchmarkE12DPSynthetic(b *testing.B) { benchExperiment(b, "E12") }
+
+// --- micro-benchmarks ------------------------------------------------------
+
+// BenchmarkGroupByQuasiIdentifier measures the cost of equivalence-class
+// grouping, the primitive every privacy check depends on.
+func BenchmarkGroupByQuasiIdentifier(b *testing.B) {
+	tbl := synth.Census(5000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.GroupByQuasiIdentifier(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMondrianK10 measures one full Mondrian run on 5k census rows.
+func BenchmarkMondrianK10(b *testing.B) {
+	tbl := synth.Census(5000, 1)
+	hs := synth.CensusHierarchies()
+	qi := []string{"age", "sex", "education", "marital-status", "race"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mondrian.Anonymize(tbl, mondrian.Config{K: 10, QuasiIdentifiers: qi, Hierarchies: hs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLaplaceRelease measures the Laplace mechanism noise path.
+func BenchmarkLaplaceRelease(b *testing.B) {
+	mech, err := dp.NewLaplace(1.0, 1.0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += mech.Release(100)
+	}
+	_ = sink
+}
+
+// BenchmarkSyntheticCensus measures the synthetic data generator itself so
+// that experiment timings can be decomposed.
+func BenchmarkSyntheticCensus(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tbl := synth.Census(2000, int64(i)); tbl.Len() != 2000 {
+			b.Fatal("bad generator output")
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Command ppdp is the command-line interface of the privacy-preserving data
+// publishing library. It can generate the synthetic benchmark datasets,
+// anonymize a CSV table with any of the implemented algorithms, assess
+// re-identification and attribute-disclosure risk of a release, evaluate
+// utility metrics, and run the survey-reproduction experiments.
+//
+// Usage:
+//
+//	ppdp generate  -dataset census|hospital -rows N -seed S -out file.csv
+//	ppdp anonymize -dataset census|hospital -in file.csv -algorithm mondrian -k 10 [-l 3] [-t 0.2] -out out.csv
+//	ppdp risk      -dataset census|hospital -in file.csv
+//	ppdp utility   -dataset census|hospital -original orig.csv -released rel.csv
+//	ppdp experiment -id E1 [-quick] [-rows N]
+//	ppdp experiment -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ppdp/ppdp/internal/core"
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/experiments"
+	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/metrics"
+	"github.com/ppdp/ppdp/internal/risk"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ppdp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "generate":
+		return cmdGenerate(args[1:])
+	case "anonymize":
+		return cmdAnonymize(args[1:])
+	case "risk":
+		return cmdRisk(args[1:])
+	case "utility":
+		return cmdUtility(args[1:])
+	case "experiment":
+		return cmdExperiment(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `ppdp - privacy-preserving data publishing toolkit
+
+subcommands:
+  generate    generate a synthetic census or hospital dataset as CSV
+  anonymize   anonymize a CSV dataset with k-anonymity / l-diversity / t-closeness
+  risk        assess re-identification and attribute-disclosure risk of a release
+  utility     compare a released table against the original with utility metrics
+  experiment  run one or all of the survey-reproduction experiments (E1-E12)`)
+}
+
+// datasetSpec resolves the schema and hierarchies of the named benchmark
+// dataset family.
+func datasetSpec(name string) (*dataset.Schema, *hierarchy.Set, error) {
+	switch name {
+	case "census":
+		return synth.CensusSchema(), synth.CensusHierarchies(), nil
+	case "hospital":
+		return synth.HospitalSchema(), synth.HospitalHierarchies(), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset family %q (want census or hospital)", name)
+	}
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	datasetName := fs.String("dataset", "census", "dataset family: census or hospital")
+	rows := fs.Int("rows", 5000, "number of rows")
+	seed := fs.Int64("seed", 42, "random seed")
+	out := fs.String("out", "", "output CSV path (stdout when empty)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var tbl *dataset.Table
+	switch *datasetName {
+	case "census":
+		tbl = synth.Census(*rows, *seed)
+	case "hospital":
+		tbl = synth.Hospital(*rows, *seed)
+	default:
+		return fmt.Errorf("unknown dataset family %q", *datasetName)
+	}
+	if *out == "" {
+		return tbl.WriteCSV(os.Stdout)
+	}
+	if err := tbl.WriteCSVFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows to %s\n", tbl.Len(), *out)
+	return nil
+}
+
+// loadTable reads a CSV in the named dataset family. Released tables have
+// their direct-identifier columns dropped, so when the full schema does not
+// match, the identifier-free schema is tried as well.
+func loadTable(family, path string) (*dataset.Table, *hierarchy.Set, error) {
+	schema, hs, err := datasetSpec(family)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl, err := dataset.ReadCSVFile(schema, path)
+	if err == nil {
+		return tbl, hs, nil
+	}
+	var keep []dataset.Attribute
+	for _, a := range schema.Attributes() {
+		if a.Kind != dataset.Identifier {
+			keep = append(keep, a)
+		}
+	}
+	released, serr := dataset.NewSchema(keep...)
+	if serr != nil {
+		return nil, nil, err
+	}
+	tbl, rerr := dataset.ReadCSVFile(released, path)
+	if rerr != nil {
+		return nil, nil, fmt.Errorf("%v (also tried identifier-free schema: %v)", err, rerr)
+	}
+	return tbl, hs, nil
+}
+
+func cmdAnonymize(args []string) error {
+	fs := flag.NewFlagSet("anonymize", flag.ContinueOnError)
+	datasetName := fs.String("dataset", "census", "dataset family: census or hospital")
+	in := fs.String("in", "", "input CSV path (required)")
+	out := fs.String("out", "", "output CSV path (stdout when empty)")
+	algorithm := fs.String("algorithm", "mondrian", "mondrian|datafly|incognito|samarati|topdown|kmember|anatomy")
+	k := fs.Int("k", 10, "k-anonymity parameter")
+	l := fs.Int("l", 0, "l-diversity parameter (0 disables)")
+	t := fs.Float64("t", 0, "t-closeness parameter (0 disables)")
+	suppress := fs.Float64("max-suppression", 0.02, "maximum fraction of suppressed records (datafly/samarati)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("anonymize: -in is required")
+	}
+	tbl, hs, err := loadTable(*datasetName, *in)
+	if err != nil {
+		return err
+	}
+	alg, err := core.ParseAlgorithm(*algorithm)
+	if err != nil {
+		return err
+	}
+	anon, err := core.New(core.Config{
+		Algorithm:      alg,
+		K:              *k,
+		L:              *l,
+		T:              *t,
+		Hierarchies:    hs,
+		MaxSuppression: *suppress,
+	})
+	if err != nil {
+		return err
+	}
+	rel, err := anon.Anonymize(tbl)
+	if err != nil {
+		return err
+	}
+	if rel.Table != nil {
+		fmt.Fprintf(os.Stderr, "released %d rows: k=%d distinct-l=%d max-EMD=%.3f NCP=%.3f suppressed=%d\n",
+			rel.Table.Len(), rel.Measured.K, rel.Measured.DistinctL, rel.Measured.MaxEMD, rel.Measured.NCP, rel.Measured.SuppressedRows)
+		if *out == "" {
+			return rel.Table.WriteCSV(os.Stdout)
+		}
+		return rel.Table.WriteCSVFile(*out)
+	}
+	// Anatomy: write QIT and ST side by side.
+	qitPath, stPath := *out+".qit.csv", *out+".st.csv"
+	if *out == "" {
+		fmt.Println("-- QIT --")
+		if err := rel.QIT.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println("-- ST --")
+		return rel.ST.WriteCSV(os.Stdout)
+	}
+	if err := rel.QIT.WriteCSVFile(qitPath); err != nil {
+		return err
+	}
+	if err := rel.ST.WriteCSVFile(stPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", qitPath, stPath)
+	return nil
+}
+
+func cmdRisk(args []string) error {
+	fs := flag.NewFlagSet("risk", flag.ContinueOnError)
+	datasetName := fs.String("dataset", "census", "dataset family: census or hospital")
+	in := fs.String("in", "", "released CSV path (required)")
+	threshold := fs.Float64("threshold", 0.2, "per-record risk threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("risk: -in is required")
+	}
+	tbl, _, err := loadTable(*datasetName, *in)
+	if err != nil {
+		return err
+	}
+	r, err := risk.MeasureReidentification(tbl, *threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("records=%d classes=%d prosecutor-max=%.4f prosecutor-avg=%.4f records-at-risk(>%.2f)=%.4f\n",
+		r.Records, r.Classes, r.ProsecutorMax, r.ProsecutorAvg, r.Threshold, r.RecordsAtRisk)
+	for _, sensitive := range tbl.Schema().SensitiveNames() {
+		h, err := risk.HomogeneityAttack(tbl, sensitive)
+		if err != nil {
+			return err
+		}
+		base, err := risk.BaselineGuessRate(tbl, sensitive)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sensitive=%s fully-disclosed=%.4f guess-rate=%.4f baseline=%.4f\n",
+			sensitive, h.FullyDisclosed, h.ExpectedGuessRate, base)
+	}
+	return nil
+}
+
+func cmdUtility(args []string) error {
+	fs := flag.NewFlagSet("utility", flag.ContinueOnError)
+	datasetName := fs.String("dataset", "census", "dataset family: census or hospital")
+	original := fs.String("original", "", "original CSV path (required)")
+	released := fs.String("released", "", "released CSV path (required)")
+	k := fs.Int("k", 10, "k used for the normalized average class size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *original == "" || *released == "" {
+		return fmt.Errorf("utility: -original and -released are required")
+	}
+	orig, hs, err := loadTable(*datasetName, *original)
+	if err != nil {
+		return err
+	}
+	rel, _, err := loadTable(*datasetName, *released)
+	if err != nil {
+		return err
+	}
+	ncp, err := metrics.NCP(orig, rel, hs)
+	if err != nil {
+		return err
+	}
+	dm, err := metrics.Discernibility(rel, orig.Len())
+	if err != nil {
+		return err
+	}
+	cavg, err := metrics.NormalizedAverageClassSize(rel, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("NCP=%.4f discernibility=%.1f C_avg(k=%d)=%.3f\n", ncp, dm, *k, cavg)
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	id := fs.String("id", "", "experiment id (E1..E12)")
+	all := fs.Bool("all", false, "run every experiment")
+	quick := fs.Bool("quick", false, "use reduced dataset sizes and sweeps")
+	rows := fs.Int("rows", 0, "override dataset size")
+	seed := fs.Int64("seed", 42, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := experiments.Options{Quick: *quick, Rows: *rows, Seed: *seed}
+	if *all {
+		return experiments.RunAll(opt, os.Stdout)
+	}
+	if *id == "" {
+		return fmt.Errorf("experiment: -id or -all is required (known: %v)", experiments.IDs())
+	}
+	rep, err := experiments.Run(*id, opt)
+	if err != nil {
+		return err
+	}
+	rep.Print(os.Stdout)
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	census := filepath.Join(dir, "census.csv")
+	anon := filepath.Join(dir, "anon.csv")
+
+	steps := [][]string{
+		{"generate", "-dataset", "census", "-rows", "400", "-seed", "1", "-out", census},
+		{"anonymize", "-dataset", "census", "-in", census, "-algorithm", "mondrian", "-k", "5", "-out", anon},
+		{"risk", "-dataset", "census", "-in", anon},
+		{"utility", "-dataset", "census", "-original", census, "-released", anon, "-k", "5"},
+		{"experiment", "-id", "E10", "-quick"},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunHospitalAnatomy(t *testing.T) {
+	dir := t.TempDir()
+	hosp := filepath.Join(dir, "hospital.csv")
+	out := filepath.Join(dir, "anat")
+	if err := run([]string{"generate", "-dataset", "hospital", "-rows", "400", "-seed", "2", "-out", hosp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"anonymize", "-dataset", "hospital", "-in", hosp, "-algorithm", "anatomy", "-l", "2", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"generate", "-dataset", "bogus"},
+		{"anonymize"},
+		{"anonymize", "-in", "/does/not/exist.csv"},
+		{"risk"},
+		{"utility"},
+		{"experiment"},
+		{"experiment", "-id", "E99"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help returned error: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+// Command hospital-release walks through the survey's motivating scenario: a
+// hospital must publish discharge microdata for research while preventing
+// both re-identification and attribute disclosure of the diagnosis column.
+// It contrasts k-anonymity alone, l-diversity and t-closeness, quantifying
+// the homogeneity attack each one leaves open, and finally publishes an
+// Anatomy bucketization for the analysts who only need aggregate statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ppdp/ppdp/internal/algorithms/anatomy"
+	"github.com/ppdp/ppdp/internal/algorithms/mondrian"
+	"github.com/ppdp/ppdp/internal/metrics"
+	"github.com/ppdp/ppdp/internal/privacy"
+	"github.com/ppdp/ppdp/internal/risk"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+func main() {
+	original := synth.Hospital(3000, 7)
+	hs := synth.HospitalHierarchies()
+	const sensitive = "diagnosis"
+
+	baseline, err := risk.BaselineGuessRate(original, sensitive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hospital discharge table: %d rows; attacker baseline guess rate %.3f\n\n", original.Len(), baseline)
+
+	show := func(name string, extra []privacy.Criterion) {
+		res, err := mondrian.Anonymize(original, mondrian.Config{K: 10, Hierarchies: hs, Extra: extra})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		attack, err := risk.HomogeneityAttack(res.Table, sensitive)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ncp, err := metrics.NCP(original, res.Table, hs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s partitions=%-4d fully-disclosed=%.4f guess-rate=%.4f NCP=%.4f\n",
+			name, len(res.Groups), attack.FullyDisclosed, attack.ExpectedGuessRate, ncp)
+	}
+
+	show("k=10 only", nil)
+	show("k=10 + distinct 3-diversity", []privacy.Criterion{
+		privacy.DistinctLDiversity{L: 3, Sensitive: sensitive},
+	})
+	show("k=10 + 0.25-closeness", []privacy.Criterion{
+		privacy.TCloseness{T: 0.25, Sensitive: sensitive},
+	})
+
+	// Anatomy for the aggregate-analysis consumers: QI values stay exact.
+	anat, err := anatomy.Anonymize(original, anatomy.Config{L: 3, Sensitive: sensitive})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanatomy release: %d groups, QIT %d rows, ST %d rows\n",
+		len(anat.Groups), anat.QIT.Len(), anat.ST.Len())
+
+	// Answer an epidemiologist's query from the anatomized release and
+	// compare with the truth.
+	q := metrics.CountQuery{Conditions: []metrics.Condition{
+		{Attribute: "age", IsRange: true, Lo: 60, Hi: 100},
+		{Attribute: sensitive, Equals: "heart-disease"},
+	}}
+	truth, err := metrics.ExactCount(original, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ageIdx := -1
+	for i, a := range anat.QuasiIdentifiers {
+		if a == "age" {
+			ageIdx = i
+		}
+	}
+	est := anat.EstimateCount(func(qi []string) bool {
+		var age float64
+		if _, err := fmt.Sscanf(qi[ageIdx], "%f", &age); err != nil {
+			return false
+		}
+		return age >= 60
+	}, "heart-disease")
+	fmt.Printf("query %q: truth=%d anatomy-estimate=%.1f\n", q.String(), truth, est)
+}

@@ -1,0 +1,72 @@
+// Command linkage-attack reproduces Sweeney's famous voter-list scenario: an
+// adversary who holds an identified register (name + quasi-identifiers) joins
+// it against a published hospital table to re-identify patients. The example
+// runs the attack against the raw release and against k-anonymized releases
+// of increasing strength, showing how the match sets blur.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ppdp/ppdp/internal/algorithms/mondrian"
+	"github.com/ppdp/ppdp/internal/risk"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+func main() {
+	// The hospital's private data and the public register the attacker buys.
+	private := synth.Hospital(2000, 5)
+	register, err := synth.IdentifiedRegister(private, 0.3, 200, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := synth.HospitalHierarchies()
+	fmt.Printf("private table: %d rows; identified register: %d rows (30%% true members + decoys)\n\n",
+		private.Len(), register.Len())
+
+	attack := func(name string, k int) {
+		released := private
+		if k <= 1 {
+			var err error
+			released, err = private.DropIdentifiers()
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			res, err := mondrian.Anonymize(private, mondrian.Config{K: k, Hierarchies: hs})
+			if err != nil {
+				log.Fatalf("k=%d: %v", k, err)
+			}
+			released = res.Table
+		}
+		result, err := risk.LinkageAttack(released, register, hs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reid, err := risk.MeasureReidentification(released, 0.2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s unique-links=%-5d expected-reid=%-8.1f avg-match-set=%-8.1f prosecutor-max=%.3f\n",
+			name, result.UniqueLinks, result.ExpectedReidentifications, result.AverageMatchSize, reid.ProsecutorMax)
+	}
+
+	attack("raw release (k=1)", 1)
+	for _, k := range []int{2, 5, 10, 25} {
+		attack(fmt.Sprintf("mondrian k=%d", k), k)
+	}
+
+	fmt.Println("\nattribute disclosure left open by pure k-anonymity:")
+	res, err := mondrian.Anonymize(private, mondrian.Config{K: 10, Hierarchies: hs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := risk.HomogeneityAttack(res.Table, "diagnosis")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k=10: %.2f%% of patients sit in diagnosis-homogeneous classes; attacker guess rate %.3f\n",
+		100*h.FullyDisclosed, h.ExpectedGuessRate)
+	fmt.Println("(run the hospital-release example to see how l-diversity and t-closeness close this gap)")
+}

@@ -1,0 +1,72 @@
+// Command republication demonstrates the dynamic-publishing problem: a
+// hospital re-publishes its discharge table every quarter as new patients
+// arrive. Individually each release is diverse, but an attacker can intersect
+// the sensitive-value sets of a patient's buckets across releases. The
+// example publishes three m-invariant releases and shows that the
+// intersection attack learns nothing, then contrasts it with a naive pair of
+// independent releases where the attack succeeds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/republish"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+func main() {
+	full := synth.Hospital(1200, 11)
+
+	pub, err := republish.NewPublisher(republish.Config{M: 3, ID: "name"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var releases []*republish.Release
+	for quarter, n := range []int{400, 800, 1200} {
+		snapshot := firstRows(full, n)
+		rel, err := pub.Publish(snapshot)
+		if err != nil {
+			log.Fatalf("quarter %d: %v", quarter+1, err)
+		}
+		releases = append(releases, rel)
+		fmt.Printf("release %d: %d QIT rows (%d counterfeit), %d sensitive-table rows\n",
+			rel.Version, rel.QIT.Len(), rel.Counterfeits, rel.ST.Len())
+	}
+
+	ok, why, err := republish.CheckInvariance(releases, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreleases 3-invariant: %v %s\n", ok, why)
+
+	disclosed, avg := republish.IntersectionAttack(releases[0], releases[2])
+	fmt.Printf("intersection attack release 1 x release 3: disclosed=%.4f avg-candidate-set=%.2f\n", disclosed, avg)
+
+	// Naive comparison: two releases whose buckets are formed independently
+	// give the attacker shrinking candidate sets.
+	naiveA := &republish.Release{Version: 1, Signatures: map[string][]string{
+		"patient-000001": {"flu", "hiv"},
+	}}
+	naiveB := &republish.Release{Version: 2, Signatures: map[string][]string{
+		"patient-000001": {"hiv", "cancer"},
+	}}
+	d, a := republish.IntersectionAttack(naiveA, naiveB)
+	fmt.Printf("naive independent releases:                 disclosed=%.4f avg-candidate-set=%.2f\n", d, a)
+	fmt.Println("\nwith m-invariance every republished patient keeps the same sensitive candidate set forever;")
+	fmt.Println("without it, intersecting two releases pins the patient's diagnosis exactly.")
+}
+
+// firstRows returns the table state after the first n admissions.
+func firstRows(t *dataset.Table, n int) *dataset.Table {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out, err := t.Select(idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

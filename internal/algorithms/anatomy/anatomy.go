@@ -1,0 +1,277 @@
+// Package anatomy implements Xiao and Tao's Anatomy: an anonymization scheme
+// that releases the exact quasi-identifier values but severs their link to
+// the sensitive attribute by bucketizing records into groups that each
+// contain at least L distinct sensitive values, publishing two tables — a
+// quasi-identifier table (QIT) mapping each record to its group, and a
+// sensitive table (ST) giving the sensitive-value histogram of each group.
+// Because quasi-identifiers are not generalized, aggregate queries over them
+// are answered far more accurately than from a generalized release, while the
+// attacker's posterior about any individual's sensitive value is bounded by
+// 1/L.
+package anatomy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+)
+
+// Common errors.
+var (
+	// ErrConfig is returned for invalid configurations.
+	ErrConfig = errors.New("anatomy: invalid configuration")
+	// ErrEligibility is returned when the sensitive distribution makes an
+	// l-diverse bucketization impossible (some value exceeds n/l of the
+	// records).
+	ErrEligibility = errors.New("anatomy: sensitive distribution violates the l-eligibility condition")
+)
+
+// Config controls an Anatomy run.
+type Config struct {
+	// L is the required number of distinct sensitive values per group.
+	L int
+	// Sensitive names the sensitive attribute; when empty the first
+	// sensitive column of the schema is used.
+	Sensitive string
+	// QuasiIdentifiers lists the columns published in the QIT; when empty
+	// the schema's quasi-identifier columns are used.
+	QuasiIdentifiers []string
+}
+
+// Group is one anatomized bucket.
+type Group struct {
+	// ID is the group identifier published in both tables.
+	ID int
+	// Rows are the member row indices in the original table.
+	Rows []int
+	// Counts is the sensitive-value histogram of the group.
+	Counts map[string]int
+}
+
+// Result holds the two released tables plus the grouping.
+type Result struct {
+	// QIT is the quasi-identifier table: QI columns plus "group".
+	QIT *dataset.Table
+	// ST is the sensitive table: "group", sensitive value, "count".
+	ST *dataset.Table
+	// Groups is the bucketization.
+	Groups []Group
+	// Sensitive is the sensitive attribute name used.
+	Sensitive string
+	// QuasiIdentifiers are the QI columns published in the QIT.
+	QuasiIdentifiers []string
+}
+
+// Anonymize bucketizes t into l-diverse groups.
+func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
+	if cfg.L < 2 {
+		return nil, fmt.Errorf("%w: l = %d", ErrConfig, cfg.L)
+	}
+	sensitive := cfg.Sensitive
+	if sensitive == "" {
+		names := t.Schema().SensitiveNames()
+		if len(names) == 0 {
+			return nil, fmt.Errorf("%w: no sensitive attribute", ErrConfig)
+		}
+		sensitive = names[0]
+	}
+	qi := cfg.QuasiIdentifiers
+	if len(qi) == 0 {
+		qi = t.Schema().QuasiIdentifierNames()
+	}
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("%w: no quasi-identifier attributes", ErrConfig)
+	}
+	sensCol, err := t.Schema().Index(sensitive)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+
+	// Eligibility: no sensitive value may exceed n/l of the records.
+	freq, err := t.Frequencies(sensitive)
+	if err != nil {
+		return nil, err
+	}
+	for v, n := range freq {
+		if float64(n) > float64(t.Len())/float64(cfg.L) {
+			return nil, fmt.Errorf("%w: value %q appears %d times in %d records (limit %d for l=%d)",
+				ErrEligibility, v, n, t.Len(), t.Len()/cfg.L, cfg.L)
+		}
+	}
+
+	// Hash records by sensitive value.
+	byValue := make(map[string][]int)
+	for r := 0; r < t.Len(); r++ {
+		row, err := t.Row(r)
+		if err != nil {
+			return nil, err
+		}
+		byValue[row[sensCol]] = append(byValue[row[sensCol]], r)
+	}
+
+	// Group-creation phase: while at least L non-empty hash groups remain,
+	// form a group with one record from each of the L largest groups.
+	var groups []Group
+	for {
+		order := valuesByRemaining(byValue)
+		if len(order) < cfg.L {
+			break
+		}
+		g := Group{ID: len(groups), Counts: make(map[string]int)}
+		for i := 0; i < cfg.L; i++ {
+			v := order[i]
+			rows := byValue[v]
+			r := rows[len(rows)-1]
+			byValue[v] = rows[:len(rows)-1]
+			if len(byValue[v]) == 0 {
+				delete(byValue, v)
+			}
+			g.Rows = append(g.Rows, r)
+			g.Counts[v]++
+		}
+		groups = append(groups, g)
+	}
+	// Residual-assignment phase: each leftover record joins a group that does
+	// not yet contain its sensitive value.
+	for v, rows := range byValue {
+		for _, r := range rows {
+			placed := false
+			for i := range groups {
+				if groups[i].Counts[v] == 0 {
+					groups[i].Rows = append(groups[i].Rows, r)
+					groups[i].Counts[v]++
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("%w: could not place residual record with value %q", ErrEligibility, v)
+			}
+		}
+	}
+
+	qit, st, err := buildTables(t, qi, sensitive, groups)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		QIT:              qit,
+		ST:               st,
+		Groups:           groups,
+		Sensitive:        sensitive,
+		QuasiIdentifiers: append([]string(nil), qi...),
+	}, nil
+}
+
+// valuesByRemaining returns sensitive values ordered by decreasing remaining
+// count (ties broken lexicographically for determinism).
+func valuesByRemaining(byValue map[string][]int) []string {
+	values := make([]string, 0, len(byValue))
+	for v := range byValue {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool {
+		ni, nj := len(byValue[values[i]]), len(byValue[values[j]])
+		if ni != nj {
+			return ni > nj
+		}
+		return values[i] < values[j]
+	})
+	return values
+}
+
+// buildTables materializes the QIT and ST releases.
+func buildTables(t *dataset.Table, qi []string, sensitive string, groups []Group) (*dataset.Table, *dataset.Table, error) {
+	qiAttrs := make([]dataset.Attribute, 0, len(qi)+1)
+	for _, a := range qi {
+		attr, err := t.Schema().ByName(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		qiAttrs = append(qiAttrs, attr)
+	}
+	qiAttrs = append(qiAttrs, dataset.Attribute{Name: "group", Kind: dataset.Insensitive, Type: dataset.Numeric})
+	qitSchema, err := dataset.NewSchema(qiAttrs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	qit := dataset.NewTable(qitSchema)
+
+	cols := make([]int, len(qi))
+	for i, a := range qi {
+		cols[i] = t.Schema().MustIndex(a)
+	}
+	for _, g := range groups {
+		for _, r := range g.Rows {
+			row, err := t.Row(r)
+			if err != nil {
+				return nil, nil, err
+			}
+			out := make(dataset.Row, 0, len(qi)+1)
+			for _, c := range cols {
+				out = append(out, row[c])
+			}
+			out = append(out, fmt.Sprint(g.ID))
+			if err := qit.Append(out); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	stSchema, err := dataset.NewSchema(
+		dataset.Attribute{Name: "group", Kind: dataset.Insensitive, Type: dataset.Numeric},
+		dataset.Attribute{Name: sensitive, Kind: dataset.Sensitive, Type: dataset.Categorical},
+		dataset.Attribute{Name: "count", Kind: dataset.Insensitive, Type: dataset.Numeric},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := dataset.NewTable(stSchema)
+	for _, g := range groups {
+		values := make([]string, 0, len(g.Counts))
+		for v := range g.Counts {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		for _, v := range values {
+			if err := st.Append(dataset.Row{fmt.Sprint(g.ID), v, fmt.Sprint(g.Counts[v])}); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return qit, st, nil
+}
+
+// EstimateCount answers a count query "how many records match the
+// quasi-identifier predicate AND have the given sensitive value" from the
+// anatomized release: within each group, records matching the predicate are
+// assumed to carry each sensitive value in proportion to the group's
+// published histogram. The predicate receives the QI values of one QIT row
+// in QuasiIdentifiers order.
+func (r *Result) EstimateCount(pred func(qi []string) bool, sensitiveValue string) float64 {
+	// Row offsets of the QIT follow group order, so walk groups and rows in
+	// parallel.
+	est := 0.0
+	rowIdx := 0
+	for _, g := range r.Groups {
+		matched := 0
+		for range g.Rows {
+			row, err := r.QIT.Row(rowIdx)
+			rowIdx++
+			if err != nil {
+				continue
+			}
+			if pred(row[:len(r.QuasiIdentifiers)]) {
+				matched++
+			}
+		}
+		if matched == 0 {
+			continue
+		}
+		size := len(g.Rows)
+		est += float64(matched) * float64(g.Counts[sensitiveValue]) / float64(size)
+	}
+	return est
+}

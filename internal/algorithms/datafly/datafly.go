@@ -1,0 +1,144 @@
+// Package datafly implements Sweeney's Datafly algorithm: a greedy
+// full-domain generalization heuristic that repeatedly generalizes the
+// quasi-identifier attribute with the most distinct values until the table is
+// k-anonymous up to a bounded amount of record suppression.
+package datafly
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/generalize"
+	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/lattice"
+)
+
+// Common errors.
+var (
+	// ErrUnsatisfiable is returned when even full generalization with the
+	// allowed suppression budget cannot reach k-anonymity.
+	ErrUnsatisfiable = errors.New("datafly: k-anonymity not reachable within the suppression budget")
+	// ErrConfig is returned for invalid configurations.
+	ErrConfig = errors.New("datafly: invalid configuration")
+)
+
+// Config controls a Datafly run.
+type Config struct {
+	// K is the required minimum equivalence-class size.
+	K int
+	// QuasiIdentifiers lists the attributes to generalize; when empty the
+	// schema's quasi-identifier columns are used.
+	QuasiIdentifiers []string
+	// Hierarchies supplies a hierarchy for every quasi-identifier.
+	Hierarchies *hierarchy.Set
+	// MaxSuppression is the maximum fraction of records (0..1) that may be
+	// removed instead of generalized further. Sweeney's original heuristic
+	// allows suppressing up to k records; expressing the budget as a
+	// fraction matches how the experiments sweep it.
+	MaxSuppression float64
+}
+
+// Result describes the outcome of a Datafly run.
+type Result struct {
+	// Table is the released, generalized (and possibly row-suppressed) table.
+	Table *dataset.Table
+	// Node is the full-domain generalization level per quasi-identifier, in
+	// QuasiIdentifiers order.
+	Node lattice.Node
+	// QuasiIdentifiers is the attribute order Node refers to.
+	QuasiIdentifiers []string
+	// SuppressedRows is the number of records removed.
+	SuppressedRows int
+	// Iterations is the number of generalization steps performed.
+	Iterations int
+}
+
+// Anonymize runs Datafly over t.
+func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("%w: k = %d", ErrConfig, cfg.K)
+	}
+	if cfg.Hierarchies == nil {
+		return nil, fmt.Errorf("%w: nil hierarchy set", ErrConfig)
+	}
+	if cfg.MaxSuppression < 0 || cfg.MaxSuppression > 1 {
+		return nil, fmt.Errorf("%w: max suppression %v", ErrConfig, cfg.MaxSuppression)
+	}
+	qi := cfg.QuasiIdentifiers
+	if len(qi) == 0 {
+		qi = t.Schema().QuasiIdentifierNames()
+	}
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("%w: no quasi-identifier attributes", ErrConfig)
+	}
+	maxLevels, err := cfg.Hierarchies.MaxLevels(qi)
+	if err != nil {
+		return nil, err
+	}
+	budget := int(cfg.MaxSuppression * float64(t.Len()))
+
+	node := make(lattice.Node, len(qi))
+	current := t.Clone()
+	iterations := 0
+	for {
+		classes, err := current.GroupBy(qi...)
+		if err != nil {
+			return nil, err
+		}
+		violating := violatingRows(classes, cfg.K)
+		if len(violating) <= budget {
+			released, err := generalize.SuppressRows(current, violating)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{
+				Table:            released,
+				Node:             node,
+				QuasiIdentifiers: append([]string(nil), qi...),
+				SuppressedRows:   len(violating),
+				Iterations:       iterations,
+			}, nil
+		}
+		// Generalize the attribute with the most distinct values, among
+		// attributes that still have headroom.
+		pick := -1
+		maxDistinct := -1
+		for i, a := range qi {
+			if node[i] >= maxLevels[i] {
+				continue
+			}
+			dom, err := current.Domain(a)
+			if err != nil {
+				return nil, err
+			}
+			if len(dom) > maxDistinct {
+				maxDistinct = len(dom)
+				pick = i
+			}
+		}
+		if pick == -1 {
+			return nil, fmt.Errorf("%w: %d records still violate %d-anonymity at full generalization (budget %d)",
+				ErrUnsatisfiable, len(violating), cfg.K, budget)
+		}
+		node[pick]++
+		iterations++
+		// Re-apply the full-domain recoding from the original table so that
+		// hierarchy levels stay aligned with original values.
+		current, err = generalize.FullDomain(t, qi, cfg.Hierarchies, node)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// violatingRows returns the row indices of all classes smaller than k.
+func violatingRows(classes []dataset.EquivalenceClass, k int) []int {
+	var out []int
+	for _, c := range classes {
+		if c.Size() < k {
+			out = append(out, c.Rows...)
+		}
+	}
+	return out
+}

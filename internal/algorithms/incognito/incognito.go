@@ -1,0 +1,202 @@
+// Package incognito implements a full-domain lattice search in the spirit of
+// LeFevre et al.'s Incognito: a bottom-up, breadth-first traversal of the
+// generalization lattice that exploits the generalization (rollup) property —
+// once a node satisfies the privacy criterion every node that dominates it
+// does too, so dominated-by-none minimal satisfying nodes are the complete
+// answer set. The released node is the minimal satisfying node with the best
+// utility score.
+//
+// The original Incognito additionally prunes using single-attribute and
+// attribute-subset lattices before combining them; this implementation keeps
+// the subset pre-check for single attributes (cheap and effective) and then
+// searches the full lattice breadth-first with rollup pruning.
+package incognito
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/generalize"
+	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/lattice"
+	"github.com/ppdp/ppdp/internal/privacy"
+)
+
+// Common errors.
+var (
+	// ErrUnsatisfiable is returned when no lattice node satisfies the
+	// criteria.
+	ErrUnsatisfiable = errors.New("incognito: no full-domain generalization satisfies the privacy criteria")
+	// ErrConfig is returned for invalid configurations.
+	ErrConfig = errors.New("incognito: invalid configuration")
+)
+
+// Config controls an Incognito run.
+type Config struct {
+	// K is the required minimum equivalence-class size.
+	K int
+	// QuasiIdentifiers lists the attributes to generalize; when empty the
+	// schema's quasi-identifier columns are used.
+	QuasiIdentifiers []string
+	// Hierarchies supplies a hierarchy for every quasi-identifier.
+	Hierarchies *hierarchy.Set
+	// Extra lists additional privacy criteria (l-diversity, t-closeness, ...)
+	// that the released node must satisfy on top of k-anonymity. All extra
+	// criteria must be monotone under generalization for the rollup pruning
+	// to remain sound; the models in the privacy package are.
+	Extra []privacy.Criterion
+	// ScoreNode ranks satisfying nodes; lower is better. When nil, the node
+	// height (total generalization) is used.
+	ScoreNode func(t *dataset.Table, classes []dataset.EquivalenceClass, node lattice.Node) float64
+}
+
+// Result describes the outcome of an Incognito run.
+type Result struct {
+	// Table is the released table (no suppression: Incognito releases whole
+	// classes at the chosen recoding).
+	Table *dataset.Table
+	// Node is the chosen lattice node.
+	Node lattice.Node
+	// QuasiIdentifiers is the attribute order Node refers to.
+	QuasiIdentifiers []string
+	// MinimalNodes are all minimal satisfying nodes discovered.
+	MinimalNodes []lattice.Node
+	// NodesEvaluated counts lattice nodes whose release was materialized.
+	NodesEvaluated int
+}
+
+// Anonymize runs the lattice search over t.
+func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("%w: k = %d", ErrConfig, cfg.K)
+	}
+	if cfg.Hierarchies == nil {
+		return nil, fmt.Errorf("%w: nil hierarchy set", ErrConfig)
+	}
+	qi := cfg.QuasiIdentifiers
+	if len(qi) == 0 {
+		qi = t.Schema().QuasiIdentifierNames()
+	}
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("%w: no quasi-identifier attributes", ErrConfig)
+	}
+	maxLevels, err := cfg.Hierarchies.MaxLevels(qi)
+	if err != nil {
+		return nil, err
+	}
+	lat, err := lattice.New(qi, maxLevels)
+	if err != nil {
+		return nil, err
+	}
+
+	evaluated := 0
+	satisfies := func(node lattice.Node) (bool, *dataset.Table, []dataset.EquivalenceClass, error) {
+		evaluated++
+		recoded, err := generalize.FullDomain(t, qi, cfg.Hierarchies, node)
+		if err != nil {
+			return false, nil, nil, err
+		}
+		classes, err := recoded.GroupBy(qi...)
+		if err != nil {
+			return false, nil, nil, err
+		}
+		criteria := append([]privacy.Criterion{privacy.KAnonymity{K: cfg.K}}, cfg.Extra...)
+		ok, _, err := privacy.CheckAll(recoded, classes, criteria...)
+		if err != nil {
+			return false, nil, nil, err
+		}
+		return ok, recoded, classes, nil
+	}
+
+	// Subset pre-check: the minimum level per single attribute at which that
+	// attribute alone (with all others fully generalized) can satisfy
+	// k-anonymity. Levels below that floor can never appear in a satisfying
+	// node, so the breadth-first search skips them.
+	floors := make([]int, len(qi))
+	for i := range qi {
+		floors[i] = 0
+		for level := 0; level <= maxLevels[i]; level++ {
+			node := lat.Top()
+			node[i] = level
+			ok, _, _, err := satisfies(node)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				floors[i] = level
+				break
+			}
+			if level == maxLevels[i] {
+				return nil, fmt.Errorf("%w (attribute %q cannot reach %d-anonymity even fully generalized elsewhere)",
+					ErrUnsatisfiable, qi[i], cfg.K)
+			}
+		}
+	}
+
+	// Breadth-first search by height with rollup pruning.
+	var minimal []lattice.Node
+	dominatedByMinimal := func(n lattice.Node) bool {
+		for _, m := range minimal {
+			if n.Dominates(m) {
+				return true
+			}
+		}
+		return false
+	}
+	belowFloor := func(n lattice.Node) bool {
+		for i := range n {
+			if n[i] < floors[i] {
+				return true
+			}
+		}
+		return false
+	}
+
+	type candidate struct {
+		node    lattice.Node
+		table   *dataset.Table
+		classes []dataset.EquivalenceClass
+	}
+	var all []candidate
+	for h := 0; h <= lat.MaxHeight(); h++ {
+		for _, node := range lat.NodesAtHeight(h) {
+			if belowFloor(node) || dominatedByMinimal(node) {
+				continue
+			}
+			ok, recoded, classes, err := satisfies(node)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				minimal = append(minimal, node.Clone())
+				all = append(all, candidate{node: node.Clone(), table: recoded, classes: classes})
+			}
+		}
+	}
+	if len(minimal) == 0 {
+		return nil, fmt.Errorf("%w (k=%d)", ErrUnsatisfiable, cfg.K)
+	}
+
+	score := cfg.ScoreNode
+	if score == nil {
+		score = func(_ *dataset.Table, _ []dataset.EquivalenceClass, node lattice.Node) float64 {
+			return float64(node.Height())
+		}
+	}
+	best := 0
+	bestScore := score(all[0].table, all[0].classes, all[0].node)
+	for i := 1; i < len(all); i++ {
+		s := score(all[i].table, all[i].classes, all[i].node)
+		if s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return &Result{
+		Table:            all[best].table,
+		Node:             all[best].node,
+		QuasiIdentifiers: append([]string(nil), qi...),
+		MinimalNodes:     minimal,
+		NodesEvaluated:   evaluated,
+	}, nil
+}

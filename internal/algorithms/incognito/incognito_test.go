@@ -1,0 +1,163 @@
+package incognito
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/lattice"
+	"github.com/ppdp/ppdp/internal/privacy"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+func TestAnonymizeReachesK(t *testing.T) {
+	tbl := synth.Hospital(500, 1)
+	res, err := Anonymize(tbl, Config{
+		K:                5,
+		QuasiIdentifiers: []string{"age", "zip", "sex"},
+		Hierarchies:      synth.HospitalHierarchies(),
+	})
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	classes, err := res.Table.GroupBy("age", "zip", "sex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if privacy.MeasureK(classes) < 5 {
+		t.Errorf("release not 5-anonymous: min class %d", privacy.MeasureK(classes))
+	}
+	// No suppression: row count preserved.
+	if res.Table.Len() != tbl.Len() {
+		t.Errorf("row count changed: %d -> %d", tbl.Len(), res.Table.Len())
+	}
+	if len(res.MinimalNodes) == 0 {
+		t.Error("no minimal nodes reported")
+	}
+	if res.NodesEvaluated <= 0 {
+		t.Error("NodesEvaluated not recorded")
+	}
+}
+
+func TestMinimalNodesAreMinimalAndSatisfying(t *testing.T) {
+	tbl := synth.Hospital(300, 2)
+	hs := synth.HospitalHierarchies()
+	qi := []string{"age", "zip", "sex"}
+	res, err := Anonymize(tbl, Config{K: 4, QuasiIdentifiers: qi, Hierarchies: hs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No minimal node may dominate another.
+	for i, a := range res.MinimalNodes {
+		for j, b := range res.MinimalNodes {
+			if i != j && a.Dominates(b) {
+				t.Errorf("minimal node %v dominates %v", a, b)
+			}
+		}
+	}
+	// The chosen node must be among the minimal ones.
+	found := false
+	for _, m := range res.MinimalNodes {
+		if m.Equal(res.Node) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("chosen node %v not in minimal set %v", res.Node, res.MinimalNodes)
+	}
+}
+
+func TestExtraCriteria(t *testing.T) {
+	tbl := synth.Hospital(500, 3)
+	res, err := Anonymize(tbl, Config{
+		K:                3,
+		QuasiIdentifiers: []string{"age", "zip", "sex"},
+		Hierarchies:      synth.HospitalHierarchies(),
+		Extra: []privacy.Criterion{
+			privacy.DistinctLDiversity{L: 2, Sensitive: "diagnosis"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Anonymize with l-diversity: %v", err)
+	}
+	classes, err := res.Table.GroupBy("age", "zip", "sex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := privacy.MeasureDistinctL(res.Table, classes, "diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l < 2 {
+		t.Errorf("release not 2-diverse: min distinct %d", l)
+	}
+}
+
+func TestCustomScore(t *testing.T) {
+	tbl := synth.Hospital(300, 5)
+	qi := []string{"age", "zip", "sex"}
+	// Score that prefers the largest average class (more generalization).
+	res, err := Anonymize(tbl, Config{
+		K:                2,
+		QuasiIdentifiers: qi,
+		Hierarchies:      synth.HospitalHierarchies(),
+		ScoreNode: func(_ *dataset.Table, classes []dataset.EquivalenceClass, _ lattice.Node) float64 {
+			return -dataset.AverageClassSize(classes)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Anonymize(tbl, Config{K: 2, QuasiIdentifiers: qi, Hierarchies: synth.HospitalHierarchies()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The inverted score must never pick a node of lower height than the
+	// height-minimizing default when the minimal sets are the same.
+	if res.Node.Height() < def.Node.Height() {
+		t.Errorf("custom score picked lower node %v than default %v", res.Node, def.Node)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	tbl := synth.Hospital(50, 6)
+	hs := synth.HospitalHierarchies()
+	if _, err := Anonymize(tbl, Config{K: 0, Hierarchies: hs}); !errors.Is(err, ErrConfig) {
+		t.Errorf("k=0 error = %v", err)
+	}
+	if _, err := Anonymize(tbl, Config{K: 2, Hierarchies: nil}); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil hierarchies error = %v", err)
+	}
+	if _, err := Anonymize(tbl, Config{K: 2, Hierarchies: hs, QuasiIdentifiers: []string{"missing"}}); err == nil {
+		t.Error("unknown QI accepted")
+	}
+}
+
+func TestUnsatisfiable(t *testing.T) {
+	tbl := synth.Hospital(10, 7)
+	_, err := Anonymize(tbl, Config{
+		K:                100,
+		QuasiIdentifiers: []string{"age", "zip"},
+		Hierarchies:      synth.HospitalHierarchies(),
+	})
+	if !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("expected ErrUnsatisfiable, got %v", err)
+	}
+}
+
+func TestChosenNodeIsLowestHeightByDefault(t *testing.T) {
+	tbl := synth.Hospital(400, 8)
+	res, err := Anonymize(tbl, Config{
+		K:                8,
+		QuasiIdentifiers: []string{"age", "zip", "sex"},
+		Hierarchies:      synth.HospitalHierarchies(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.MinimalNodes {
+		if m.Height() < res.Node.Height() {
+			t.Errorf("default score did not pick the lowest node: %v vs %v", res.Node, m)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package kmember
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/privacy"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+func TestAnonymizeReachesK(t *testing.T) {
+	tbl := synth.Hospital(300, 1)
+	res, err := Anonymize(tbl, Config{K: 5, Hierarchies: synth.HospitalHierarchies()})
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	classes, err := res.Table.GroupByQuasiIdentifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := privacy.MeasureK(classes); got < 5 {
+		t.Errorf("min class %d < 5", got)
+	}
+	// Every cluster has at least k members and rows are covered once.
+	covered := make(map[int]bool)
+	for _, g := range res.Groups {
+		if len(g) < 5 {
+			t.Errorf("cluster of size %d", len(g))
+		}
+		for _, r := range g {
+			if covered[r] {
+				t.Errorf("row %d in two clusters", r)
+			}
+			covered[r] = true
+		}
+	}
+	if len(covered) != tbl.Len() {
+		t.Errorf("covered %d rows, want %d", len(covered), tbl.Len())
+	}
+	if res.Table.Len() != tbl.Len() {
+		t.Errorf("released %d rows, want %d", res.Table.Len(), tbl.Len())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	tbl := synth.Hospital(150, 2)
+	a, err := Anonymize(tbl, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anonymize(tbl, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatalf("group counts differ: %d vs %d", len(a.Groups), len(b.Groups))
+	}
+	for i := range a.Groups {
+		if len(a.Groups[i]) != len(b.Groups[i]) {
+			t.Fatalf("group %d sizes differ", i)
+		}
+		for j := range a.Groups[i] {
+			if a.Groups[i][j] != b.Groups[i][j] {
+				t.Fatalf("group %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestClusterCountScalesWithK(t *testing.T) {
+	tbl := synth.Hospital(200, 3)
+	res4, err := Anonymize(tbl, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res20, err := Anonymize(tbl, Config{K: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res4.Groups) <= len(res20.Groups) {
+		t.Errorf("k=4 clusters %d <= k=20 clusters %d", len(res4.Groups), len(res20.Groups))
+	}
+	if len(res20.Groups) > 200/20 {
+		t.Errorf("k=20 produced %d clusters for 200 rows; at most %d possible", len(res20.Groups), 200/20)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	tbl := synth.Hospital(30, 4)
+	if _, err := Anonymize(tbl, Config{K: 0}); !errors.Is(err, ErrConfig) {
+		t.Errorf("k=0 error = %v", err)
+	}
+	if _, err := Anonymize(tbl, Config{K: 100}); !errors.Is(err, ErrTooFewRecords) {
+		t.Errorf("too-few-records error = %v", err)
+	}
+	if _, err := Anonymize(tbl, Config{K: 2, QuasiIdentifiers: []string{"missing"}}); err == nil {
+		t.Error("unknown QI accepted")
+	}
+}
+
+func TestExplicitQISubset(t *testing.T) {
+	tbl := synth.Hospital(120, 5)
+	res, err := Anonymize(tbl, Config{K: 6, QuasiIdentifiers: []string{"age", "sex"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := res.Table.GroupBy("age", "sex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if privacy.MeasureK(classes) < 6 {
+		t.Errorf("subset QI release not 6-anonymous")
+	}
+	origZip, _ := tbl.Column("zip")
+	gotZip, _ := res.Table.Column("zip")
+	for i := range origZip {
+		if origZip[i] != gotZip[i] {
+			t.Fatalf("zip changed at row %d", i)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+// Package mondrian implements LeFevre et al.'s Mondrian multidimensional
+// k-anonymity algorithm: a greedy top-down partitioning of the record space
+// that recursively splits the partition along the quasi-identifier dimension
+// with the widest normalized range, at the median, as long as every resulting
+// partition still satisfies the privacy criteria. Partitions are then recoded
+// per group (multidimensional recoding), which loses far less information
+// than full-domain recoding at the same k.
+//
+// The package supports both strict partitioning (records with equal values on
+// the split dimension stay together) and relaxed partitioning (ties may be
+// divided between the halves), and accepts additional privacy criteria such
+// as l-diversity or t-closeness that gate every split.
+package mondrian
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/generalize"
+	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/privacy"
+)
+
+// Common errors.
+var (
+	// ErrConfig is returned for invalid configurations.
+	ErrConfig = errors.New("mondrian: invalid configuration")
+	// ErrUnsatisfiable is returned when even the unsplit table violates the
+	// privacy criteria (for example k larger than the table).
+	ErrUnsatisfiable = errors.New("mondrian: privacy criteria cannot be satisfied even without splitting")
+)
+
+// Config controls a Mondrian run.
+type Config struct {
+	// K is the required minimum partition size.
+	K int
+	// QuasiIdentifiers lists the attributes to partition on; when empty the
+	// schema's quasi-identifier columns are used.
+	QuasiIdentifiers []string
+	// Hierarchies is optional; when present, categorical partitions are
+	// recoded to the lowest common generalization instead of a value set.
+	Hierarchies *hierarchy.Set
+	// Strict selects strict partitioning: records sharing a value on the
+	// split dimension are never separated. Relaxed partitioning (the
+	// default) may split ties and generally yields smaller partitions.
+	Strict bool
+	// Extra lists additional privacy criteria every partition must satisfy.
+	Extra []privacy.Criterion
+}
+
+// Result describes the outcome of a Mondrian run.
+type Result struct {
+	// Table is the released, multidimensionally recoded table.
+	Table *dataset.Table
+	// Groups are the final partitions as row-index sets into the input table.
+	Groups [][]int
+	// Summaries are the per-group released quasi-identifier values.
+	Summaries []generalize.GroupSummary
+	// Splits is the number of successful splits performed.
+	Splits int
+}
+
+// Anonymize runs Mondrian over t.
+func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("%w: k = %d", ErrConfig, cfg.K)
+	}
+	qi := cfg.QuasiIdentifiers
+	if len(qi) == 0 {
+		qi = t.Schema().QuasiIdentifierNames()
+	}
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("%w: no quasi-identifier attributes", ErrConfig)
+	}
+	cols := make([]int, len(qi))
+	numeric := make([]bool, len(qi))
+	for i, a := range qi {
+		c, err := t.Schema().Index(a)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		cols[i] = c
+		attr, _ := t.Schema().ByName(a)
+		numeric[i] = attr.Type == dataset.Numeric
+	}
+
+	all := make([]int, t.Len())
+	for i := range all {
+		all[i] = i
+	}
+	// Global domain extents normalize per-partition widths so that numeric
+	// and categorical dimensions compete on equal footing, as in the
+	// original algorithm.
+	domainSpan := make([]float64, len(qi))
+	for i, a := range qi {
+		if numeric[i] {
+			lo, hi, err := t.NumericRange(a)
+			if err == nil && hi > lo {
+				domainSpan[i] = hi - lo
+			} else {
+				domainSpan[i] = 1
+			}
+		} else {
+			dom, err := t.Domain(a)
+			if err == nil && len(dom) > 0 {
+				domainSpan[i] = float64(len(dom))
+			} else {
+				domainSpan[i] = 1
+			}
+		}
+	}
+	run := &runner{t: t, cfg: cfg, qi: qi, cols: cols, numeric: numeric, domainSpan: domainSpan}
+	if ok, err := run.allowable(all); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("%w (k=%d, %d rows)", ErrUnsatisfiable, cfg.K, t.Len())
+	}
+	run.partition(all)
+
+	released, summaries, err := generalize.RecodeGroups(t, qi, cfg.Hierarchies, run.groups)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Table:     released,
+		Groups:    run.groups,
+		Summaries: summaries,
+		Splits:    run.splits,
+	}, nil
+}
+
+// runner carries the recursion state.
+type runner struct {
+	t          *dataset.Table
+	cfg        Config
+	qi         []string
+	cols       []int
+	numeric    []bool
+	domainSpan []float64
+	groups     [][]int
+	splits     int
+}
+
+// allowable reports whether a candidate partition satisfies k-anonymity and
+// every extra criterion.
+func (r *runner) allowable(rows []int) (bool, error) {
+	if len(rows) < r.cfg.K {
+		return false, nil
+	}
+	if len(r.cfg.Extra) == 0 {
+		return true, nil
+	}
+	class := []dataset.EquivalenceClass{{Rows: rows}}
+	ok, _, err := privacy.CheckAll(r.t, class, r.cfg.Extra...)
+	return ok, err
+}
+
+// partition recursively splits rows and appends final partitions to groups.
+func (r *runner) partition(rows []int) {
+	// Try dimensions in order of decreasing normalized width.
+	order := r.dimensionOrder(rows)
+	for _, dim := range order {
+		lhs, rhs, ok := r.split(rows, dim)
+		if !ok {
+			continue
+		}
+		okL, errL := r.allowable(lhs)
+		okR, errR := r.allowable(rhs)
+		if errL != nil || errR != nil {
+			// Criterion errors indicate misconfiguration (unknown sensitive
+			// attribute); treat the partition as unsplittable rather than
+			// silently dropping rows.
+			continue
+		}
+		if okL && okR {
+			r.splits++
+			r.partition(lhs)
+			r.partition(rhs)
+			return
+		}
+	}
+	r.groups = append(r.groups, rows)
+}
+
+// dimensionOrder returns quasi-identifier dimension indices sorted by
+// decreasing normalized width over the given rows.
+func (r *runner) dimensionOrder(rows []int) []int {
+	type dw struct {
+		dim   int
+		width float64
+	}
+	widths := make([]dw, len(r.cols))
+	for i := range r.cols {
+		widths[i] = dw{dim: i, width: r.width(rows, i)}
+	}
+	sort.Slice(widths, func(a, b int) bool {
+		if widths[a].width != widths[b].width {
+			return widths[a].width > widths[b].width
+		}
+		return widths[a].dim < widths[b].dim
+	})
+	out := make([]int, len(widths))
+	for i, w := range widths {
+		out[i] = w.dim
+	}
+	return out
+}
+
+// width computes the normalized range of dimension dim over rows: the
+// numeric span divided by the attribute's global span, or the distinct-value
+// count divided by the global domain size.
+func (r *runner) width(rows []int, dim int) float64 {
+	col := r.cols[dim]
+	span := r.domainSpan[dim]
+	if span <= 0 {
+		span = 1
+	}
+	if r.numeric[dim] {
+		lo, hi := 0.0, 0.0
+		first := true
+		for _, row := range rows {
+			v, err := r.t.Float(row, col)
+			if err != nil {
+				continue
+			}
+			if first || v < lo {
+				lo = v
+			}
+			if first || v > hi {
+				hi = v
+			}
+			first = false
+		}
+		return (hi - lo) / span
+	}
+	distinct := make(map[string]struct{})
+	for _, row := range rows {
+		v, err := r.t.Value(row, col)
+		if err != nil {
+			continue
+		}
+		distinct[v] = struct{}{}
+	}
+	if len(distinct) <= 1 {
+		return 0
+	}
+	return float64(len(distinct)) / span
+}
+
+// split divides rows along dimension dim. It returns ok=false when the
+// dimension cannot be split (all values equal, or a strict split would leave
+// one side empty).
+func (r *runner) split(rows []int, dim int) (lhs, rhs []int, ok bool) {
+	col := r.cols[dim]
+	if r.numeric[dim] {
+		return r.splitNumeric(rows, col)
+	}
+	return r.splitCategorical(rows, col)
+}
+
+func (r *runner) splitNumeric(rows []int, col int) (lhs, rhs []int, ok bool) {
+	type rv struct {
+		row int
+		val float64
+	}
+	vals := make([]rv, 0, len(rows))
+	for _, row := range rows {
+		v, err := r.t.Float(row, col)
+		if err != nil {
+			// Non-numeric cell (already generalized or suppressed input):
+			// the dimension cannot be ordered, fall back to unsplittable.
+			return nil, nil, false
+		}
+		vals = append(vals, rv{row, v})
+	}
+	sort.Slice(vals, func(i, j int) bool {
+		if vals[i].val != vals[j].val {
+			return vals[i].val < vals[j].val
+		}
+		return vals[i].row < vals[j].row
+	})
+	if vals[0].val == vals[len(vals)-1].val {
+		return nil, nil, false
+	}
+	if r.cfg.Strict {
+		median := vals[len(vals)/2].val
+		for _, v := range vals {
+			if v.val < median {
+				lhs = append(lhs, v.row)
+			} else {
+				rhs = append(rhs, v.row)
+			}
+		}
+		if len(lhs) == 0 || len(rhs) == 0 {
+			// All mass at or above the median value; put the median group on
+			// the left instead.
+			lhs, rhs = nil, nil
+			for _, v := range vals {
+				if v.val <= median {
+					lhs = append(lhs, v.row)
+				} else {
+					rhs = append(rhs, v.row)
+				}
+			}
+		}
+	} else {
+		mid := len(vals) / 2
+		for i, v := range vals {
+			if i < mid {
+				lhs = append(lhs, v.row)
+			} else {
+				rhs = append(rhs, v.row)
+			}
+		}
+	}
+	if len(lhs) == 0 || len(rhs) == 0 {
+		return nil, nil, false
+	}
+	return lhs, rhs, true
+}
+
+func (r *runner) splitCategorical(rows []int, col int) (lhs, rhs []int, ok bool) {
+	byValue := make(map[string][]int)
+	for _, row := range rows {
+		v, err := r.t.Value(row, col)
+		if err != nil {
+			return nil, nil, false
+		}
+		byValue[v] = append(byValue[v], row)
+	}
+	if len(byValue) < 2 {
+		return nil, nil, false
+	}
+	values := make([]string, 0, len(byValue))
+	for v := range byValue {
+		values = append(values, v)
+	}
+	sortCategorical(values)
+	// Greedy balance: walk values in order, filling the left half until it
+	// holds at least half the rows.
+	target := len(rows) / 2
+	count := 0
+	for _, v := range values {
+		if count < target {
+			lhs = append(lhs, byValue[v]...)
+			count += len(byValue[v])
+		} else {
+			rhs = append(rhs, byValue[v]...)
+		}
+	}
+	if len(lhs) == 0 || len(rhs) == 0 {
+		return nil, nil, false
+	}
+	return lhs, rhs, true
+}
+
+// sortCategorical orders values numerically when they all parse as numbers
+// and lexicographically otherwise, so ordered categorical codes split
+// sensibly.
+func sortCategorical(values []string) {
+	numeric := true
+	for _, v := range values {
+		if _, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err != nil {
+			numeric = false
+			break
+		}
+	}
+	if numeric {
+		sort.Slice(values, func(i, j int) bool {
+			a, _ := strconv.ParseFloat(values[i], 64)
+			b, _ := strconv.ParseFloat(values[j], 64)
+			return a < b
+		})
+		return
+	}
+	sort.Strings(values)
+}

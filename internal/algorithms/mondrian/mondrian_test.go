@@ -1,0 +1,241 @@
+package mondrian
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/privacy"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+func TestAnonymizeReachesK(t *testing.T) {
+	tbl := synth.Hospital(1000, 1)
+	for _, k := range []int{2, 5, 10, 25} {
+		res, err := Anonymize(tbl, Config{K: k, Hierarchies: synth.HospitalHierarchies()})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		classes, err := res.Table.GroupByQuasiIdentifier()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := privacy.MeasureK(classes); got < k {
+			t.Errorf("k=%d: min class %d", k, got)
+		}
+		// Every group is at least k and all rows are covered exactly once.
+		covered := make(map[int]bool)
+		for _, g := range res.Groups {
+			if len(g) < k {
+				t.Errorf("k=%d: group of size %d", k, len(g))
+			}
+			for _, r := range g {
+				if covered[r] {
+					t.Errorf("row %d in multiple groups", r)
+				}
+				covered[r] = true
+			}
+		}
+		if len(covered) != tbl.Len() {
+			t.Errorf("k=%d: %d rows covered, want %d", k, len(covered), tbl.Len())
+		}
+		if res.Table.Len() != tbl.Len() {
+			t.Errorf("k=%d: released %d rows, want %d (Mondrian never suppresses)", k, res.Table.Len(), tbl.Len())
+		}
+	}
+}
+
+func TestSmallerKSplitsMore(t *testing.T) {
+	tbl := synth.Hospital(800, 2)
+	res2, err := Anonymize(tbl, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res50, err := Anonymize(tbl, Config{K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Groups) <= len(res50.Groups) {
+		t.Errorf("k=2 produced %d groups, k=50 produced %d; expected more groups for smaller k",
+			len(res2.Groups), len(res50.Groups))
+	}
+	if res2.Splits <= res50.Splits {
+		t.Errorf("k=2 splits %d <= k=50 splits %d", res2.Splits, res50.Splits)
+	}
+}
+
+func TestStrictVsRelaxed(t *testing.T) {
+	tbl := synth.Hospital(600, 3)
+	relaxed, err := Anonymize(tbl, Config{K: 5, Strict: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Anonymize(tbl, Config{K: 5, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relaxed partitioning can always split at least as finely as strict.
+	if len(relaxed.Groups) < len(strict.Groups) {
+		t.Errorf("relaxed groups %d < strict groups %d", len(relaxed.Groups), len(strict.Groups))
+	}
+	for _, res := range []*Result{relaxed, strict} {
+		classes, _ := res.Table.GroupByQuasiIdentifier()
+		if privacy.MeasureK(classes) < 5 {
+			t.Error("strict/relaxed release violated 5-anonymity")
+		}
+	}
+}
+
+func TestWithLDiversity(t *testing.T) {
+	tbl := synth.Hospital(1000, 4)
+	res, err := Anonymize(tbl, Config{
+		K:     5,
+		Extra: []privacy.Criterion{privacy.DistinctLDiversity{L: 3, Sensitive: "diagnosis"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := res.Table.GroupByQuasiIdentifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := privacy.MeasureDistinctL(res.Table, classes, "diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l < 3 {
+		t.Errorf("release not 3-diverse: min distinct %d", l)
+	}
+}
+
+func TestWithTCloseness(t *testing.T) {
+	tbl := synth.Hospital(1000, 5)
+	res, err := Anonymize(tbl, Config{
+		K:     5,
+		Extra: []privacy.Criterion{privacy.TCloseness{T: 0.35, Sensitive: "diagnosis"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := res.Table.GroupByQuasiIdentifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The per-partition check uses the original table's global distribution;
+	// the released table has the same rows, so the measured EMD must respect
+	// the threshold.
+	emd, err := privacy.MeasureMaxEMD(res.Table, classes, "diagnosis", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emd > 0.35+1e-9 {
+		t.Errorf("max EMD %v exceeds 0.35", emd)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	tbl := synth.Hospital(50, 6)
+	if _, err := Anonymize(tbl, Config{K: 0}); !errors.Is(err, ErrConfig) {
+		t.Errorf("k=0 error = %v", err)
+	}
+	if _, err := Anonymize(tbl, Config{K: 2, QuasiIdentifiers: []string{"missing"}}); !errors.Is(err, ErrConfig) {
+		t.Errorf("unknown QI error = %v", err)
+	}
+}
+
+func TestUnsatisfiable(t *testing.T) {
+	tbl := synth.Hospital(10, 7)
+	if _, err := Anonymize(tbl, Config{K: 100}); !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("expected ErrUnsatisfiable, got %v", err)
+	}
+	// An impossible extra criterion is also unsatisfiable.
+	_, err := Anonymize(tbl, Config{
+		K:     2,
+		Extra: []privacy.Criterion{privacy.DistinctLDiversity{L: 50, Sensitive: "diagnosis"}},
+	})
+	if !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("expected ErrUnsatisfiable for impossible l, got %v", err)
+	}
+}
+
+func TestNumericRecodingContainsOriginals(t *testing.T) {
+	tbl := synth.Hospital(400, 8)
+	res, err := Anonymize(tbl, Config{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ageCol := res.Table.Schema().MustIndex("age")
+	for _, s := range res.Summaries {
+		for _, r := range s.Rows {
+			orig, err := tbl.Float(r, ageCol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			released, _ := res.Table.Value(r, ageCol)
+			lo, hi, ok := hierarchy.ParseInterval(released)
+			if !ok {
+				t.Fatalf("unparseable released age %q", released)
+			}
+			inside := orig == lo || (orig >= lo && orig < hi)
+			if !inside {
+				t.Errorf("original age %v outside released range %q", orig, released)
+			}
+		}
+	}
+}
+
+func TestExplicitQISubsetLeavesOtherColumns(t *testing.T) {
+	tbl := synth.Hospital(300, 9)
+	res, err := Anonymize(tbl, Config{K: 5, QuasiIdentifiers: []string{"age", "sex"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origZip, _ := tbl.Column("zip")
+	gotZip, _ := res.Table.Column("zip")
+	for i := range origZip {
+		if origZip[i] != gotZip[i] {
+			t.Fatalf("zip changed at row %d", i)
+		}
+	}
+	classes, _ := res.Table.GroupBy("age", "sex")
+	if privacy.MeasureK(classes) < 5 {
+		t.Error("subset QI release violated 5-anonymity")
+	}
+}
+
+func TestSortCategorical(t *testing.T) {
+	vals := []string{"10", "2", "1"}
+	sortCategorical(vals)
+	if vals[0] != "1" || vals[1] != "2" || vals[2] != "10" {
+		t.Errorf("numeric sort wrong: %v", vals)
+	}
+	words := []string{"b", "a", "c"}
+	sortCategorical(words)
+	if words[0] != "a" {
+		t.Errorf("lexicographic sort wrong: %v", words)
+	}
+}
+
+func TestSyntheticTinyTable(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "age", Kind: dataset.QuasiIdentifier, Type: dataset.Numeric},
+		dataset.Attribute{Name: "diag", Kind: dataset.Sensitive, Type: dataset.Categorical},
+	)
+	rows := []dataset.Row{
+		{"20", "a"}, {"21", "b"}, {"22", "a"}, {"23", "b"},
+		{"60", "a"}, {"61", "b"}, {"62", "a"}, {"63", "b"},
+	}
+	tbl, _ := dataset.FromRows(schema, rows)
+	res, err := Anonymize(tbl, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) < 2 {
+		t.Errorf("expected at least 2 groups, got %d", len(res.Groups))
+	}
+	classes, _ := res.Table.GroupBy("age")
+	if privacy.MeasureK(classes) < 2 {
+		t.Error("tiny table release violated 2-anonymity")
+	}
+}

@@ -1,0 +1,193 @@
+// Package samarati implements Samarati's full-domain anonymization algorithm:
+// a binary search on the height of the generalization lattice for the lowest
+// height at which some node achieves k-anonymity with at most MaxSuppression
+// records suppressed. Among the satisfying nodes of that height, the node
+// suppressing the fewest records is released.
+package samarati
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/generalize"
+	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/lattice"
+)
+
+// Common errors.
+var (
+	// ErrUnsatisfiable is returned when no lattice node achieves k-anonymity
+	// within the suppression budget.
+	ErrUnsatisfiable = errors.New("samarati: no generalization satisfies k-anonymity within the suppression budget")
+	// ErrConfig is returned for invalid configurations.
+	ErrConfig = errors.New("samarati: invalid configuration")
+)
+
+// Config controls a Samarati run.
+type Config struct {
+	// K is the required minimum equivalence-class size.
+	K int
+	// QuasiIdentifiers lists the attributes to generalize; when empty the
+	// schema's quasi-identifier columns are used.
+	QuasiIdentifiers []string
+	// Hierarchies supplies a hierarchy for every quasi-identifier.
+	Hierarchies *hierarchy.Set
+	// MaxSuppression is the maximum fraction of records (0..1) that may be
+	// suppressed.
+	MaxSuppression float64
+}
+
+// Result describes the outcome of a Samarati run.
+type Result struct {
+	// Table is the released table.
+	Table *dataset.Table
+	// Node is the chosen lattice node.
+	Node lattice.Node
+	// QuasiIdentifiers is the attribute order Node refers to.
+	QuasiIdentifiers []string
+	// SuppressedRows is the number of removed records.
+	SuppressedRows int
+	// Height is the chosen node's lattice height.
+	Height int
+	// NodesEvaluated counts how many lattice nodes were checked.
+	NodesEvaluated int
+}
+
+// Anonymize runs Samarati's binary lattice search over t.
+func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("%w: k = %d", ErrConfig, cfg.K)
+	}
+	if cfg.Hierarchies == nil {
+		return nil, fmt.Errorf("%w: nil hierarchy set", ErrConfig)
+	}
+	if cfg.MaxSuppression < 0 || cfg.MaxSuppression > 1 {
+		return nil, fmt.Errorf("%w: max suppression %v", ErrConfig, cfg.MaxSuppression)
+	}
+	qi := cfg.QuasiIdentifiers
+	if len(qi) == 0 {
+		qi = t.Schema().QuasiIdentifierNames()
+	}
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("%w: no quasi-identifier attributes", ErrConfig)
+	}
+	maxLevels, err := cfg.Hierarchies.MaxLevels(qi)
+	if err != nil {
+		return nil, err
+	}
+	lat, err := lattice.New(qi, maxLevels)
+	if err != nil {
+		return nil, err
+	}
+	budget := int(cfg.MaxSuppression * float64(t.Len()))
+
+	evaluated := 0
+	// bestAtHeight returns the best satisfying node at height h, or nil.
+	bestAtHeight := func(h int) (lattice.Node, int, error) {
+		var best lattice.Node
+		bestSuppress := -1
+		for _, node := range lat.NodesAtHeight(h) {
+			evaluated++
+			suppress, err := violations(t, qi, cfg.Hierarchies, node, cfg.K)
+			if err != nil {
+				return nil, 0, err
+			}
+			if suppress <= budget && (bestSuppress == -1 || suppress < bestSuppress) {
+				best = node.Clone()
+				bestSuppress = suppress
+			}
+		}
+		return best, bestSuppress, nil
+	}
+
+	// Binary search the minimal height with a satisfying node. Satisfiability
+	// is monotone in height only in the weak sense used by Samarati: the top
+	// node maximally generalizes, so if it fails nothing succeeds; the search
+	// still verifies the found layer exactly.
+	lo, hi := 0, lat.MaxHeight()
+	var found lattice.Node
+	foundSuppress := 0
+	foundHeight := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		node, suppress, err := bestAtHeight(mid)
+		if err != nil {
+			return nil, err
+		}
+		if node != nil {
+			found, foundSuppress, foundHeight = node, suppress, mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("%w (k=%d, budget=%d rows)", ErrUnsatisfiable, cfg.K, budget)
+	}
+	// The binary search can overshoot when satisfiability is not perfectly
+	// monotone across heights; walk down from the found height to the first
+	// height where no node satisfies, keeping the lowest satisfying layer.
+	for h := foundHeight - 1; h >= 0; h-- {
+		node, suppress, err := bestAtHeight(h)
+		if err != nil {
+			return nil, err
+		}
+		if node == nil {
+			break
+		}
+		found, foundSuppress, foundHeight = node, suppress, h
+	}
+
+	released, err := apply(t, qi, cfg.Hierarchies, found, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Table:            released,
+		Node:             found,
+		QuasiIdentifiers: append([]string(nil), qi...),
+		SuppressedRows:   foundSuppress,
+		Height:           foundHeight,
+		NodesEvaluated:   evaluated,
+	}, nil
+}
+
+// violations counts the records that would need suppression for node to be
+// k-anonymous.
+func violations(t *dataset.Table, qi []string, hs *hierarchy.Set, node lattice.Node, k int) (int, error) {
+	recoded, err := generalize.FullDomain(t, qi, hs, node)
+	if err != nil {
+		return 0, err
+	}
+	classes, err := recoded.GroupBy(qi...)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range classes {
+		if c.Size() < k {
+			total += c.Size()
+		}
+	}
+	return total, nil
+}
+
+// apply produces the released table for node, suppressing undersized classes.
+func apply(t *dataset.Table, qi []string, hs *hierarchy.Set, node lattice.Node, k int) (*dataset.Table, error) {
+	recoded, err := generalize.FullDomain(t, qi, hs, node)
+	if err != nil {
+		return nil, err
+	}
+	classes, err := recoded.GroupBy(qi...)
+	if err != nil {
+		return nil, err
+	}
+	var drop []int
+	for _, c := range classes {
+		if c.Size() < k {
+			drop = append(drop, c.Rows...)
+		}
+	}
+	return generalize.SuppressRows(recoded, drop)
+}

@@ -1,0 +1,106 @@
+package samarati
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/privacy"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+func TestAnonymizeReachesK(t *testing.T) {
+	tbl := synth.Hospital(500, 1)
+	res, err := Anonymize(tbl, Config{
+		K:                5,
+		QuasiIdentifiers: []string{"age", "zip", "sex"},
+		Hierarchies:      synth.HospitalHierarchies(),
+		MaxSuppression:   0.05,
+	})
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	classes, err := res.Table.GroupBy("age", "zip", "sex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if privacy.MeasureK(classes) < 5 {
+		t.Errorf("release not 5-anonymous: min class %d", privacy.MeasureK(classes))
+	}
+	if res.Height != res.Node.Height() {
+		t.Errorf("Height %d != Node height %d", res.Height, res.Node.Height())
+	}
+	if res.NodesEvaluated <= 0 {
+		t.Error("NodesEvaluated not recorded")
+	}
+	if res.SuppressedRows+res.Table.Len() != tbl.Len() {
+		t.Errorf("row accounting wrong: %d + %d != %d", res.SuppressedRows, res.Table.Len(), tbl.Len())
+	}
+}
+
+func TestMinimalHeight(t *testing.T) {
+	// With a generous suppression budget Samarati should find a low height;
+	// with no budget the height can only rise.
+	tbl := synth.Hospital(400, 2)
+	hs := synth.HospitalHierarchies()
+	qi := []string{"age", "zip", "sex"}
+	loose, err := Anonymize(tbl, Config{K: 10, QuasiIdentifiers: qi, Hierarchies: hs, MaxSuppression: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Anonymize(tbl, Config{K: 10, QuasiIdentifiers: qi, Hierarchies: hs, MaxSuppression: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Height < loose.Height {
+		t.Errorf("zero-suppression height %d below %d with suppression budget", strict.Height, loose.Height)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	tbl := synth.Hospital(50, 3)
+	hs := synth.HospitalHierarchies()
+	cases := []Config{
+		{K: 0, Hierarchies: hs},
+		{K: 2, Hierarchies: nil},
+		{K: 2, Hierarchies: hs, MaxSuppression: -0.1},
+		{K: 2, Hierarchies: hs, QuasiIdentifiers: []string{"nonexistent"}},
+	}
+	for i, cfg := range cases {
+		if _, err := Anonymize(tbl, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := Anonymize(tbl, Config{K: 2, Hierarchies: nil}); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil hierarchies error = %v", err)
+	}
+}
+
+func TestUnsatisfiable(t *testing.T) {
+	tbl := synth.Hospital(10, 4)
+	_, err := Anonymize(tbl, Config{
+		K:                50,
+		QuasiIdentifiers: []string{"age", "zip"},
+		Hierarchies:      synth.HospitalHierarchies(),
+		MaxSuppression:   0,
+	})
+	if !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("expected ErrUnsatisfiable, got %v", err)
+	}
+}
+
+func TestHigherKNeverLowersHeight(t *testing.T) {
+	tbl := synth.Hospital(400, 6)
+	hs := synth.HospitalHierarchies()
+	qi := []string{"age", "zip", "sex"}
+	prevHeight := -1
+	for _, k := range []int{2, 10, 50} {
+		res, err := Anonymize(tbl, Config{K: k, QuasiIdentifiers: qi, Hierarchies: hs, MaxSuppression: 0.01})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Height < prevHeight {
+			t.Errorf("height decreased from %d to %d as k grew to %d", prevHeight, res.Height, k)
+		}
+		prevHeight = res.Height
+	}
+}

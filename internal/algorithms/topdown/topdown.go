@@ -1,0 +1,156 @@
+// Package topdown implements a top-down specialization (TDS) anonymizer in
+// the style of Fung, Wang and Yu: the release starts from the fully
+// generalized table (every quasi-identifier at its hierarchy root) and is
+// repeatedly specialized one attribute level at a time, always choosing the
+// specialization with the best score, for as long as the privacy criteria
+// remain satisfied. Because specialization only ever refines equivalence
+// classes, the walk can stop at the first level where every further
+// specialization violates the criteria, yielding a minimally generalized
+// full-domain release.
+package topdown
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/generalize"
+	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/lattice"
+	"github.com/ppdp/ppdp/internal/privacy"
+)
+
+// Common errors.
+var (
+	// ErrConfig is returned for invalid configurations.
+	ErrConfig = errors.New("topdown: invalid configuration")
+	// ErrUnsatisfiable is returned when even the fully generalized table
+	// violates the privacy criteria.
+	ErrUnsatisfiable = errors.New("topdown: privacy criteria fail even at full generalization")
+)
+
+// Score ranks candidate releases; higher is better. It receives the recoded
+// table and its equivalence classes.
+type Score func(t *dataset.Table, classes []dataset.EquivalenceClass) float64
+
+// Config controls a top-down specialization run.
+type Config struct {
+	// K is the required minimum equivalence-class size.
+	K int
+	// QuasiIdentifiers lists the attributes to generalize; when empty the
+	// schema's quasi-identifier columns are used.
+	QuasiIdentifiers []string
+	// Hierarchies supplies a hierarchy for every quasi-identifier.
+	Hierarchies *hierarchy.Set
+	// Extra lists additional privacy criteria gating every specialization.
+	Extra []privacy.Criterion
+	// Score ranks candidate specializations; when nil the number of
+	// equivalence classes is used (more classes = finer data = more
+	// information for classification workloads).
+	Score Score
+}
+
+// Result describes the outcome of a run.
+type Result struct {
+	// Table is the released table.
+	Table *dataset.Table
+	// Node is the final full-domain generalization node.
+	Node lattice.Node
+	// QuasiIdentifiers is the attribute order Node refers to.
+	QuasiIdentifiers []string
+	// Specializations is the number of accepted specialization steps.
+	Specializations int
+}
+
+// Anonymize runs top-down specialization over t.
+func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("%w: k = %d", ErrConfig, cfg.K)
+	}
+	if cfg.Hierarchies == nil {
+		return nil, fmt.Errorf("%w: nil hierarchy set", ErrConfig)
+	}
+	qi := cfg.QuasiIdentifiers
+	if len(qi) == 0 {
+		qi = t.Schema().QuasiIdentifierNames()
+	}
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("%w: no quasi-identifier attributes", ErrConfig)
+	}
+	maxLevels, err := cfg.Hierarchies.MaxLevels(qi)
+	if err != nil {
+		return nil, err
+	}
+	lat, err := lattice.New(qi, maxLevels)
+	if err != nil {
+		return nil, err
+	}
+	score := cfg.Score
+	if score == nil {
+		score = func(_ *dataset.Table, classes []dataset.EquivalenceClass) float64 {
+			return float64(len(classes))
+		}
+	}
+	criteria := append([]privacy.Criterion{privacy.KAnonymity{K: cfg.K}}, cfg.Extra...)
+
+	evaluate := func(node lattice.Node) (bool, *dataset.Table, []dataset.EquivalenceClass, error) {
+		recoded, err := generalize.FullDomain(t, qi, cfg.Hierarchies, node)
+		if err != nil {
+			return false, nil, nil, err
+		}
+		classes, err := recoded.GroupBy(qi...)
+		if err != nil {
+			return false, nil, nil, err
+		}
+		ok, _, err := privacy.CheckAll(recoded, classes, criteria...)
+		if err != nil {
+			return false, nil, nil, err
+		}
+		return ok, recoded, classes, nil
+	}
+
+	current := lat.Top()
+	ok, currentTable, _, err := evaluate(current)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w (k=%d, %d rows)", ErrUnsatisfiable, cfg.K, t.Len())
+	}
+
+	steps := 0
+	for {
+		preds, err := lat.Predecessors(current)
+		if err != nil {
+			return nil, err
+		}
+		bestIdx := -1
+		bestScore := 0.0
+		var bestTable *dataset.Table
+		for i, p := range preds {
+			ok, recoded, classes, err := evaluate(p)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			s := score(recoded, classes)
+			if bestIdx == -1 || s > bestScore {
+				bestIdx, bestScore, bestTable = i, s, recoded
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		current = preds[bestIdx]
+		currentTable = bestTable
+		steps++
+	}
+	return &Result{
+		Table:            currentTable,
+		Node:             current,
+		QuasiIdentifiers: append([]string(nil), qi...),
+		Specializations:  steps,
+	}, nil
+}

@@ -1,0 +1,135 @@
+package topdown
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/privacy"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+func TestAnonymizeReachesK(t *testing.T) {
+	tbl := synth.Hospital(600, 1)
+	res, err := Anonymize(tbl, Config{
+		K:                5,
+		QuasiIdentifiers: []string{"age", "zip", "sex"},
+		Hierarchies:      synth.HospitalHierarchies(),
+	})
+	if err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+	classes, err := res.Table.GroupBy("age", "zip", "sex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if privacy.MeasureK(classes) < 5 {
+		t.Errorf("release not 5-anonymous: min class %d", privacy.MeasureK(classes))
+	}
+	if res.Table.Len() != tbl.Len() {
+		t.Errorf("row count changed: %d -> %d", tbl.Len(), res.Table.Len())
+	}
+}
+
+func TestSpecializationIsMinimal(t *testing.T) {
+	// Every further one-step specialization of the returned node must
+	// violate the criteria — otherwise the walk stopped early.
+	tbl := synth.Hospital(500, 2)
+	hs := synth.HospitalHierarchies()
+	qi := []string{"age", "zip", "sex"}
+	res, err := Anonymize(tbl, Config{K: 10, QuasiIdentifiers: qi, Hierarchies: hs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Specializations == 0 && res.Node.Height() > 0 {
+		// Having performed no specialization is only acceptable if the top
+		// itself is the answer; in a 500-row table with k=10 at least one
+		// specialization should be possible.
+		t.Errorf("no specializations performed from %v", res.Node)
+	}
+}
+
+func TestHigherKGeneralizesMore(t *testing.T) {
+	tbl := synth.Hospital(500, 3)
+	hs := synth.HospitalHierarchies()
+	qi := []string{"age", "zip", "sex"}
+	res5, err := Anonymize(tbl, Config{K: 5, QuasiIdentifiers: qi, Hierarchies: hs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res50, err := Anonymize(tbl, Config{K: 50, QuasiIdentifiers: qi, Hierarchies: hs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res50.Node.Height() < res5.Node.Height() {
+		t.Errorf("k=50 node %v lower than k=5 node %v", res50.Node, res5.Node)
+	}
+}
+
+func TestWithLDiversity(t *testing.T) {
+	tbl := synth.Hospital(800, 4)
+	res, err := Anonymize(tbl, Config{
+		K:                5,
+		QuasiIdentifiers: []string{"age", "zip", "sex"},
+		Hierarchies:      synth.HospitalHierarchies(),
+		Extra:            []privacy.Criterion{privacy.DistinctLDiversity{L: 2, Sensitive: "diagnosis"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, _ := res.Table.GroupBy("age", "zip", "sex")
+	l, err := privacy.MeasureDistinctL(res.Table, classes, "diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l < 2 {
+		t.Errorf("release not 2-diverse: %d", l)
+	}
+}
+
+func TestCustomScore(t *testing.T) {
+	tbl := synth.Hospital(300, 5)
+	qi := []string{"age", "sex"}
+	called := false
+	_, err := Anonymize(tbl, Config{
+		K:                5,
+		QuasiIdentifiers: qi,
+		Hierarchies:      synth.HospitalHierarchies(),
+		Score: func(_ *dataset.Table, classes []dataset.EquivalenceClass) float64 {
+			called = true
+			return dataset.AverageClassSize(classes)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("custom score never invoked")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	tbl := synth.Hospital(50, 6)
+	hs := synth.HospitalHierarchies()
+	if _, err := Anonymize(tbl, Config{K: 0, Hierarchies: hs}); !errors.Is(err, ErrConfig) {
+		t.Errorf("k=0 error = %v", err)
+	}
+	if _, err := Anonymize(tbl, Config{K: 2}); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil hierarchies error = %v", err)
+	}
+	if _, err := Anonymize(tbl, Config{K: 2, Hierarchies: hs, QuasiIdentifiers: []string{"missing"}}); err == nil {
+		t.Error("unknown QI accepted")
+	}
+}
+
+func TestUnsatisfiable(t *testing.T) {
+	tbl := synth.Hospital(10, 7)
+	_, err := Anonymize(tbl, Config{
+		K:                100,
+		QuasiIdentifiers: []string{"age", "zip"},
+		Hierarchies:      synth.HospitalHierarchies(),
+	})
+	if !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("expected ErrUnsatisfiable, got %v", err)
+	}
+}

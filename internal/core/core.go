@@ -1,0 +1,435 @@
+// Package core is the public face of the PPDP library: it ties the privacy
+// models, anonymization algorithms, utility metrics and risk measures into a
+// single release pipeline. A caller configures an Anonymizer with the desired
+// algorithm and privacy parameters, calls Anonymize on a table, and receives
+// a Release that contains the published data together with the measured
+// privacy and utility properties, so the "trust but verify" step of the
+// survey's methodology is built in.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ppdp/ppdp/internal/algorithms/anatomy"
+	"github.com/ppdp/ppdp/internal/algorithms/datafly"
+	"github.com/ppdp/ppdp/internal/algorithms/incognito"
+	"github.com/ppdp/ppdp/internal/algorithms/kmember"
+	"github.com/ppdp/ppdp/internal/algorithms/mondrian"
+	"github.com/ppdp/ppdp/internal/algorithms/samarati"
+	"github.com/ppdp/ppdp/internal/algorithms/topdown"
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/lattice"
+	"github.com/ppdp/ppdp/internal/metrics"
+	"github.com/ppdp/ppdp/internal/privacy"
+)
+
+// Algorithm selects the anonymization algorithm of a release.
+type Algorithm string
+
+// Supported algorithms.
+const (
+	// Mondrian is multidimensional greedy partitioning (default).
+	Mondrian Algorithm = "mondrian"
+	// Datafly is greedy full-domain generalization with suppression.
+	Datafly Algorithm = "datafly"
+	// Incognito is an optimal full-domain lattice search.
+	Incognito Algorithm = "incognito"
+	// Samarati is binary lattice-height search with suppression.
+	Samarati Algorithm = "samarati"
+	// TopDown is top-down specialization from full generalization.
+	TopDown Algorithm = "topdown"
+	// KMember is greedy clustering anonymization.
+	KMember Algorithm = "kmember"
+	// Anatomy is l-diverse bucketization (no generalization).
+	Anatomy Algorithm = "anatomy"
+)
+
+// ParseAlgorithm converts a string (CLI flag, config file) to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch Algorithm(s) {
+	case Mondrian, Datafly, Incognito, Samarati, TopDown, KMember, Anatomy:
+		return Algorithm(s), nil
+	case "":
+		return Mondrian, nil
+	default:
+		return "", fmt.Errorf("core: unknown algorithm %q", s)
+	}
+}
+
+// Algorithms lists every supported algorithm name.
+func Algorithms() []Algorithm {
+	return []Algorithm{Mondrian, Datafly, Incognito, Samarati, TopDown, KMember, Anatomy}
+}
+
+// DiversityMode selects which member of the l-diversity family to enforce.
+type DiversityMode string
+
+// Diversity modes.
+const (
+	// DistinctDiversity requires L distinct sensitive values per class.
+	DistinctDiversity DiversityMode = "distinct"
+	// EntropyDiversity requires per-class entropy of at least log(L).
+	EntropyDiversity DiversityMode = "entropy"
+	// RecursiveDiversity requires recursive (C, L)-diversity.
+	RecursiveDiversity DiversityMode = "recursive"
+)
+
+// Config describes one release.
+type Config struct {
+	// Algorithm selects the anonymizer; Mondrian when empty.
+	Algorithm Algorithm
+	// K is the k-anonymity parameter (ignored by Anatomy).
+	K int
+	// L enables l-diversity when positive (required by Anatomy).
+	L int
+	// DiversityMode selects the l-diversity variant (distinct when empty).
+	DiversityMode DiversityMode
+	// C is the recursive (c, l)-diversity constant (default 3 when the
+	// recursive mode is selected).
+	C float64
+	// T enables t-closeness when positive.
+	T float64
+	// OrderedSensitive selects the ordered-distance EMD for t-closeness.
+	OrderedSensitive bool
+	// Sensitive names the sensitive attribute for the attribute-linkage
+	// models; defaults to the schema's first sensitive column.
+	Sensitive string
+	// QuasiIdentifiers restricts the quasi-identifier; defaults to the
+	// schema's quasi-identifier columns.
+	QuasiIdentifiers []string
+	// Hierarchies supplies generalization hierarchies (required by the
+	// full-domain algorithms, optional for Mondrian/KMember recoding).
+	Hierarchies *hierarchy.Set
+	// MaxSuppression bounds record suppression for Datafly and Samarati.
+	MaxSuppression float64
+	// StrictMondrian selects strict partitioning for Mondrian.
+	StrictMondrian bool
+}
+
+// ErrConfig is returned for invalid top-level configurations.
+var ErrConfig = errors.New("core: invalid configuration")
+
+// Measurements reports the verified privacy level and utility of a release.
+type Measurements struct {
+	// K is the smallest equivalence-class size of the release.
+	K int
+	// DistinctL is the smallest number of distinct sensitive values per
+	// class (0 when no sensitive attribute is configured).
+	DistinctL int
+	// MaxEMD is the largest per-class earth mover's distance to the global
+	// sensitive distribution (0 when no sensitive attribute is configured).
+	MaxEMD float64
+	// NCP is the normalized certainty penalty of the release.
+	NCP float64
+	// Discernibility is the discernibility metric of the release.
+	Discernibility float64
+	// ProsecutorMaxRisk is the maximum re-identification probability.
+	ProsecutorMaxRisk float64
+	// SuppressedRows is the number of records removed by the algorithm.
+	SuppressedRows int
+}
+
+// Release is the outcome of an anonymization run.
+type Release struct {
+	// Table is the published microdata table (nil for Anatomy).
+	Table *dataset.Table
+	// QIT and ST are the Anatomy releases (nil for other algorithms).
+	QIT *dataset.Table
+	ST  *dataset.Table
+	// Anatomy retains the full Anatomy result for query estimation.
+	Anatomy *anatomy.Result
+	// Algorithm echoes the algorithm used.
+	Algorithm Algorithm
+	// Node is the full-domain generalization node when applicable.
+	Node []int
+	// Measured reports the verified properties of the release.
+	Measured Measurements
+}
+
+// Anonymizer runs a configured release pipeline.
+type Anonymizer struct {
+	cfg Config
+}
+
+// New validates the configuration and returns an Anonymizer.
+func New(cfg Config) (*Anonymizer, error) {
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = Mondrian
+	}
+	if _, err := ParseAlgorithm(string(cfg.Algorithm)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if cfg.Algorithm == Anatomy {
+		if cfg.L < 2 {
+			return nil, fmt.Errorf("%w: anatomy requires L >= 2", ErrConfig)
+		}
+	} else if cfg.K < 1 {
+		return nil, fmt.Errorf("%w: K must be at least 1", ErrConfig)
+	}
+	if cfg.L < 0 || cfg.T < 0 || cfg.T > 1 {
+		return nil, fmt.Errorf("%w: L=%d T=%v", ErrConfig, cfg.L, cfg.T)
+	}
+	if cfg.MaxSuppression < 0 || cfg.MaxSuppression > 1 {
+		return nil, fmt.Errorf("%w: MaxSuppression=%v", ErrConfig, cfg.MaxSuppression)
+	}
+	if cfg.DiversityMode == "" {
+		cfg.DiversityMode = DistinctDiversity
+	}
+	if cfg.DiversityMode == RecursiveDiversity && cfg.C <= 0 {
+		cfg.C = 3
+	}
+	switch cfg.Algorithm {
+	case Datafly, Samarati, Incognito, TopDown:
+		if cfg.Hierarchies == nil {
+			return nil, fmt.Errorf("%w: algorithm %s requires hierarchies", ErrConfig, cfg.Algorithm)
+		}
+	}
+	return &Anonymizer{cfg: cfg}, nil
+}
+
+// Config returns a copy of the anonymizer's configuration.
+func (a *Anonymizer) Config() Config { return a.cfg }
+
+// sensitiveAttr resolves the sensitive attribute for a table.
+func (a *Anonymizer) sensitiveAttr(t *dataset.Table) string {
+	if a.cfg.Sensitive != "" {
+		return a.cfg.Sensitive
+	}
+	names := t.Schema().SensitiveNames()
+	if len(names) > 0 {
+		return names[0]
+	}
+	return ""
+}
+
+// extraCriteria builds the attribute-linkage criteria from the configuration.
+func (a *Anonymizer) extraCriteria(sensitive string) ([]privacy.Criterion, error) {
+	var out []privacy.Criterion
+	if a.cfg.L > 1 {
+		if sensitive == "" {
+			return nil, fmt.Errorf("%w: l-diversity requires a sensitive attribute", ErrConfig)
+		}
+		switch a.cfg.DiversityMode {
+		case DistinctDiversity, "":
+			out = append(out, privacy.DistinctLDiversity{L: a.cfg.L, Sensitive: sensitive})
+		case EntropyDiversity:
+			out = append(out, privacy.EntropyLDiversity{L: float64(a.cfg.L), Sensitive: sensitive})
+		case RecursiveDiversity:
+			c := a.cfg.C
+			if c <= 0 {
+				c = 3
+			}
+			out = append(out, privacy.RecursiveCLDiversity{C: c, L: a.cfg.L, Sensitive: sensitive})
+		default:
+			return nil, fmt.Errorf("%w: unknown diversity mode %q", ErrConfig, a.cfg.DiversityMode)
+		}
+	}
+	if a.cfg.T > 0 {
+		if sensitive == "" {
+			return nil, fmt.Errorf("%w: t-closeness requires a sensitive attribute", ErrConfig)
+		}
+		out = append(out, privacy.TCloseness{T: a.cfg.T, Sensitive: sensitive, Ordered: a.cfg.OrderedSensitive})
+	}
+	return out, nil
+}
+
+// Anonymize runs the configured pipeline on t: direct identifiers are
+// dropped, the algorithm is applied, and the release is measured.
+func (a *Anonymizer) Anonymize(t *dataset.Table) (*Release, error) {
+	input, err := t.DropIdentifiers()
+	if err != nil {
+		return nil, err
+	}
+	sensitive := a.sensitiveAttr(input)
+	extra, err := a.extraCriteria(sensitive)
+	if err != nil {
+		return nil, err
+	}
+	qi := a.cfg.QuasiIdentifiers
+	release := &Release{Algorithm: a.cfg.Algorithm}
+
+	switch a.cfg.Algorithm {
+	case Mondrian, "":
+		res, err := mondrian.Anonymize(input, mondrian.Config{
+			K: a.cfg.K, QuasiIdentifiers: qi, Hierarchies: a.cfg.Hierarchies,
+			Strict: a.cfg.StrictMondrian, Extra: extra,
+		})
+		if err != nil {
+			return nil, err
+		}
+		release.Table = res.Table
+	case Datafly:
+		res, err := datafly.Anonymize(input, datafly.Config{
+			K: a.cfg.K, QuasiIdentifiers: qi, Hierarchies: a.cfg.Hierarchies,
+			MaxSuppression: a.cfg.MaxSuppression,
+		})
+		if err != nil {
+			return nil, err
+		}
+		release.Table = res.Table
+		release.Node = res.Node
+		release.Measured.SuppressedRows = res.SuppressedRows
+	case Samarati:
+		res, err := samarati.Anonymize(input, samarati.Config{
+			K: a.cfg.K, QuasiIdentifiers: qi, Hierarchies: a.cfg.Hierarchies,
+			MaxSuppression: a.cfg.MaxSuppression,
+		})
+		if err != nil {
+			return nil, err
+		}
+		release.Table = res.Table
+		release.Node = res.Node
+		release.Measured.SuppressedRows = res.SuppressedRows
+	case Incognito:
+		res, err := incognito.Anonymize(input, incognito.Config{
+			K: a.cfg.K, QuasiIdentifiers: qi, Hierarchies: a.cfg.Hierarchies, Extra: extra,
+		})
+		if err != nil {
+			return nil, err
+		}
+		release.Table = res.Table
+		release.Node = res.Node
+	case TopDown:
+		res, err := topdown.Anonymize(input, topdown.Config{
+			K: a.cfg.K, QuasiIdentifiers: qi, Hierarchies: a.cfg.Hierarchies, Extra: extra,
+		})
+		if err != nil {
+			return nil, err
+		}
+		release.Table = res.Table
+		release.Node = res.Node
+	case KMember:
+		res, err := kmember.Anonymize(input, kmember.Config{
+			K: a.cfg.K, QuasiIdentifiers: qi, Hierarchies: a.cfg.Hierarchies,
+		})
+		if err != nil {
+			return nil, err
+		}
+		release.Table = res.Table
+	case Anatomy:
+		res, err := anatomy.Anonymize(input, anatomy.Config{
+			L: a.cfg.L, Sensitive: sensitive, QuasiIdentifiers: qi,
+		})
+		if err != nil {
+			return nil, err
+		}
+		release.QIT = res.QIT
+		release.ST = res.ST
+		release.Anatomy = res
+	default:
+		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrConfig, a.cfg.Algorithm)
+	}
+
+	if release.Table != nil {
+		m, err := a.measure(input, release.Table, sensitive)
+		if err != nil {
+			return nil, err
+		}
+		m.SuppressedRows = release.Measured.SuppressedRows
+		release.Measured = *m
+	}
+	return release, nil
+}
+
+// measure verifies the privacy level and utility of a microdata release.
+func (a *Anonymizer) measure(original, released *dataset.Table, sensitive string) (*Measurements, error) {
+	m := &Measurements{}
+	qiNames := released.Schema().QuasiIdentifierNames()
+	if len(a.cfg.QuasiIdentifiers) > 0 {
+		qiNames = a.cfg.QuasiIdentifiers
+	}
+	classes, err := released.GroupBy(qiNames...)
+	if err != nil {
+		return nil, err
+	}
+	m.K = privacy.MeasureK(classes)
+	if sensitive != "" && released.Schema().Has(sensitive) {
+		l, err := privacy.MeasureDistinctL(released, classes, sensitive)
+		if err != nil {
+			return nil, err
+		}
+		m.DistinctL = l
+		emd, err := privacy.MeasureMaxEMD(released, classes, sensitive, a.cfg.OrderedSensitive)
+		if err != nil {
+			return nil, err
+		}
+		m.MaxEMD = emd
+	}
+	ncp, err := metrics.NCP(original, released, a.cfg.Hierarchies)
+	if err == nil {
+		m.NCP = ncp
+	}
+	dm, err := metrics.Discernibility(released, original.Len())
+	if err == nil {
+		m.Discernibility = dm
+	}
+	// Prosecutor risk over the same quasi-identifier the release was built
+	// for (the schema may contain further QI columns the caller chose not to
+	// anonymize; risk.MeasureReidentification covers that stricter view).
+	if m.K > 0 {
+		m.ProsecutorMaxRisk = 1 / float64(m.K)
+	}
+	return m, nil
+}
+
+// Verify re-checks the configured privacy criteria against a microdata
+// release and returns the name of the first violated criterion (empty when
+// all hold).
+func (a *Anonymizer) Verify(released *dataset.Table) (bool, string, error) {
+	sensitive := a.sensitiveAttr(released)
+	extra, err := a.extraCriteria(sensitive)
+	if err != nil {
+		return false, "", err
+	}
+	qi := a.cfg.QuasiIdentifiers
+	if len(qi) == 0 {
+		qi = released.Schema().QuasiIdentifierNames()
+	}
+	classes, err := released.GroupBy(qi...)
+	if err != nil {
+		return false, "", err
+	}
+	criteria := append([]privacy.Criterion{privacy.KAnonymity{K: maxInt(a.cfg.K, 1)}}, extra...)
+	return privacy.CheckAll(released, classes, criteria...)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FullDomainPrecision is a convenience that computes Sweeney's precision for
+// a full-domain release node produced by Datafly, Samarati, Incognito or
+// TopDown under the anonymizer's hierarchies.
+func (a *Anonymizer) FullDomainPrecision(node []int, qi []string) (float64, error) {
+	if a.cfg.Hierarchies == nil {
+		return 0, fmt.Errorf("%w: precision requires hierarchies", ErrConfig)
+	}
+	maxLevels, err := a.cfg.Hierarchies.MaxLevels(qi)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.GeneralizationPrecision(node, maxLevels)
+}
+
+// LatticeSize reports how many full-domain recodings exist for the given
+// quasi-identifier under the anonymizer's hierarchies — a quick way to judge
+// whether an exhaustive lattice search is feasible.
+func (a *Anonymizer) LatticeSize(qi []string) (int, error) {
+	if a.cfg.Hierarchies == nil {
+		return 0, fmt.Errorf("%w: lattice size requires hierarchies", ErrConfig)
+	}
+	maxLevels, err := a.cfg.Hierarchies.MaxLevels(qi)
+	if err != nil {
+		return 0, err
+	}
+	lat, err := lattice.New(qi, maxLevels)
+	if err != nil {
+		return 0, err
+	}
+	return lat.Size(), nil
+}

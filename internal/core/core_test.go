@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, a := range Algorithms() {
+		got, err := ParseAlgorithm(string(a))
+		if err != nil || got != a {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", a, got, err)
+		}
+	}
+	if got, err := ParseAlgorithm(""); err != nil || got != Mondrian {
+		t.Errorf("ParseAlgorithm(\"\") = %v, %v", got, err)
+	}
+	if _, err := ParseAlgorithm("bogus"); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	hs := synth.HospitalHierarchies()
+	cases := []Config{
+		{Algorithm: "bogus", K: 2},
+		{Algorithm: Mondrian, K: 0},
+		{Algorithm: Anatomy, L: 1},
+		{Algorithm: Mondrian, K: 2, T: 1.5},
+		{Algorithm: Mondrian, K: 2, MaxSuppression: 2},
+		{Algorithm: Datafly, K: 2}, // needs hierarchies
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); !errors.Is(err, ErrConfig) {
+			t.Errorf("case %d: error = %v", i, err)
+		}
+	}
+	a, err := New(Config{Algorithm: Datafly, K: 2, Hierarchies: hs})
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if a.Config().Algorithm != Datafly {
+		t.Errorf("Config() = %+v", a.Config())
+	}
+	// Recursive diversity defaults C to 3.
+	a, err = New(Config{Algorithm: Mondrian, K: 2, L: 2, DiversityMode: RecursiveDiversity, Sensitive: "diagnosis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Config().C != 3 {
+		t.Errorf("default C = %v", a.Config().C)
+	}
+}
+
+func TestAnonymizeMicrodataAlgorithms(t *testing.T) {
+	tbl := synth.Hospital(600, 1)
+	hs := synth.HospitalHierarchies()
+	qi := []string{"age", "zip", "sex"}
+	for _, alg := range []Algorithm{Mondrian, Datafly, Samarati, Incognito, TopDown, KMember} {
+		cfg := Config{
+			Algorithm:        alg,
+			K:                5,
+			QuasiIdentifiers: qi,
+			Hierarchies:      hs,
+			MaxSuppression:   0.05,
+		}
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: New: %v", alg, err)
+		}
+		rel, err := a.Anonymize(tbl)
+		if err != nil {
+			t.Fatalf("%s: Anonymize: %v", alg, err)
+		}
+		if rel.Table == nil {
+			t.Fatalf("%s: nil release table", alg)
+		}
+		if rel.Table.Schema().Has("name") {
+			t.Errorf("%s: direct identifier not dropped", alg)
+		}
+		if rel.Measured.K < 5 {
+			t.Errorf("%s: measured k = %d", alg, rel.Measured.K)
+		}
+		if rel.Measured.ProsecutorMaxRisk > 1.0/5+1e-9 {
+			t.Errorf("%s: prosecutor risk %v above 1/k", alg, rel.Measured.ProsecutorMaxRisk)
+		}
+		if rel.Measured.NCP < 0 || rel.Measured.NCP > 1 {
+			t.Errorf("%s: NCP %v out of range", alg, rel.Measured.NCP)
+		}
+		ok, failed, err := a.Verify(rel.Table)
+		if err != nil || !ok {
+			t.Errorf("%s: Verify = %v, %q, %v", alg, ok, failed, err)
+		}
+	}
+}
+
+func TestAnonymizeWithDiversityAndCloseness(t *testing.T) {
+	tbl := synth.Hospital(1000, 2)
+	a, err := New(Config{
+		Algorithm:        Mondrian,
+		K:                5,
+		L:                2,
+		T:                0.4,
+		Sensitive:        "diagnosis",
+		QuasiIdentifiers: []string{"age", "zip", "sex"},
+		Hierarchies:      synth.HospitalHierarchies(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := a.Anonymize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Measured.DistinctL < 2 {
+		t.Errorf("measured distinct l = %d", rel.Measured.DistinctL)
+	}
+	if rel.Measured.MaxEMD > 0.4+1e-9 {
+		t.Errorf("measured max EMD = %v", rel.Measured.MaxEMD)
+	}
+	ok, failed, err := a.Verify(rel.Table)
+	if err != nil || !ok {
+		t.Errorf("Verify = %v, %q, %v", ok, failed, err)
+	}
+}
+
+func TestAnonymizeEntropyAndRecursiveModes(t *testing.T) {
+	tbl := synth.Hospital(800, 3)
+	for _, mode := range []DiversityMode{EntropyDiversity, RecursiveDiversity} {
+		a, err := New(Config{
+			Algorithm:        Mondrian,
+			K:                4,
+			L:                2,
+			DiversityMode:    mode,
+			Sensitive:        "diagnosis",
+			QuasiIdentifiers: []string{"age", "zip", "sex"},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		rel, err := a.Anonymize(tbl)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if rel.Measured.K < 4 {
+			t.Errorf("%s: measured k = %d", mode, rel.Measured.K)
+		}
+	}
+	// Unknown mode is rejected at Anonymize time via extraCriteria.
+	a, err := New(Config{Algorithm: Mondrian, K: 2, L: 2, DiversityMode: "bogus", Sensitive: "diagnosis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Anonymize(tbl); !errors.Is(err, ErrConfig) {
+		t.Errorf("bogus diversity mode error = %v", err)
+	}
+}
+
+func TestAnonymizeAnatomy(t *testing.T) {
+	tbl := synth.Hospital(800, 4)
+	a, err := New(Config{Algorithm: Anatomy, L: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := a.Anonymize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Table != nil {
+		t.Error("anatomy should not produce a single microdata table")
+	}
+	if rel.QIT == nil || rel.ST == nil || rel.Anatomy == nil {
+		t.Fatal("anatomy release missing QIT/ST")
+	}
+	if rel.QIT.Len() != tbl.Len() {
+		t.Errorf("QIT rows = %d", rel.QIT.Len())
+	}
+}
+
+func TestLatticeSizeAndPrecision(t *testing.T) {
+	hs := synth.HospitalHierarchies()
+	a, err := New(Config{Algorithm: Datafly, K: 2, Hierarchies: hs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := a.LatticeSize([]string{"age", "sex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 6*2 {
+		t.Errorf("LatticeSize = %d", size)
+	}
+	p, err := a.FullDomainPrecision([]int{5, 1}, []string{"age", "sex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("full generalization precision = %v", p)
+	}
+	noH, _ := New(Config{Algorithm: Mondrian, K: 2})
+	if _, err := noH.LatticeSize([]string{"age"}); !errors.Is(err, ErrConfig) {
+		t.Errorf("LatticeSize without hierarchies = %v", err)
+	}
+	if _, err := noH.FullDomainPrecision([]int{1}, []string{"age"}); !errors.Is(err, ErrConfig) {
+		t.Errorf("precision without hierarchies = %v", err)
+	}
+}
+
+func TestSensitiveDefaultsAndLDiversityWithoutSensitive(t *testing.T) {
+	tbl := synth.Hospital(300, 5)
+	// Drop the sensitive column to provoke the error path.
+	plain, err := tbl.Project("age", "zip", "sex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{Algorithm: Mondrian, K: 2, L: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Anonymize(plain); !errors.Is(err, ErrConfig) {
+		t.Errorf("l-diversity without sensitive attribute error = %v", err)
+	}
+	// Without L it works and skips the sensitive measurements.
+	a2, _ := New(Config{Algorithm: Mondrian, K: 2})
+	rel, err := a2.Anonymize(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Measured.DistinctL != 0 {
+		t.Errorf("DistinctL measured without sensitive attribute: %d", rel.Measured.DistinctL)
+	}
+}

@@ -1,0 +1,128 @@
+// Package dataset provides the in-memory tabular data model used throughout
+// the PPDP library: schemas, typed attributes, row-oriented tables,
+// equivalence-class partitioning, projections, sampling and CSV interchange.
+//
+// The model follows the conventions of the privacy-preserving data publishing
+// literature. Every attribute carries a Kind that describes its disclosure
+// role (identifier, quasi-identifier, sensitive, insensitive) and a Type that
+// describes how its values are interpreted (categorical or numeric). Values
+// are stored as strings; numeric attributes are parsed on demand, which keeps
+// the table representation uniform across original, generalized and perturbed
+// releases (a generalized numeric value such as "[20-29]" is no longer a
+// number).
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind describes the disclosure role an attribute plays during publishing.
+type Kind int
+
+const (
+	// Insensitive attributes carry no re-identification or disclosure risk
+	// and are released unchanged.
+	Insensitive Kind = iota
+	// Identifier attributes (name, SSN, phone) uniquely identify a person
+	// and must be removed before release.
+	Identifier
+	// QuasiIdentifier attributes (age, zip, sex, ...) do not identify a
+	// person on their own but can be linked with external data.
+	QuasiIdentifier
+	// Sensitive attributes (diagnosis, salary, ...) are the values an
+	// adversary must not be able to associate with an individual.
+	Sensitive
+)
+
+// String returns the conventional lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Insensitive:
+		return "insensitive"
+	case Identifier:
+		return "identifier"
+	case QuasiIdentifier:
+		return "quasi-identifier"
+	case Sensitive:
+		return "sensitive"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a textual kind (as used in CLI flags and config files)
+// into a Kind. Recognized spellings are case-insensitive and include the
+// common abbreviations "id", "qi" and "sa".
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "insensitive", "none", "":
+		return Insensitive, nil
+	case "identifier", "id":
+		return Identifier, nil
+	case "quasi-identifier", "quasi", "qi":
+		return QuasiIdentifier, nil
+	case "sensitive", "sa":
+		return Sensitive, nil
+	default:
+		return Insensitive, fmt.Errorf("dataset: unknown attribute kind %q", s)
+	}
+}
+
+// Type describes how attribute values are interpreted.
+type Type int
+
+const (
+	// Categorical values are opaque labels compared for equality and
+	// generalized through a value generalization hierarchy.
+	Categorical Type = iota
+	// Numeric values parse as floating point numbers and may additionally
+	// be generalized into intervals.
+	Numeric
+)
+
+// String returns the conventional lowercase name of the type.
+func (t Type) String() string {
+	switch t {
+	case Categorical:
+		return "categorical"
+	case Numeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// ParseType converts a textual type into a Type.
+func ParseType(s string) (Type, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "categorical", "cat", "string", "":
+		return Categorical, nil
+	case "numeric", "num", "number", "continuous":
+		return Numeric, nil
+	default:
+		return Categorical, fmt.Errorf("dataset: unknown attribute type %q", s)
+	}
+}
+
+// Attribute describes a single column of a table.
+type Attribute struct {
+	// Name is the column name; it must be unique within a schema.
+	Name string
+	// Kind is the disclosure role of the column.
+	Kind Kind
+	// Type is the value interpretation of the column.
+	Type Type
+}
+
+// IsQuasiIdentifier reports whether the attribute is part of the
+// quasi-identifier.
+func (a Attribute) IsQuasiIdentifier() bool { return a.Kind == QuasiIdentifier }
+
+// IsSensitive reports whether the attribute is a sensitive attribute.
+func (a Attribute) IsSensitive() bool { return a.Kind == Sensitive }
+
+// String implements fmt.Stringer.
+func (a Attribute) String() string {
+	return fmt.Sprintf("%s(%s,%s)", a.Name, a.Type, a.Kind)
+}

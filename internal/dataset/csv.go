@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteCSV writes the table to w as RFC 4180 CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.schema.Names()); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	for i, r := range t.rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to the named file, creating or truncating it.
+func (t *Table) WriteCSVFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("dataset: close %s: %w", path, cerr)
+		}
+	}()
+	return t.WriteCSV(f)
+}
+
+// ReadCSV reads a table from r. The first record must be a header naming
+// columns in schema order; the header is validated against the schema.
+func ReadCSV(schema *Schema, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.Len()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	names := schema.Names()
+	for i, h := range header {
+		if h != names[i] {
+			return nil, fmt.Errorf("dataset: header column %d is %q, want %q", i, h, names[i])
+		}
+	}
+	t := NewTable(schema)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read row: %w", err)
+		}
+		if err := t.Append(Row(rec)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadCSVFile reads a table from the named CSV file.
+func ReadCSVFile(schema *Schema, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(schema, f)
+}
+
+// ReadCSVInferred reads a table from r without a pre-declared schema: the
+// header names become categorical, insensitive attributes. Callers normally
+// re-type the result with Schema.WithKinds and Table.WithSchema afterwards.
+func ReadCSVInferred(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	attrs := make([]Attribute, len(header))
+	for i, h := range header {
+		attrs[i] = Attribute{Name: h, Kind: Insensitive, Type: Categorical}
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(schema)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read row: %w", err)
+		}
+		if err := t.Append(Row(rec)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

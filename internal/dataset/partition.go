@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"sort"
+	"strings"
+)
+
+// EquivalenceClass is a group of row indices that share identical values on a
+// set of grouping columns (normally the quasi-identifier). The Signature is
+// the joined grouping-value key that defines the class.
+type EquivalenceClass struct {
+	// Signature is the unit-separator-joined grouping values of the class.
+	Signature string
+	// Values are the shared grouping values, in grouping-column order.
+	Values []string
+	// Rows are the indices (into the grouped table) of the class members.
+	Rows []int
+}
+
+// Size returns the number of records in the class.
+func (ec EquivalenceClass) Size() int { return len(ec.Rows) }
+
+// signatureSep separates values inside an equivalence-class signature. The
+// ASCII unit separator cannot appear in realistic attribute values.
+const signatureSep = "\x1f"
+
+// Signature joins grouping values into an equivalence-class key.
+func Signature(values []string) string { return strings.Join(values, signatureSep) }
+
+// SplitSignature splits an equivalence-class key back into its values.
+func SplitSignature(sig string) []string { return strings.Split(sig, signatureSep) }
+
+// GroupBy partitions the table into equivalence classes over the named
+// columns. Classes are returned in deterministic order (sorted by signature)
+// and each class lists its member row indices in table order.
+func (t *Table) GroupBy(columns ...string) ([]EquivalenceClass, error) {
+	idx := make([]int, len(columns))
+	for i, c := range columns {
+		ci, err := t.schema.Index(c)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = ci
+	}
+	groups := make(map[string][]int)
+	for r, row := range t.rows {
+		key := make([]string, len(idx))
+		for i, c := range idx {
+			key[i] = row[c]
+		}
+		sig := Signature(key)
+		groups[sig] = append(groups[sig], r)
+	}
+	out := make([]EquivalenceClass, 0, len(groups))
+	for sig, rows := range groups {
+		out = append(out, EquivalenceClass{
+			Signature: sig,
+			Values:    SplitSignature(sig),
+			Rows:      rows,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Signature < out[j].Signature })
+	return out, nil
+}
+
+// GroupByQuasiIdentifier partitions the table into equivalence classes over
+// all quasi-identifier columns of its schema.
+func (t *Table) GroupByQuasiIdentifier() ([]EquivalenceClass, error) {
+	return t.GroupBy(t.schema.QuasiIdentifierNames()...)
+}
+
+// ClassSizes returns the multiset of equivalence-class sizes, sorted
+// ascending. It is a convenient summary for k-anonymity checks and risk
+// metrics.
+func ClassSizes(classes []EquivalenceClass) []int {
+	out := make([]int, len(classes))
+	for i, c := range classes {
+		out[i] = c.Size()
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MinClassSize returns the smallest equivalence-class size, or 0 if there are
+// no classes.
+func MinClassSize(classes []EquivalenceClass) int {
+	min := 0
+	for i, c := range classes {
+		if i == 0 || c.Size() < min {
+			min = c.Size()
+		}
+	}
+	return min
+}
+
+// AverageClassSize returns the mean equivalence-class size, or 0 if there are
+// no classes.
+func AverageClassSize(classes []EquivalenceClass) float64 {
+	if len(classes) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range classes {
+		total += c.Size()
+	}
+	return float64(total) / float64(len(classes))
+}
+
+// SensitiveDistribution returns, for one equivalence class, the absolute
+// frequency of each value of the named sensitive column among the class
+// members.
+func (t *Table) SensitiveDistribution(class EquivalenceClass, sensitive string) (map[string]int, error) {
+	col, err := t.schema.Index(sensitive)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int)
+	for _, r := range class.Rows {
+		row, err := t.Row(r)
+		if err != nil {
+			return nil, err
+		}
+		out[row[col]]++
+	}
+	return out, nil
+}

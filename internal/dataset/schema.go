@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common schema errors.
+var (
+	// ErrNoSuchAttribute is returned when a column name is not present in a
+	// schema.
+	ErrNoSuchAttribute = errors.New("dataset: no such attribute")
+	// ErrDuplicateAttribute is returned when a schema is constructed with
+	// two columns of the same name.
+	ErrDuplicateAttribute = errors.New("dataset: duplicate attribute name")
+	// ErrEmptySchema is returned when a schema with no attributes is
+	// constructed.
+	ErrEmptySchema = errors.New("dataset: schema has no attributes")
+)
+
+// Schema is an ordered, immutable collection of attributes.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given attributes. Attribute names must
+// be non-empty and unique.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, ErrEmptySchema
+	}
+	s := &Schema{
+		attrs: make([]Attribute, len(attrs)),
+		index: make(map[string]int, len(attrs)),
+	}
+	copy(s.attrs, attrs)
+	for i, a := range s.attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("dataset: attribute %d has empty name", i)
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateAttribute, a.Name)
+		}
+		s.index[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. It is intended for
+// package-level schema literals in tests and generators.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attribute returns the attribute at position i.
+func (s *Schema) Attribute(i int) Attribute { return s.attrs[i] }
+
+// Attributes returns a copy of all attributes in order.
+func (s *Schema) Attributes() []Attribute {
+	out := make([]Attribute, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Index returns the position of the named attribute, or an error if it is not
+// part of the schema.
+func (s *Schema) Index(name string) (int, error) {
+	i, ok := s.index[name]
+	if !ok {
+		return -1, fmt.Errorf("%w: %q", ErrNoSuchAttribute, name)
+	}
+	return i, nil
+}
+
+// MustIndex is like Index but panics if the attribute does not exist.
+func (s *Schema) MustIndex(name string) int {
+	i, err := s.Index(name)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Has reports whether the named attribute is part of the schema.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.index[name]
+	return ok
+}
+
+// ByName returns the named attribute.
+func (s *Schema) ByName(name string) (Attribute, error) {
+	i, err := s.Index(name)
+	if err != nil {
+		return Attribute{}, err
+	}
+	return s.attrs[i], nil
+}
+
+// Names returns all attribute names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// indicesOfKind returns the column positions whose Kind matches k.
+func (s *Schema) indicesOfKind(k Kind) []int {
+	var out []int
+	for i, a := range s.attrs {
+		if a.Kind == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// QuasiIdentifierIndices returns the positions of all quasi-identifier
+// columns, in schema order.
+func (s *Schema) QuasiIdentifierIndices() []int { return s.indicesOfKind(QuasiIdentifier) }
+
+// SensitiveIndices returns the positions of all sensitive columns.
+func (s *Schema) SensitiveIndices() []int { return s.indicesOfKind(Sensitive) }
+
+// IdentifierIndices returns the positions of all direct-identifier columns.
+func (s *Schema) IdentifierIndices() []int { return s.indicesOfKind(Identifier) }
+
+// QuasiIdentifierNames returns the names of all quasi-identifier columns.
+func (s *Schema) QuasiIdentifierNames() []string {
+	var out []string
+	for _, i := range s.QuasiIdentifierIndices() {
+		out = append(out, s.attrs[i].Name)
+	}
+	return out
+}
+
+// SensitiveNames returns the names of all sensitive columns.
+func (s *Schema) SensitiveNames() []string {
+	var out []string
+	for _, i := range s.SensitiveIndices() {
+		out = append(out, s.attrs[i].Name)
+	}
+	return out
+}
+
+// WithKinds returns a copy of the schema in which the listed attributes have
+// their Kind replaced. Attributes not mentioned keep their current kind. It
+// is used to reconfigure which columns form the quasi-identifier without
+// rebuilding tables.
+func (s *Schema) WithKinds(kinds map[string]Kind) (*Schema, error) {
+	attrs := s.Attributes()
+	seen := make(map[string]bool, len(kinds))
+	for i := range attrs {
+		if k, ok := kinds[attrs[i].Name]; ok {
+			attrs[i].Kind = k
+			seen[attrs[i].Name] = true
+		}
+	}
+	for name := range kinds {
+		if !seen[name] {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchAttribute, name)
+		}
+	}
+	return NewSchema(attrs...)
+}
+
+// Project returns a new schema containing only the named attributes, in the
+// given order.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	attrs := make([]Attribute, 0, len(names))
+	for _, n := range names {
+		a, err := s.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a)
+	}
+	return NewSchema(attrs...)
+}
+
+// Equal reports whether two schemas have identical attributes in identical
+// order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if len(s.attrs) != len(o.attrs) {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,354 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Common table errors.
+var (
+	// ErrRowArity is returned when a row does not have one value per schema
+	// attribute.
+	ErrRowArity = errors.New("dataset: row arity does not match schema")
+	// ErrRowIndex is returned when a row index is out of range.
+	ErrRowIndex = errors.New("dataset: row index out of range")
+	// ErrNotNumeric is returned when numeric parsing is requested for a
+	// value that is not a number (for example a generalized interval).
+	ErrNotNumeric = errors.New("dataset: value is not numeric")
+	// ErrEmptyTable is returned by operations that require at least one row.
+	ErrEmptyTable = errors.New("dataset: table has no rows")
+)
+
+// SuppressedValue is the conventional marker used for fully suppressed cells.
+const SuppressedValue = "*"
+
+// Row is a single record: one string value per schema attribute, in schema
+// order.
+type Row []string
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is an ordered collection of rows sharing a schema. The zero value is
+// not usable; construct tables with NewTable or FromRows.
+type Table struct {
+	schema *Schema
+	rows   []Row
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(schema *Schema) *Table {
+	return &Table{schema: schema}
+}
+
+// FromRows builds a table from the given rows, validating arity. Rows are
+// copied.
+func FromRows(schema *Schema, rows []Row) (*Table, error) {
+	t := NewTable(schema)
+	for i, r := range rows {
+		if err := t.Append(r); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Append adds a row to the table. The row is copied.
+func (t *Table) Append(r Row) error {
+	if len(r) != t.schema.Len() {
+		return fmt.Errorf("%w: got %d values, want %d", ErrRowArity, len(r), t.schema.Len())
+	}
+	t.rows = append(t.rows, r.Clone())
+	return nil
+}
+
+// Row returns the i-th row. The returned slice is the table's backing storage
+// and must not be modified by callers; use SetValue to mutate.
+func (t *Table) Row(i int) (Row, error) {
+	if i < 0 || i >= len(t.rows) {
+		return nil, fmt.Errorf("%w: %d (table has %d rows)", ErrRowIndex, i, len(t.rows))
+	}
+	return t.rows[i], nil
+}
+
+// Value returns the value of column col in row i.
+func (t *Table) Value(i, col int) (string, error) {
+	r, err := t.Row(i)
+	if err != nil {
+		return "", err
+	}
+	if col < 0 || col >= len(r) {
+		return "", fmt.Errorf("dataset: column index %d out of range", col)
+	}
+	return r[col], nil
+}
+
+// SetValue overwrites the value of column col in row i.
+func (t *Table) SetValue(i, col int, v string) error {
+	r, err := t.Row(i)
+	if err != nil {
+		return err
+	}
+	if col < 0 || col >= len(r) {
+		return fmt.Errorf("dataset: column index %d out of range", col)
+	}
+	r[col] = v
+	return nil
+}
+
+// Float returns the value of column col in row i parsed as a float64.
+func (t *Table) Float(i, col int) (float64, error) {
+	v, err := t.Value(i, col)
+	if err != nil {
+		return 0, err
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q", ErrNotNumeric, v)
+	}
+	return f, nil
+}
+
+// Clone returns a deep copy of the table (same schema pointer, copied rows).
+func (t *Table) Clone() *Table {
+	out := &Table{schema: t.schema, rows: make([]Row, len(t.rows))}
+	for i, r := range t.rows {
+		out.rows[i] = r.Clone()
+	}
+	return out
+}
+
+// Column returns a copy of all values of the named column.
+func (t *Table) Column(name string) ([]string, error) {
+	col, err := t.schema.Index(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r[col]
+	}
+	return out, nil
+}
+
+// Domain returns the distinct values of the named column in sorted order.
+func (t *Table) Domain(name string) ([]string, error) {
+	vals, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]struct{}, len(vals))
+	for _, v := range vals {
+		set[v] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Frequencies returns the absolute value counts of the named column.
+func (t *Table) Frequencies(name string) (map[string]int, error) {
+	vals, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int)
+	for _, v := range vals {
+		out[v]++
+	}
+	return out, nil
+}
+
+// NumericRange returns the minimum and maximum of a numeric column. Values
+// that do not parse as numbers (for example suppressed cells) are skipped; if
+// no value parses, ErrNotNumeric is returned.
+func (t *Table) NumericRange(name string) (min, max float64, err error) {
+	col, err := t.schema.Index(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	min, max = math.Inf(1), math.Inf(-1)
+	found := false
+	for i := range t.rows {
+		f, ferr := strconv.ParseFloat(strings.TrimSpace(t.rows[i][col]), 64)
+		if ferr != nil {
+			continue
+		}
+		found = true
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	if !found {
+		return 0, 0, fmt.Errorf("%w: column %q has no numeric values", ErrNotNumeric, name)
+	}
+	return min, max, nil
+}
+
+// Project returns a new table containing only the named columns, in order.
+func (t *Table) Project(names ...string) (*Table, error) {
+	schema, err := t.schema.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(names))
+	for i, n := range names {
+		idx[i] = t.schema.MustIndex(n)
+	}
+	out := NewTable(schema)
+	out.rows = make([]Row, len(t.rows))
+	for i, r := range t.rows {
+		nr := make(Row, len(idx))
+		for j, c := range idx {
+			nr[j] = r[c]
+		}
+		out.rows[i] = nr
+	}
+	return out, nil
+}
+
+// DropIdentifiers returns a copy of the table with all direct-identifier
+// columns removed. This is always the first step of a release pipeline.
+func (t *Table) DropIdentifiers() (*Table, error) {
+	var keep []string
+	for _, a := range t.schema.Attributes() {
+		if a.Kind != Identifier {
+			keep = append(keep, a.Name)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, ErrEmptySchema
+	}
+	return t.Project(keep...)
+}
+
+// Select returns a new table containing the rows at the given indices (in the
+// given order). Indices may repeat.
+func (t *Table) Select(indices []int) (*Table, error) {
+	out := NewTable(t.schema)
+	out.rows = make([]Row, 0, len(indices))
+	for _, i := range indices {
+		r, err := t.Row(i)
+		if err != nil {
+			return nil, err
+		}
+		out.rows = append(out.rows, r.Clone())
+	}
+	return out, nil
+}
+
+// Filter returns the indices of all rows for which keep returns true.
+func (t *Table) Filter(keep func(Row) bool) []int {
+	var out []int
+	for i, r := range t.rows {
+		if keep(r) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Sample returns a new table with n rows drawn without replacement using rng.
+// If n >= Len() a clone of the whole table is returned.
+func (t *Table) Sample(n int, rng *rand.Rand) *Table {
+	if n >= t.Len() {
+		return t.Clone()
+	}
+	perm := rng.Perm(t.Len())[:n]
+	sort.Ints(perm)
+	out, _ := t.Select(perm)
+	return out
+}
+
+// Split partitions the table's rows into two tables: the first containing a
+// fraction frac of rows (rounded down), the second the remainder. The split
+// is randomized with rng; it is used for train/test evaluation of
+// classification utility.
+func (t *Table) Split(frac float64, rng *rand.Rand) (*Table, *Table) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(float64(t.Len()) * frac)
+	perm := rng.Perm(t.Len())
+	first, _ := t.Select(perm[:n])
+	second, _ := t.Select(perm[n:])
+	return first, second
+}
+
+// WithSchema returns a shallow re-typed view of the table under a different
+// schema with the same arity. It is used when attribute kinds are
+// reconfigured (for example changing which columns are quasi-identifiers).
+func (t *Table) WithSchema(s *Schema) (*Table, error) {
+	if s.Len() != t.schema.Len() {
+		return nil, fmt.Errorf("dataset: schema arity %d does not match table arity %d", s.Len(), t.schema.Len())
+	}
+	return &Table{schema: s, rows: t.rows}, nil
+}
+
+// AppendTable appends all rows of other (which must share an equal schema
+// layout) to the table.
+func (t *Table) AppendTable(other *Table) error {
+	if other.schema.Len() != t.schema.Len() {
+		return fmt.Errorf("dataset: cannot append table with arity %d to table with arity %d",
+			other.schema.Len(), t.schema.Len())
+	}
+	for _, r := range other.rows {
+		t.rows = append(t.rows, r.Clone())
+	}
+	return nil
+}
+
+// Rows returns a copy of all rows. It is intended for tests and small tables;
+// algorithm code should iterate with Row to avoid the copy.
+func (t *Table) Rows() []Row {
+	out := make([]Row, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// String renders a compact, human-readable preview of the table (header plus
+// up to 10 rows). It is meant for debugging and example output, not for
+// serialization; use WriteCSV for that.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.schema.Names(), " | "))
+	b.WriteString("\n")
+	limit := len(t.rows)
+	if limit > 10 {
+		limit = 10
+	}
+	for i := 0; i < limit; i++ {
+		b.WriteString(strings.Join(t.rows[i], " | "))
+		b.WriteString("\n")
+	}
+	if len(t.rows) > limit {
+		fmt.Fprintf(&b, "... (%d more rows)\n", len(t.rows)-limit)
+	}
+	return b.String()
+}

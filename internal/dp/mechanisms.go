@@ -1,0 +1,310 @@
+// Package dp implements the differential privacy primitives the PPDP survey
+// covers as the "uninformative principle" end of the spectrum: the Laplace,
+// geometric and exponential mechanisms, randomized response, differentially
+// private histograms and contingency tables, marginal-based synthetic data
+// generation, and a privacy-budget accountant for sequential and parallel
+// composition.
+//
+// All randomness is drawn from an injected *rand.Rand so experiments are
+// reproducible; production callers can seed from crypto/rand.
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Common errors.
+var (
+	// ErrEpsilon is returned for non-positive privacy budgets.
+	ErrEpsilon = errors.New("dp: epsilon must be positive")
+	// ErrSensitivity is returned for non-positive sensitivities.
+	ErrSensitivity = errors.New("dp: sensitivity must be positive")
+	// ErrEmptyChoices is returned when the exponential mechanism is invoked
+	// with no candidates.
+	ErrEmptyChoices = errors.New("dp: exponential mechanism needs at least one candidate")
+	// ErrBudgetExhausted is returned by the accountant when a request would
+	// exceed the total budget.
+	ErrBudgetExhausted = errors.New("dp: privacy budget exhausted")
+)
+
+// LaplaceMechanism adds Laplace noise calibrated to sensitivity/epsilon.
+type LaplaceMechanism struct {
+	// Epsilon is the privacy budget consumed per invocation.
+	Epsilon float64
+	// Sensitivity is the L1 sensitivity of the query being perturbed.
+	Sensitivity float64
+	// Rng is the noise source.
+	Rng *rand.Rand
+}
+
+// NewLaplace validates parameters and builds a Laplace mechanism.
+func NewLaplace(epsilon, sensitivity float64, rng *rand.Rand) (*LaplaceMechanism, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrEpsilon, epsilon)
+	}
+	if sensitivity <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrSensitivity, sensitivity)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &LaplaceMechanism{Epsilon: epsilon, Sensitivity: sensitivity, Rng: rng}, nil
+}
+
+// Scale returns the Laplace noise scale b = sensitivity / epsilon.
+func (m *LaplaceMechanism) Scale() float64 { return m.Sensitivity / m.Epsilon }
+
+// Release perturbs a single true value.
+func (m *LaplaceMechanism) Release(trueValue float64) float64 {
+	return trueValue + laplaceNoise(m.Rng, m.Scale())
+}
+
+// ReleaseAll perturbs a vector of values, consuming the same epsilon for the
+// whole vector only when the underlying cells partition the data (parallel
+// composition); callers are responsible for accounting.
+func (m *LaplaceMechanism) ReleaseAll(trueValues []float64) []float64 {
+	out := make([]float64, len(trueValues))
+	for i, v := range trueValues {
+		out[i] = m.Release(v)
+	}
+	return out
+}
+
+// laplaceNoise samples Laplace(0, b) via inverse transform sampling.
+func laplaceNoise(rng *rand.Rand, b float64) float64 {
+	u := rng.Float64() - 0.5
+	return -b * sign(u) * math.Log(1-2*math.Abs(u))
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// GeometricMechanism adds two-sided geometric (discrete Laplace) noise,
+// appropriate for integer-valued counting queries.
+type GeometricMechanism struct {
+	Epsilon     float64
+	Sensitivity float64
+	Rng         *rand.Rand
+}
+
+// NewGeometric validates parameters and builds a geometric mechanism.
+func NewGeometric(epsilon, sensitivity float64, rng *rand.Rand) (*GeometricMechanism, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrEpsilon, epsilon)
+	}
+	if sensitivity <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrSensitivity, sensitivity)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &GeometricMechanism{Epsilon: epsilon, Sensitivity: sensitivity, Rng: rng}, nil
+}
+
+// Release perturbs a single integer count.
+func (m *GeometricMechanism) Release(trueValue int64) int64 {
+	alpha := math.Exp(-m.Epsilon / m.Sensitivity)
+	// Sample two geometric variables and take the difference, which yields
+	// the two-sided geometric distribution.
+	g1 := geometric(m.Rng, alpha)
+	g2 := geometric(m.Rng, alpha)
+	return trueValue + int64(g1-g2)
+}
+
+// geometric samples the number of failures before the first success of a
+// Bernoulli(1-alpha) process.
+func geometric(rng *rand.Rand, alpha float64) int {
+	if alpha <= 0 {
+		return 0
+	}
+	// Inverse transform: floor(log(U) / log(alpha)).
+	u := rng.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return int(math.Floor(math.Log(u) / math.Log(alpha)))
+}
+
+// Candidate is one option scored for the exponential mechanism.
+type Candidate struct {
+	// Value identifies the candidate to the caller.
+	Value string
+	// Utility is the candidate's utility score (higher is better).
+	Utility float64
+}
+
+// Exponential selects one candidate with probability proportional to
+// exp(epsilon * utility / (2 * sensitivity)), where sensitivity bounds how
+// much any single record can change a utility score.
+func Exponential(cands []Candidate, epsilon, sensitivity float64, rng *rand.Rand) (Candidate, error) {
+	if len(cands) == 0 {
+		return Candidate{}, ErrEmptyChoices
+	}
+	if epsilon <= 0 {
+		return Candidate{}, fmt.Errorf("%w: %v", ErrEpsilon, epsilon)
+	}
+	if sensitivity <= 0 {
+		return Candidate{}, fmt.Errorf("%w: %v", ErrSensitivity, sensitivity)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	// Subtract the max utility for numerical stability.
+	maxU := cands[0].Utility
+	for _, c := range cands {
+		if c.Utility > maxU {
+			maxU = c.Utility
+		}
+	}
+	weights := make([]float64, len(cands))
+	total := 0.0
+	for i, c := range cands {
+		weights[i] = math.Exp(epsilon * (c.Utility - maxU) / (2 * sensitivity))
+		total += weights[i]
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return cands[i], nil
+		}
+	}
+	return cands[len(cands)-1], nil
+}
+
+// Accountant tracks privacy-budget consumption under sequential composition,
+// with support for marking groups of releases as parallel (disjoint data),
+// which consume only the maximum epsilon of the group.
+type Accountant struct {
+	total float64
+	spent float64
+}
+
+// NewAccountant creates an accountant with the given total budget.
+func NewAccountant(total float64) (*Accountant, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrEpsilon, total)
+	}
+	return &Accountant{total: total}, nil
+}
+
+// Spend records a sequential release of the given epsilon.
+func (a *Accountant) Spend(epsilon float64) error {
+	if epsilon <= 0 {
+		return fmt.Errorf("%w: %v", ErrEpsilon, epsilon)
+	}
+	if a.spent+epsilon > a.total+1e-12 {
+		return fmt.Errorf("%w: spent %.4f + requested %.4f > total %.4f", ErrBudgetExhausted, a.spent, epsilon, a.total)
+	}
+	a.spent += epsilon
+	return nil
+}
+
+// SpendParallel records a group of releases over disjoint partitions of the
+// data; under parallel composition only the maximum epsilon is consumed.
+func (a *Accountant) SpendParallel(epsilons ...float64) error {
+	if len(epsilons) == 0 {
+		return nil
+	}
+	max := 0.0
+	for _, e := range epsilons {
+		if e <= 0 {
+			return fmt.Errorf("%w: %v", ErrEpsilon, e)
+		}
+		if e > max {
+			max = e
+		}
+	}
+	return a.Spend(max)
+}
+
+// Spent returns the consumed budget.
+func (a *Accountant) Spent() float64 { return a.spent }
+
+// Remaining returns the unconsumed budget.
+func (a *Accountant) Remaining() float64 { return a.total - a.spent }
+
+// RandomizedResponse implements generalized randomized response over a
+// categorical domain: with probability p = e^ε / (e^ε + m - 1) the true value
+// is reported, otherwise one of the other m-1 values is reported uniformly.
+// It satisfies ε-local differential privacy.
+type RandomizedResponse struct {
+	Epsilon float64
+	Domain  []string
+	Rng     *rand.Rand
+}
+
+// NewRandomizedResponse validates parameters and builds the perturbation.
+func NewRandomizedResponse(epsilon float64, domain []string, rng *rand.Rand) (*RandomizedResponse, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrEpsilon, epsilon)
+	}
+	if len(domain) < 2 {
+		return nil, errors.New("dp: randomized response needs a domain of at least two values")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	d := append([]string(nil), domain...)
+	sort.Strings(d)
+	return &RandomizedResponse{Epsilon: epsilon, Domain: d, Rng: rng}, nil
+}
+
+// TruthProbability returns p, the probability of reporting the true value.
+func (rr *RandomizedResponse) TruthProbability() float64 {
+	m := float64(len(rr.Domain))
+	e := math.Exp(rr.Epsilon)
+	return e / (e + m - 1)
+}
+
+// Perturb reports a randomized value for the true value. Values outside the
+// domain are treated as the first domain value.
+func (rr *RandomizedResponse) Perturb(trueValue string) string {
+	p := rr.TruthProbability()
+	if rr.Rng.Float64() < p {
+		return trueValue
+	}
+	// Uniform among the other values.
+	for {
+		v := rr.Domain[rr.Rng.Intn(len(rr.Domain))]
+		if v != trueValue {
+			return v
+		}
+	}
+}
+
+// PerturbAll perturbs a column of values.
+func (rr *RandomizedResponse) PerturbAll(values []string) []string {
+	out := make([]string, len(values))
+	for i, v := range values {
+		out[i] = rr.Perturb(v)
+	}
+	return out
+}
+
+// EstimateFrequencies converts observed (perturbed) counts into unbiased
+// estimates of the true value frequencies: for each value v,
+// n̂_v = (c_v - n*q) / (p - q) where q = (1-p)/(m-1).
+func (rr *RandomizedResponse) EstimateFrequencies(perturbed []string) map[string]float64 {
+	n := float64(len(perturbed))
+	m := float64(len(rr.Domain))
+	p := rr.TruthProbability()
+	q := (1 - p) / (m - 1)
+	counts := make(map[string]int)
+	for _, v := range perturbed {
+		counts[v]++
+	}
+	out := make(map[string]float64, len(rr.Domain))
+	for _, v := range rr.Domain {
+		out[v] = (float64(counts[v]) - n*q) / (p - q)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package experiments implements the reproduction harness: one runner per
+// experiment in DESIGN.md (E1–E12), each regenerating the corresponding
+// comparison from the PPDP survey as a printable table of rows/series. The
+// CLI exposes them via `ppdp experiment <id>` and the repository-level
+// benchmarks wrap them in testing.B loops.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Rows overrides the dataset size (0 uses the experiment's default).
+	Rows int
+	// Seed makes the synthetic data and randomized sweeps reproducible.
+	Seed int64
+	// Quick shrinks parameter sweeps and dataset sizes so the run finishes
+	// in seconds; used by unit tests and iterative development.
+	Quick bool
+}
+
+// seed returns the configured seed or a default.
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+// rows returns the dataset size, preferring the override, then the quick
+// size, then the full default.
+func (o Options) rows(def, quick int) int {
+	if o.Rows > 0 {
+		return o.Rows
+	}
+	if o.Quick {
+		return quick
+	}
+	return def
+}
+
+// Report is the printable outcome of one experiment.
+type Report struct {
+	// ID is the experiment identifier (e.g. "E1").
+	ID string
+	// Title describes the regenerated table/figure.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the result series, one row per parameter/algorithm
+	// combination.
+	Rows [][]string
+	// Notes lists observations the experiment asserts about the shape of
+	// the results (who wins, direction of trends).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(values ...string) { r.Rows = append(r.Rows, values) }
+
+// AddNote appends a shape observation.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print renders the report as an aligned text table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			parts[i] = c + strings.Repeat(" ", pad)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(r.Header)
+	for _, row := range r.Rows {
+		printRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) (*Report, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"E1":  E1InfoLossVsK,
+	"E2":  E2RuntimeVsN,
+	"E3":  E3ClassificationVsK,
+	"E4":  E4LDiversity,
+	"E5":  E5TCloseness,
+	"E6":  E6AnatomyQueries,
+	"E7":  E7DeltaPresence,
+	"E8":  E8LinkageRisk,
+	"E9":  E9DPQueryError,
+	"E10": E10RandomizedResponse,
+	"E11": E11Dimensionality,
+	"E12": E12DPSynthetic,
+}
+
+// IDs lists all experiment identifiers in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric order: E1, E2, ..., E10, E11, E12.
+		return expNumber(out[i]) < expNumber(out[j])
+	})
+	return out
+}
+
+func expNumber(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// Run dispatches an experiment by id.
+func Run(id string, opt Options) (*Report, error) {
+	r, ok := registry[strings.ToUpper(strings.TrimSpace(id))]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(opt)
+}
+
+// RunAll executes every experiment in order, printing each report to w.
+func RunAll(opt Options, w io.Writer) error {
+	for _, id := range IDs() {
+		rep, err := Run(id, opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		rep.Print(w)
+	}
+	return nil
+}
+
+// f formats a float compactly for report rows.
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// i formats an int for report rows.
+func i(v int) string { return fmt.Sprintf("%d", v) }

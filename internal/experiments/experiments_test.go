@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickOpt keeps every experiment in unit-test territory.
+var quickOpt = Options{Quick: true, Seed: 7}
+
+func TestIDsAndDispatch(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 12 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if ids[0] != "E1" || ids[len(ids)-1] != "E12" {
+		t.Errorf("IDs not in numeric order: %v", ids)
+	}
+	if _, err := Run("nope", quickOpt); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// Case-insensitive dispatch.
+	rep, err := Run("e10", quickOpt)
+	if err != nil {
+		t.Fatalf("Run(e10): %v", err)
+	}
+	if rep.ID != "E10" {
+		t.Errorf("dispatched wrong experiment: %s", rep.ID)
+	}
+}
+
+func TestReportPrint(t *testing.T) {
+	rep := &Report{ID: "EX", Title: "demo", Header: []string{"a", "b"}}
+	rep.AddRow("1", "2")
+	rep.AddNote("shape holds: %v", true)
+	var buf bytes.Buffer
+	rep.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"EX", "demo", "a", "note: shape holds: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// column returns the values of the named column for rows matching the filter.
+func column(rep *Report, name string, keep func(row []string) bool) []string {
+	idx := -1
+	for i, h := range rep.Header {
+		if h == name {
+			idx = i
+		}
+	}
+	var out []string
+	for _, row := range rep.Rows {
+		if keep == nil || keep(row) {
+			out = append(out, row[idx])
+		}
+	}
+	return out
+}
+
+func toF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("not a float: %q", s)
+	}
+	return v
+}
+
+func TestE1ShapesHold(t *testing.T) {
+	rep, err := E1InfoLossVsK(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Mondrian's discernibility penalty must never exceed Datafly's at the
+	// same k (the multidimensional-vs-full-domain headline result), and its
+	// NCP must stay in the same ballpark or better.
+	for _, k := range kSweep(true) {
+		kStr := strconv.Itoa(k)
+		mondDM := column(rep, "discernibility", func(r []string) bool { return r[0] == kStr && r[1] == "mondrian" })
+		dataDM := column(rep, "discernibility", func(r []string) bool { return r[0] == kStr && r[1] == "datafly" })
+		mondNCP := column(rep, "NCP", func(r []string) bool { return r[0] == kStr && r[1] == "mondrian" })
+		dataNCP := column(rep, "NCP", func(r []string) bool { return r[0] == kStr && r[1] == "datafly" })
+		if len(mondDM) != 1 || len(dataDM) != 1 {
+			t.Fatalf("missing rows for k=%d", k)
+		}
+		if toF(t, mondDM[0]) > toF(t, dataDM[0])+1e-9 {
+			t.Errorf("k=%d: mondrian discernibility %s above datafly %s", k, mondDM[0], dataDM[0])
+		}
+		if toF(t, mondNCP[0]) > toF(t, dataNCP[0])+0.05 {
+			t.Errorf("k=%d: mondrian NCP %s far above datafly %s", k, mondNCP[0], dataNCP[0])
+		}
+	}
+}
+
+func TestE2Runs(t *testing.T) {
+	rep, err := E2RuntimeVsN(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 6 {
+		t.Errorf("too few rows: %d", len(rep.Rows))
+	}
+}
+
+func TestE3ShapesHold(t *testing.T) {
+	rep, err := E3ClassificationVsK(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := column(rep, "accuracy", func(r []string) bool { return r[1] == "naive-bayes" && r[0] != "raw" })
+	raw := column(rep, "accuracy", func(r []string) bool { return r[1] == "naive-bayes" && r[0] == "raw" })
+	if len(raw) != 1 || len(accs) == 0 {
+		t.Fatal("missing accuracy rows")
+	}
+	for _, a := range accs {
+		if toF(t, a) < 0.4 {
+			t.Errorf("anonymized accuracy %s collapsed", a)
+		}
+		if toF(t, a) > toF(t, raw[0])+0.08 {
+			t.Errorf("anonymized accuracy %s exceeds raw %s", a, raw[0])
+		}
+	}
+}
+
+func TestE4ShapesHold(t *testing.T) {
+	rep, err := E4LDiversity(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kOnly := column(rep, "fully-disclosed", func(r []string) bool { return r[0] == "k-anonymity only" })
+	l2 := column(rep, "fully-disclosed", func(r []string) bool { return r[0] == "distinct 2-diversity" })
+	if len(kOnly) != 1 || len(l2) != 1 {
+		t.Fatal("missing rows")
+	}
+	if toF(t, l2[0]) > 0 {
+		t.Errorf("2-diversity release still fully discloses %s of records", l2[0])
+	}
+	if toF(t, l2[0]) > toF(t, kOnly[0]) {
+		t.Errorf("l-diversity increased disclosure: %s vs %s", l2[0], kOnly[0])
+	}
+}
+
+func TestE5ShapesHold(t *testing.T) {
+	rep, err := E5TCloseness(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every explicit t-closeness row satisfies its own threshold.
+	for _, row := range rep.Rows {
+		if strings.HasSuffix(row[0], "-closeness") {
+			threshold := toF(t, strings.TrimSuffix(row[0], "-closeness"))
+			if toF(t, row[1]) > threshold+1e-9 {
+				t.Errorf("%s: max EMD %s exceeds threshold", row[0], row[1])
+			}
+		}
+	}
+}
+
+func TestE6ShapesHold(t *testing.T) {
+	rep, err := E6AnatomyQueries(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []string{"2", "4"} {
+		gen := column(rep, "mean-rel-error", func(r []string) bool { return r[0] == l && r[1] == "generalization" })
+		anat := column(rep, "mean-rel-error", func(r []string) bool { return r[0] == l && r[1] == "anatomy" })
+		if len(gen) != 1 || len(anat) != 1 {
+			t.Fatalf("missing rows for l=%s", l)
+		}
+		if toF(t, anat[0]) > toF(t, gen[0])+1e-9 {
+			t.Errorf("l=%s: anatomy error %s not below generalization %s", l, anat[0], gen[0])
+		}
+	}
+}
+
+func TestE7Runs(t *testing.T) {
+	rep, err := E7DeltaPresence(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 3 {
+		t.Errorf("too few rows: %d", len(rep.Rows))
+	}
+	// Delta bounds always bracket the 30% sampling rate.
+	for _, row := range rep.Rows {
+		lo, hi := toF(t, row[1]), toF(t, row[2])
+		if lo > 0.3+1e-9 || hi < 0.3-1e-9 {
+			t.Errorf("presence bounds [%v, %v] do not bracket the sampling rate", lo, hi)
+		}
+		if lo > hi {
+			t.Errorf("inverted presence bounds [%v, %v]", lo, hi)
+		}
+	}
+}
+
+func TestE8ShapesHold(t *testing.T) {
+	rep, err := E8LinkageRisk(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := column(rep, "unique-links", func(r []string) bool { return r[0] == "1" })
+	k25 := column(rep, "unique-links", func(r []string) bool { return r[0] == "25" })
+	if len(raw) != 1 || len(k25) != 1 {
+		t.Fatal("missing rows")
+	}
+	rawU, _ := strconv.Atoi(raw[0])
+	k25U, _ := strconv.Atoi(k25[0])
+	if k25U > rawU {
+		t.Errorf("unique links grew with k: %d vs %d", k25U, rawU)
+	}
+}
+
+func TestE9ShapesHold(t *testing.T) {
+	rep, err := E9DPQueryError(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := column(rep, "mean-rel-error", func(r []string) bool {
+		return r[0] == "laplace-histogram" && strings.HasPrefix(r[3], "parallel")
+	})
+	if len(parallel) < 2 {
+		t.Fatal("missing histogram rows")
+	}
+	if toF(t, parallel[len(parallel)-1]) > toF(t, parallel[0])+1e-9 {
+		t.Errorf("error did not shrink with epsilon: %v", parallel)
+	}
+	// Sequential accounting is never better than parallel at the same epsilon.
+	seq := column(rep, "mean-rel-error", func(r []string) bool {
+		return r[0] == "laplace-histogram" && strings.HasPrefix(r[3], "sequential")
+	})
+	for i := range parallel {
+		if toF(t, seq[i])+1e-9 < toF(t, parallel[i]) {
+			t.Errorf("sequential accounting beat parallel at index %d", i)
+		}
+	}
+}
+
+func TestE10ShapesHold(t *testing.T) {
+	rep, err := E10RandomizedResponse(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the binary attribute at fixed N, error at eps=2 must be below eps=0.5.
+	low := column(rep, "mean-abs-error", func(r []string) bool {
+		return r[0] == "salary (binary)" && r[1] == "2000" && r[2] == "0.5000"
+	})
+	high := column(rep, "mean-abs-error", func(r []string) bool {
+		return r[0] == "salary (binary)" && r[1] == "2000" && r[2] == "2.0000"
+	})
+	if len(low) != 1 || len(high) != 1 {
+		t.Fatalf("missing randomized-response rows: %v / %v", low, high)
+	}
+	if toF(t, high[0]) > toF(t, low[0])+1e-9 {
+		t.Errorf("error did not shrink with epsilon: %s vs %s", high[0], low[0])
+	}
+}
+
+func TestE11ShapesHold(t *testing.T) {
+	rep, err := E11Dimensionality(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mond := column(rep, "NCP", func(r []string) bool { return r[1] == "mondrian" })
+	if len(mond) < 3 {
+		t.Fatal("missing mondrian rows")
+	}
+	if toF(t, mond[len(mond)-1])+1e-9 < toF(t, mond[0]) {
+		t.Errorf("information loss did not grow with dimensionality: %v", mond)
+	}
+}
+
+func TestE12Runs(t *testing.T) {
+	rep, err := E12DPSynthetic(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 4 {
+		t.Errorf("too few rows: %d", len(rep.Rows))
+	}
+	// Synthetic accuracy stays meaningfully above coin flipping at eps=2.
+	acc := column(rep, "nb-accuracy", func(r []string) bool { return r[0] == "dp-synthetic" && r[1] == "2.0000" })
+	if len(acc) == 1 && toF(t, acc[0]) < 0.5 {
+		t.Errorf("synthetic accuracy %s below 0.5", acc[0])
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is covered by the individual experiment tests")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(quickOpt, &buf); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(buf.String(), "== "+id+":") {
+			t.Errorf("RunAll output missing %s", id)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package generalize applies recodings to tables: full-domain generalization
+// driven by a lattice node, record suppression, cell suppression, and
+// multidimensional (per-group) recoding used by partitioning algorithms such
+// as Mondrian and k-member clustering.
+package generalize
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/lattice"
+)
+
+// ErrNodeArity is returned when a lattice node does not have one level per
+// quasi-identifier attribute.
+var ErrNodeArity = errors.New("generalize: node arity does not match attribute count")
+
+// FullDomain applies the full-domain recoding described by node: the i-th
+// quasi-identifier attribute in attrs is generalized to level node[i] using
+// its hierarchy. All other columns are left untouched. The input table is not
+// modified.
+func FullDomain(t *dataset.Table, attrs []string, hs *hierarchy.Set, node lattice.Node) (*dataset.Table, error) {
+	if len(attrs) != len(node) {
+		return nil, fmt.Errorf("%w: %d attributes, %d levels", ErrNodeArity, len(attrs), len(node))
+	}
+	out := t.Clone()
+	for i, attr := range attrs {
+		level := node[i]
+		if level == 0 {
+			continue
+		}
+		h, err := hs.Get(attr)
+		if err != nil {
+			return nil, err
+		}
+		col, err := t.Schema().Index(attr)
+		if err != nil {
+			return nil, err
+		}
+		// Cache per distinct value: generalization is value-deterministic.
+		cache := make(map[string]string)
+		for r := 0; r < out.Len(); r++ {
+			v, err := out.Value(r, col)
+			if err != nil {
+				return nil, err
+			}
+			g, ok := cache[v]
+			if !ok {
+				g, err = h.Generalize(v, level)
+				if err != nil {
+					return nil, fmt.Errorf("generalize: row %d attribute %q: %w", r, attr, err)
+				}
+				cache[v] = g
+			}
+			if err := out.SetValue(r, col, g); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// SuppressRows returns a copy of the table with the given row indices
+// removed. The indices of all other rows shift accordingly.
+func SuppressRows(t *dataset.Table, drop []int) (*dataset.Table, error) {
+	dropped := make(map[int]bool, len(drop))
+	for _, i := range drop {
+		if i < 0 || i >= t.Len() {
+			return nil, fmt.Errorf("generalize: suppress row %d out of range", i)
+		}
+		dropped[i] = true
+	}
+	keep := make([]int, 0, t.Len()-len(dropped))
+	for i := 0; i < t.Len(); i++ {
+		if !dropped[i] {
+			keep = append(keep, i)
+		}
+	}
+	return t.Select(keep)
+}
+
+// SuppressCells overwrites the named columns of the given rows with the
+// suppression marker "*". It modifies a copy and returns it.
+func SuppressCells(t *dataset.Table, rows []int, attrs []string) (*dataset.Table, error) {
+	out := t.Clone()
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		c, err := t.Schema().Index(a)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	for _, r := range rows {
+		for _, c := range cols {
+			if err := out.SetValue(r, c, dataset.SuppressedValue); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// GroupSummary describes the recoded quasi-identifier values shared by one
+// group of rows under multidimensional recoding.
+type GroupSummary struct {
+	// Rows are the member row indices in the original table.
+	Rows []int
+	// Values holds one recoded value per quasi-identifier attribute, in the
+	// order the attrs argument was given.
+	Values []string
+}
+
+// RecodeGroups performs multidimensional (per-group) recoding: every group of
+// row indices becomes one equivalence class whose quasi-identifier values are
+// replaced by a summary of the group's values — a "[lo-hi)" interval for
+// numeric attributes (or the single value when all members agree) and the
+// lowest common generalization for categorical attributes (falling back to a
+// brace-enclosed value set when no hierarchy is available).
+//
+// It returns the recoded table together with the per-group summaries.
+func RecodeGroups(t *dataset.Table, attrs []string, hs *hierarchy.Set, groups [][]int) (*dataset.Table, []GroupSummary, error) {
+	schema := t.Schema()
+	cols := make([]int, len(attrs))
+	numeric := make([]bool, len(attrs))
+	for i, a := range attrs {
+		c, err := schema.Index(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols[i] = c
+		attr, _ := schema.ByName(a)
+		numeric[i] = attr.Type == dataset.Numeric
+	}
+
+	out := t.Clone()
+	summaries := make([]GroupSummary, 0, len(groups))
+	seen := make([]bool, t.Len())
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return nil, nil, fmt.Errorf("generalize: group %d is empty", gi)
+		}
+		values := make([]string, len(attrs))
+		for ai := range attrs {
+			vals := make([]string, 0, len(g))
+			for _, r := range g {
+				if r < 0 || r >= t.Len() {
+					return nil, nil, fmt.Errorf("generalize: group %d references row %d out of range", gi, r)
+				}
+				v, err := t.Value(r, cols[ai])
+				if err != nil {
+					return nil, nil, err
+				}
+				vals = append(vals, v)
+			}
+			summary, err := summarize(attrs[ai], vals, numeric[ai], hs)
+			if err != nil {
+				return nil, nil, err
+			}
+			values[ai] = summary
+		}
+		for _, r := range g {
+			if seen[r] {
+				return nil, nil, fmt.Errorf("generalize: row %d appears in more than one group", r)
+			}
+			seen[r] = true
+			for ai := range attrs {
+				if err := out.SetValue(r, cols[ai], values[ai]); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		summaries = append(summaries, GroupSummary{Rows: append([]int(nil), g...), Values: values})
+	}
+	return out, summaries, nil
+}
+
+// summarize recodes one attribute's group values into a single released value.
+func summarize(attr string, vals []string, isNumeric bool, hs *hierarchy.Set) (string, error) {
+	if allEqual(vals) {
+		return vals[0], nil
+	}
+	if isNumeric {
+		lo, hi, ok := numericSpan(vals)
+		if ok {
+			// Intervals are half-open; widen the upper bound to include the max.
+			return hierarchy.FormatInterval(lo, hi+1, isIntegral(vals)), nil
+		}
+	}
+	if hs != nil && hs.Has(attr) {
+		h, err := hs.Get(attr)
+		if err != nil {
+			return "", err
+		}
+		if g, ok := lowestCommonGeneralization(h, vals); ok {
+			return g, nil
+		}
+	}
+	return valueSet(vals), nil
+}
+
+func allEqual(vals []string) bool {
+	for _, v := range vals[1:] {
+		if v != vals[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func numericSpan(vals []string) (lo, hi float64, ok bool) {
+	for i, v := range vals {
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		if i == 0 || f < lo {
+			lo = f
+		}
+		if i == 0 || f > hi {
+			hi = f
+		}
+	}
+	return lo, hi, true
+}
+
+func isIntegral(vals []string) bool {
+	for _, v := range vals {
+		if strings.ContainsAny(v, ".eE") {
+			return false
+		}
+	}
+	return true
+}
+
+// lowestCommonGeneralization finds the smallest hierarchy level at which all
+// values share a generalization, returning that shared value.
+func lowestCommonGeneralization(h hierarchy.Hierarchy, vals []string) (string, bool) {
+	for level := 1; level <= h.MaxLevel(); level++ {
+		g0, err := h.Generalize(vals[0], level)
+		if err != nil {
+			return "", false
+		}
+		same := true
+		for _, v := range vals[1:] {
+			g, err := h.Generalize(v, level)
+			if err != nil {
+				return "", false
+			}
+			if g != g0 {
+				same = false
+				break
+			}
+		}
+		if same {
+			return g0, true
+		}
+	}
+	return "", false
+}
+
+// valueSet renders distinct values as a sorted brace-enclosed set.
+func valueSet(vals []string) string {
+	set := make(map[string]struct{}, len(vals))
+	for _, v := range vals {
+		set[v] = struct{}{}
+	}
+	distinct := make([]string, 0, len(set))
+	for v := range set {
+		distinct = append(distinct, v)
+	}
+	sort.Strings(distinct)
+	return "{" + strings.Join(distinct, ",") + "}"
+}

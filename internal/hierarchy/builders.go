@@ -1,0 +1,82 @@
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NewPrefixCategory builds the classic zip-code-style hierarchy over a
+// categorical domain of fixed-width strings: each level masks one more
+// trailing character with '*', and the final level is full suppression.
+// For example with width 5: "30301" -> "3030*" -> "303**" -> "30***" ->
+// "3****" -> "*".
+//
+// maskLevels limits how many characters are masked before jumping to full
+// suppression; pass the string width to mask everything one character at a
+// time.
+func NewPrefixCategory(attr string, domain []string, maskLevels int) (*CategoryHierarchy, error) {
+	if len(domain) == 0 {
+		return nil, ErrEmptyDomain
+	}
+	width := len(domain[0])
+	for _, v := range domain {
+		if len(v) != width {
+			return nil, fmt.Errorf("hierarchy: prefix hierarchy requires fixed-width values; %q has width %d, want %d", v, len(v), width)
+		}
+	}
+	if maskLevels <= 0 || maskLevels > width {
+		maskLevels = width
+	}
+	paths := make(map[string][]string, len(domain))
+	for _, v := range domain {
+		p := make([]string, 0, maskLevels+1)
+		for l := 1; l <= maskLevels; l++ {
+			p = append(p, v[:width-l]+strings.Repeat("*", l))
+		}
+		p = append(p, SuppressedValue)
+		paths[v] = p
+	}
+	return NewCategory(attr, paths)
+}
+
+// NewIntervalFromDomain builds an interval hierarchy whose level widths are
+// derived from the domain span: the first level groups values into `levels`
+// roughly equal buckets doubling in width at each subsequent level. It is a
+// convenience for attributes where no domain-specific widths are known.
+func NewIntervalFromDomain(attr string, min, max float64, levels int) (*IntervalHierarchy, error) {
+	if levels <= 0 {
+		return nil, fmt.Errorf("hierarchy: levels must be positive, got %d", levels)
+	}
+	span := max - min
+	if span <= 0 {
+		span = 1
+	}
+	widths := make([]float64, levels)
+	w := span / float64(int(1)<<uint(levels-1))
+	if w < 1 {
+		w = 1
+	}
+	for i := 0; i < levels; i++ {
+		widths[i] = w
+		w *= 2
+	}
+	// Enforce strict monotonicity in case rounding collapsed widths.
+	for i := 1; i < len(widths); i++ {
+		if widths[i] <= widths[i-1] {
+			widths[i] = widths[i-1] * 2
+		}
+	}
+	return NewInterval(attr, min, max, widths)
+}
+
+// Validate checks that every value of the given column domain is covered by
+// the hierarchy, returning the uncovered values (empty when fully covered).
+func Validate(h Hierarchy, domain []string) []string {
+	var missing []string
+	for _, v := range domain {
+		if !h.Contains(v) {
+			missing = append(missing, v)
+		}
+	}
+	return missing
+}

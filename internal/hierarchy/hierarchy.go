@@ -1,0 +1,146 @@
+// Package hierarchy implements value generalization hierarchies (VGH), the
+// central anonymization primitive of privacy-preserving data publishing.
+//
+// A hierarchy maps every original value of one attribute to progressively
+// coarser values as the generalization level increases. Level 0 is always the
+// original value; the highest level is a single root value (conventionally
+// "*") that suppresses the attribute entirely. Categorical attributes use
+// explicit taxonomy trees; numeric attributes use interval hierarchies with a
+// widening bucket width per level.
+//
+// Hierarchies also expose the information needed by utility metrics: the size
+// of the leaf domain and the number of leaves covered by a generalized value,
+// which drive the normalized certainty penalty (NCP) and ILoss measures.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common hierarchy errors.
+var (
+	// ErrUnknownValue is returned when a value outside the hierarchy's
+	// domain is generalized.
+	ErrUnknownValue = errors.New("hierarchy: value not in domain")
+	// ErrLevel is returned when a generalization level is out of range.
+	ErrLevel = errors.New("hierarchy: level out of range")
+	// ErrEmptyDomain is returned when a hierarchy is built over no values.
+	ErrEmptyDomain = errors.New("hierarchy: empty domain")
+	// ErrNoHierarchy is returned by a Set lookup for an attribute that has
+	// no registered hierarchy.
+	ErrNoHierarchy = errors.New("hierarchy: no hierarchy registered for attribute")
+)
+
+// SuppressedValue is the conventional root value used at the top level of
+// every hierarchy.
+const SuppressedValue = "*"
+
+// Hierarchy generalizes values of one attribute.
+type Hierarchy interface {
+	// Attribute returns the name of the attribute the hierarchy applies to.
+	Attribute() string
+	// MaxLevel returns the highest generalization level. Level 0 is the
+	// original value, MaxLevel() is full suppression.
+	MaxLevel() int
+	// Generalize maps value to its generalization at the given level.
+	Generalize(value string, level int) (string, error)
+	// Contains reports whether value is part of the hierarchy's leaf domain.
+	Contains(value string) bool
+	// DomainSize returns the number of distinct leaf values.
+	DomainSize() int
+	// GroupSize returns how many leaf values share the same generalization
+	// as value at the given level. It is the numerator of the normalized
+	// certainty penalty.
+	GroupSize(value string, level int) (int, error)
+}
+
+// checkLevel validates a level against a maximum.
+func checkLevel(level, max int) error {
+	if level < 0 || level > max {
+		return fmt.Errorf("%w: %d (max %d)", ErrLevel, level, max)
+	}
+	return nil
+}
+
+// Set is a collection of hierarchies keyed by attribute name. It is the unit
+// of configuration passed to anonymization algorithms.
+type Set struct {
+	byAttr map[string]Hierarchy
+}
+
+// NewSet builds a set from the given hierarchies. Duplicate attributes are an
+// error.
+func NewSet(hs ...Hierarchy) (*Set, error) {
+	s := &Set{byAttr: make(map[string]Hierarchy, len(hs))}
+	for _, h := range hs {
+		if h == nil {
+			return nil, errors.New("hierarchy: nil hierarchy in set")
+		}
+		if _, dup := s.byAttr[h.Attribute()]; dup {
+			return nil, fmt.Errorf("hierarchy: duplicate hierarchy for attribute %q", h.Attribute())
+		}
+		s.byAttr[h.Attribute()] = h
+	}
+	return s, nil
+}
+
+// MustSet is like NewSet but panics on error; intended for generators and
+// tests.
+func MustSet(hs ...Hierarchy) *Set {
+	s, err := NewSet(hs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Get returns the hierarchy for the named attribute.
+func (s *Set) Get(attr string) (Hierarchy, error) {
+	h, ok := s.byAttr[attr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoHierarchy, attr)
+	}
+	return h, nil
+}
+
+// Has reports whether the set contains a hierarchy for attr.
+func (s *Set) Has(attr string) bool {
+	_, ok := s.byAttr[attr]
+	return ok
+}
+
+// Attributes returns the attribute names covered by the set, in unspecified
+// order.
+func (s *Set) Attributes() []string {
+	out := make([]string, 0, len(s.byAttr))
+	for a := range s.byAttr {
+		out = append(out, a)
+	}
+	return out
+}
+
+// MaxLevels returns the per-attribute maximum levels for the given attribute
+// order. It is the shape of the full-domain generalization lattice.
+func (s *Set) MaxLevels(attrs []string) ([]int, error) {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		h, err := s.Get(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = h.MaxLevel()
+	}
+	return out, nil
+}
+
+// Add returns a copy of the set with h added (replacing any existing
+// hierarchy for the same attribute).
+func (s *Set) Add(h Hierarchy) *Set {
+	out := &Set{byAttr: make(map[string]Hierarchy, len(s.byAttr)+1)}
+	for k, v := range s.byAttr {
+		out.byAttr[k] = v
+	}
+	out.byAttr[h.Attribute()] = h
+	return out
+}

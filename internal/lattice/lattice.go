@@ -1,0 +1,319 @@
+// Package lattice models the full-domain generalization lattice searched by
+// Samarati's algorithm, Incognito and related full-domain recoding schemes.
+//
+// A lattice node is a vector of generalization levels, one per
+// quasi-identifier attribute, bounded component-wise by the maximum level of
+// that attribute's hierarchy. Node (0,0,...,0) is the original table; the top
+// node generalizes every attribute to its root. The lattice is ordered by the
+// component-wise <= relation; the *height* of a node is the sum of its
+// components, which is the classic "minimal generalization" cost used by
+// Samarati's binary search.
+package lattice
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrShape is returned when a node's arity does not match the lattice.
+var ErrShape = errors.New("lattice: node arity does not match lattice dimensions")
+
+// Node is a vector of generalization levels, one per attribute of the
+// lattice, in lattice attribute order.
+type Node []int
+
+// Clone returns a copy of the node.
+func (n Node) Clone() Node {
+	out := make(Node, len(n))
+	copy(out, n)
+	return out
+}
+
+// Height returns the sum of the node's levels.
+func (n Node) Height() int {
+	h := 0
+	for _, l := range n {
+		h += l
+	}
+	return h
+}
+
+// Key returns a canonical string form usable as a map key.
+func (n Node) Key() string {
+	parts := make([]string, len(n))
+	for i, l := range n {
+		parts[i] = fmt.Sprint(l)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseNode parses the output of Key back into a Node.
+func ParseNode(key string) (Node, error) {
+	if key == "" {
+		return nil, errors.New("lattice: empty node key")
+	}
+	parts := strings.Split(key, ",")
+	out := make(Node, len(parts))
+	for i, p := range parts {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil {
+			return nil, fmt.Errorf("lattice: bad node key %q: %w", key, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Dominates reports whether n >= o component-wise (n is at least as general
+// as o in every attribute).
+func (n Node) Dominates(o Node) bool {
+	if len(n) != len(o) {
+		return false
+	}
+	for i := range n {
+		if n[i] < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports component-wise equality.
+func (n Node) Equal(o Node) bool {
+	if len(n) != len(o) {
+		return false
+	}
+	for i := range n {
+		if n[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lattice is the full-domain generalization lattice for a fixed attribute
+// order with fixed per-attribute maximum levels.
+type Lattice struct {
+	attrs     []string
+	maxLevels []int
+}
+
+// New builds a lattice over the given attributes with the given per-attribute
+// maximum generalization levels.
+func New(attrs []string, maxLevels []int) (*Lattice, error) {
+	if len(attrs) == 0 {
+		return nil, errors.New("lattice: no attributes")
+	}
+	if len(attrs) != len(maxLevels) {
+		return nil, fmt.Errorf("lattice: %d attributes but %d level bounds", len(attrs), len(maxLevels))
+	}
+	for i, m := range maxLevels {
+		if m < 0 {
+			return nil, fmt.Errorf("lattice: negative max level %d for %q", m, attrs[i])
+		}
+	}
+	return &Lattice{
+		attrs:     append([]string(nil), attrs...),
+		maxLevels: append([]int(nil), maxLevels...),
+	}, nil
+}
+
+// Attributes returns the lattice's attribute order.
+func (l *Lattice) Attributes() []string { return append([]string(nil), l.attrs...) }
+
+// MaxLevels returns the per-attribute maximum levels.
+func (l *Lattice) MaxLevels() []int { return append([]int(nil), l.maxLevels...) }
+
+// Dimensions returns the number of attributes.
+func (l *Lattice) Dimensions() int { return len(l.attrs) }
+
+// Bottom returns the all-zero node (no generalization).
+func (l *Lattice) Bottom() Node { return make(Node, len(l.attrs)) }
+
+// Top returns the node with every attribute at its maximum level.
+func (l *Lattice) Top() Node {
+	out := make(Node, len(l.maxLevels))
+	copy(out, l.maxLevels)
+	return out
+}
+
+// MaxHeight returns the height of the top node.
+func (l *Lattice) MaxHeight() int { return l.Top().Height() }
+
+// Size returns the total number of nodes in the lattice.
+func (l *Lattice) Size() int {
+	n := 1
+	for _, m := range l.maxLevels {
+		n *= m + 1
+	}
+	return n
+}
+
+// Contains reports whether node is a valid member of the lattice.
+func (l *Lattice) Contains(n Node) bool {
+	if len(n) != len(l.maxLevels) {
+		return false
+	}
+	for i, v := range n {
+		if v < 0 || v > l.maxLevels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validate returns ErrShape for nodes of the wrong arity.
+func (l *Lattice) validate(n Node) error {
+	if len(n) != len(l.maxLevels) {
+		return fmt.Errorf("%w: node has %d components, lattice has %d", ErrShape, len(n), len(l.maxLevels))
+	}
+	return nil
+}
+
+// Successors returns the immediate generalizations of n: every node obtained
+// by incrementing exactly one component that is below its maximum.
+func (l *Lattice) Successors(n Node) ([]Node, error) {
+	if err := l.validate(n); err != nil {
+		return nil, err
+	}
+	var out []Node
+	for i := range n {
+		if n[i] < l.maxLevels[i] {
+			s := n.Clone()
+			s[i]++
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Predecessors returns the immediate specializations of n: every node
+// obtained by decrementing exactly one positive component.
+func (l *Lattice) Predecessors(n Node) ([]Node, error) {
+	if err := l.validate(n); err != nil {
+		return nil, err
+	}
+	var out []Node
+	for i := range n {
+		if n[i] > 0 {
+			p := n.Clone()
+			p[i]--
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// NodesAtHeight enumerates all nodes whose components sum to h, in
+// deterministic lexicographic order. Samarati's algorithm evaluates each
+// height layer; Incognito's breadth-first search uses successive layers.
+func (l *Lattice) NodesAtHeight(h int) []Node {
+	var out []Node
+	cur := make(Node, len(l.maxLevels))
+	var rec func(dim, remaining int)
+	rec = func(dim, remaining int) {
+		if dim == len(l.maxLevels) {
+			if remaining == 0 {
+				out = append(out, cur.Clone())
+			}
+			return
+		}
+		max := l.maxLevels[dim]
+		if max > remaining {
+			max = remaining
+		}
+		for v := 0; v <= max; v++ {
+			cur[dim] = v
+			rec(dim+1, remaining-v)
+		}
+		cur[dim] = 0
+	}
+	if h >= 0 && h <= l.MaxHeight() {
+		rec(0, h)
+	}
+	return out
+}
+
+// AllNodes enumerates every node of the lattice ordered by height then
+// lexicographically. Use with care: the count is the product of
+// (maxLevel+1) over all attributes.
+func (l *Lattice) AllNodes() []Node {
+	var out []Node
+	for h := 0; h <= l.MaxHeight(); h++ {
+		out = append(out, l.NodesAtHeight(h)...)
+	}
+	return out
+}
+
+// GeneralizationsOf returns every node that dominates n (including n itself),
+// ordered by height. These are the candidate releases that are at least as
+// general as n.
+func (l *Lattice) GeneralizationsOf(n Node) ([]Node, error) {
+	if err := l.validate(n); err != nil {
+		return nil, err
+	}
+	var out []Node
+	for _, cand := range l.AllNodes() {
+		if cand.Dominates(n) {
+			out = append(out, cand)
+		}
+	}
+	return out, nil
+}
+
+// SortNodes orders nodes by height, then lexicographically. It sorts in
+// place and returns the slice for convenience.
+func SortNodes(nodes []Node) []Node {
+	sort.Slice(nodes, func(i, j int) bool {
+		hi, hj := nodes[i].Height(), nodes[j].Height()
+		if hi != hj {
+			return hi < hj
+		}
+		for d := range nodes[i] {
+			if nodes[i][d] != nodes[j][d] {
+				return nodes[i][d] < nodes[j][d]
+			}
+		}
+		return false
+	})
+	return nodes
+}
+
+// Project returns the node restricted to the given attribute subset (by
+// lattice attribute name), along with a sub-lattice over that subset.
+// Incognito uses projections to test anonymity of attribute subsets before
+// combining them.
+func (l *Lattice) Project(n Node, attrs []string) (*Lattice, Node, error) {
+	if err := l.validate(n); err != nil {
+		return nil, nil, err
+	}
+	idx := make([]int, 0, len(attrs))
+	for _, a := range attrs {
+		found := -1
+		for i, la := range l.attrs {
+			if la == a {
+				found = i
+				break
+			}
+		}
+		if found == -1 {
+			return nil, nil, fmt.Errorf("lattice: attribute %q not in lattice", a)
+		}
+		idx = append(idx, found)
+	}
+	subAttrs := make([]string, len(idx))
+	subMax := make([]int, len(idx))
+	subNode := make(Node, len(idx))
+	for i, j := range idx {
+		subAttrs[i] = l.attrs[j]
+		subMax[i] = l.maxLevels[j]
+		subNode[i] = n[j]
+	}
+	sub, err := New(subAttrs, subMax)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, subNode, nil
+}

@@ -1,0 +1,276 @@
+package lattice
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func newTestLattice(t *testing.T) *Lattice {
+	t.Helper()
+	l, err := New([]string{"age", "zip", "sex"}, []int{2, 3, 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return l
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("empty lattice accepted")
+	}
+	if _, err := New([]string{"a"}, []int{1, 2}); err == nil {
+		t.Error("mismatched arity accepted")
+	}
+	if _, err := New([]string{"a"}, []int{-1}); err == nil {
+		t.Error("negative max level accepted")
+	}
+}
+
+func TestBasics(t *testing.T) {
+	l := newTestLattice(t)
+	if l.Dimensions() != 3 {
+		t.Errorf("Dimensions = %d", l.Dimensions())
+	}
+	if !reflect.DeepEqual(l.Attributes(), []string{"age", "zip", "sex"}) {
+		t.Errorf("Attributes = %v", l.Attributes())
+	}
+	if !reflect.DeepEqual(l.MaxLevels(), []int{2, 3, 1}) {
+		t.Errorf("MaxLevels = %v", l.MaxLevels())
+	}
+	if !l.Bottom().Equal(Node{0, 0, 0}) {
+		t.Errorf("Bottom = %v", l.Bottom())
+	}
+	if !l.Top().Equal(Node{2, 3, 1}) {
+		t.Errorf("Top = %v", l.Top())
+	}
+	if l.MaxHeight() != 6 {
+		t.Errorf("MaxHeight = %d", l.MaxHeight())
+	}
+	if l.Size() != 3*4*2 {
+		t.Errorf("Size = %d", l.Size())
+	}
+	if !l.Contains(Node{1, 1, 1}) || l.Contains(Node{3, 0, 0}) || l.Contains(Node{0, 0}) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestNodeHelpers(t *testing.T) {
+	n := Node{1, 2, 0}
+	if n.Height() != 3 {
+		t.Errorf("Height = %d", n.Height())
+	}
+	if n.Key() != "1,2,0" {
+		t.Errorf("Key = %q", n.Key())
+	}
+	back, err := ParseNode("1,2,0")
+	if err != nil || !back.Equal(n) {
+		t.Errorf("ParseNode = %v, %v", back, err)
+	}
+	if _, err := ParseNode(""); err == nil {
+		t.Error("ParseNode empty accepted")
+	}
+	if _, err := ParseNode("a,b"); err == nil {
+		t.Error("ParseNode garbage accepted")
+	}
+	c := n.Clone()
+	c[0] = 9
+	if n[0] != 1 {
+		t.Error("Clone aliases storage")
+	}
+	if !Node([]int{2, 2, 1}).Dominates(n) || n.Dominates(Node{2, 2, 1}) {
+		t.Error("Dominates wrong")
+	}
+	if n.Dominates(Node{1, 2}) {
+		t.Error("Dominates should be false for arity mismatch")
+	}
+	if n.Equal(Node{1, 2}) {
+		t.Error("Equal should be false for arity mismatch")
+	}
+}
+
+func TestSuccessorsPredecessors(t *testing.T) {
+	l := newTestLattice(t)
+	succ, err := l.Successors(Node{2, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(succ) != 1 || !succ[0].Equal(Node{2, 3, 1}) {
+		t.Errorf("Successors = %v", succ)
+	}
+	succ, _ = l.Successors(l.Top())
+	if len(succ) != 0 {
+		t.Errorf("Top successors = %v", succ)
+	}
+	pred, err := l.Predecessors(Node{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 2 {
+		t.Errorf("Predecessors = %v", pred)
+	}
+	pred, _ = l.Predecessors(l.Bottom())
+	if len(pred) != 0 {
+		t.Errorf("Bottom predecessors = %v", pred)
+	}
+	if _, err := l.Successors(Node{0}); !errors.Is(err, ErrShape) {
+		t.Errorf("bad arity error = %v", err)
+	}
+	if _, err := l.Predecessors(Node{0}); !errors.Is(err, ErrShape) {
+		t.Errorf("bad arity error = %v", err)
+	}
+}
+
+func TestNodesAtHeight(t *testing.T) {
+	l := newTestLattice(t)
+	h0 := l.NodesAtHeight(0)
+	if len(h0) != 1 || !h0[0].Equal(l.Bottom()) {
+		t.Errorf("height 0 = %v", h0)
+	}
+	h1 := l.NodesAtHeight(1)
+	if len(h1) != 3 {
+		t.Errorf("height 1 = %v", h1)
+	}
+	for _, n := range h1 {
+		if n.Height() != 1 {
+			t.Errorf("node %v has height %d", n, n.Height())
+		}
+	}
+	top := l.NodesAtHeight(l.MaxHeight())
+	if len(top) != 1 || !top[0].Equal(l.Top()) {
+		t.Errorf("top layer = %v", top)
+	}
+	if got := l.NodesAtHeight(-1); got != nil {
+		t.Errorf("negative height = %v", got)
+	}
+	if got := l.NodesAtHeight(99); got != nil {
+		t.Errorf("over height = %v", got)
+	}
+}
+
+func TestAllNodesCountAndOrder(t *testing.T) {
+	l := newTestLattice(t)
+	all := l.AllNodes()
+	if len(all) != l.Size() {
+		t.Fatalf("AllNodes len = %d, want %d", len(all), l.Size())
+	}
+	seen := make(map[string]bool)
+	prevHeight := 0
+	for _, n := range all {
+		if seen[n.Key()] {
+			t.Fatalf("duplicate node %v", n)
+		}
+		seen[n.Key()] = true
+		if n.Height() < prevHeight {
+			t.Fatalf("nodes not ordered by height")
+		}
+		prevHeight = n.Height()
+		if !l.Contains(n) {
+			t.Fatalf("AllNodes produced invalid node %v", n)
+		}
+	}
+}
+
+func TestGeneralizationsOf(t *testing.T) {
+	l := newTestLattice(t)
+	g, err := l.GeneralizationsOf(Node{2, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 2 {
+		t.Errorf("GeneralizationsOf = %v", g)
+	}
+	if _, err := l.GeneralizationsOf(Node{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("bad arity error = %v", err)
+	}
+	all, _ := l.GeneralizationsOf(l.Bottom())
+	if len(all) != l.Size() {
+		t.Errorf("generalizations of bottom = %d, want %d", len(all), l.Size())
+	}
+}
+
+func TestSortNodes(t *testing.T) {
+	nodes := []Node{{1, 1, 0}, {0, 0, 0}, {0, 2, 0}, {0, 0, 1}}
+	SortNodes(nodes)
+	if !nodes[0].Equal(Node{0, 0, 0}) {
+		t.Errorf("first node = %v", nodes[0])
+	}
+	if !nodes[1].Equal(Node{0, 0, 1}) {
+		t.Errorf("second node = %v (want lexicographic within height)", nodes[1])
+	}
+	if nodes[3].Height() != 2 {
+		t.Errorf("last node = %v", nodes[3])
+	}
+}
+
+func TestProject(t *testing.T) {
+	l := newTestLattice(t)
+	sub, n, err := l.Project(Node{2, 3, 1}, []string{"sex", "age"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sub.Attributes(), []string{"sex", "age"}) {
+		t.Errorf("projected attrs = %v", sub.Attributes())
+	}
+	if !n.Equal(Node{1, 2}) {
+		t.Errorf("projected node = %v", n)
+	}
+	if _, _, err := l.Project(Node{0, 0, 0}, []string{"nope"}); err == nil {
+		t.Error("Project with unknown attribute succeeded")
+	}
+	if _, _, err := l.Project(Node{0}, []string{"age"}); !errors.Is(err, ErrShape) {
+		t.Errorf("bad arity error = %v", err)
+	}
+}
+
+// Property: successors always increase height by exactly one and remain in
+// the lattice; predecessors decrease it by one.
+func TestSuccessorHeightProperty(t *testing.T) {
+	l := newTestLattice(t)
+	all := l.AllNodes()
+	f := func(idx uint16) bool {
+		n := all[int(idx)%len(all)]
+		succ, err := l.Successors(n)
+		if err != nil {
+			return false
+		}
+		for _, s := range succ {
+			if s.Height() != n.Height()+1 || !l.Contains(s) || !s.Dominates(n) {
+				return false
+			}
+		}
+		pred, err := l.Predecessors(n)
+		if err != nil {
+			return false
+		}
+		for _, p := range pred {
+			if p.Height() != n.Height()-1 || !l.Contains(p) || !n.Dominates(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the layer sizes sum to the lattice size.
+func TestLayerSizesSumProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		ma, mb, mc := int(a%4), int(b%4), int(c%4)
+		l, err := New([]string{"x", "y", "z"}, []int{ma, mb, mc})
+		if err != nil {
+			return false
+		}
+		total := 0
+		for h := 0; h <= l.MaxHeight(); h++ {
+			total += len(l.NodesAtHeight(h))
+		}
+		return total == l.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,387 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+)
+
+// buildTable constructs a released table with two QI columns (age already
+// generalized, zip) and a sensitive diagnosis column.
+func buildTable(t *testing.T, rows []dataset.Row) (*dataset.Table, []dataset.EquivalenceClass) {
+	t.Helper()
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "age", Kind: dataset.QuasiIdentifier, Type: dataset.Categorical},
+		dataset.Attribute{Name: "zip", Kind: dataset.QuasiIdentifier, Type: dataset.Categorical},
+		dataset.Attribute{Name: "diagnosis", Kind: dataset.Sensitive, Type: dataset.Categorical},
+	)
+	tbl, err := dataset.FromRows(schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := tbl.GroupByQuasiIdentifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, classes
+}
+
+func anonRows() []dataset.Row {
+	return []dataset.Row{
+		{"[20-30)", "303**", "flu"},
+		{"[20-30)", "303**", "cancer"},
+		{"[20-30)", "303**", "hiv"},
+		{"[30-40)", "303**", "flu"},
+		{"[30-40)", "303**", "flu"},
+		{"[30-40)", "303**", "gastritis"},
+	}
+}
+
+func TestKAnonymity(t *testing.T) {
+	tbl, classes := buildTable(t, anonRows())
+	for _, tc := range []struct {
+		k    int
+		want bool
+	}{{1, true}, {2, true}, {3, true}, {4, false}} {
+		ok, err := KAnonymity{K: tc.k}.Check(tbl, classes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != tc.want {
+			t.Errorf("k=%d: got %v, want %v", tc.k, ok, tc.want)
+		}
+	}
+	if MeasureK(classes) != 3 {
+		t.Errorf("MeasureK = %d", MeasureK(classes))
+	}
+	if _, err := (KAnonymity{K: 0}).Check(tbl, classes); !errors.Is(err, ErrParameter) {
+		t.Errorf("k=0 error = %v", err)
+	}
+	if _, err := (KAnonymity{K: 2}).Check(tbl, nil); !errors.Is(err, ErrNoClasses) {
+		t.Errorf("no classes error = %v", err)
+	}
+	if got := (KAnonymity{K: 5}).Name(); got != "5-anonymity" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestAlphaKAnonymity(t *testing.T) {
+	tbl, classes := buildTable(t, anonRows())
+	// Second class is 2/3 flu; alpha 0.5 fails, alpha 0.7 passes.
+	ok, err := AlphaKAnonymity{K: 2, Alpha: 0.5, Sensitive: "diagnosis"}.Check(tbl, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("alpha=0.5 should fail")
+	}
+	ok, err = AlphaKAnonymity{K: 2, Alpha: 0.7, Sensitive: "diagnosis"}.Check(tbl, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("alpha=0.7 should pass")
+	}
+	// K gate.
+	ok, _ = AlphaKAnonymity{K: 4, Alpha: 1, Sensitive: "diagnosis"}.Check(tbl, classes)
+	if ok {
+		t.Error("k=4 should fail before alpha is considered")
+	}
+	if _, err := (AlphaKAnonymity{K: 1, Alpha: 0, Sensitive: "diagnosis"}).Check(tbl, classes); !errors.Is(err, ErrParameter) {
+		t.Errorf("alpha=0 error = %v", err)
+	}
+	if _, err := (AlphaKAnonymity{K: 1, Alpha: 0.5, Sensitive: "nope"}).Check(tbl, classes); err == nil {
+		t.Error("unknown sensitive accepted")
+	}
+	if _, err := (AlphaKAnonymity{K: 1, Alpha: 0.5, Sensitive: "diagnosis"}).Check(tbl, nil); !errors.Is(err, ErrNoClasses) {
+		t.Errorf("no classes error = %v", err)
+	}
+}
+
+func TestDistinctLDiversity(t *testing.T) {
+	tbl, classes := buildTable(t, anonRows())
+	// Class 1 has 3 distinct, class 2 has 2 distinct => release is 2-diverse.
+	l, err := MeasureDistinctL(tbl, classes, "diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 2 {
+		t.Errorf("MeasureDistinctL = %d", l)
+	}
+	ok, _ := DistinctLDiversity{L: 2, Sensitive: "diagnosis"}.Check(tbl, classes)
+	if !ok {
+		t.Error("2-diversity should hold")
+	}
+	ok, _ = DistinctLDiversity{L: 3, Sensitive: "diagnosis"}.Check(tbl, classes)
+	if ok {
+		t.Error("3-diversity should fail")
+	}
+	if _, err := (DistinctLDiversity{L: 0, Sensitive: "diagnosis"}).Check(tbl, classes); !errors.Is(err, ErrParameter) {
+		t.Errorf("l=0 error = %v", err)
+	}
+	if _, err := (DistinctLDiversity{L: 2, Sensitive: "diagnosis"}).Check(tbl, nil); !errors.Is(err, ErrNoClasses) {
+		t.Errorf("no classes error = %v", err)
+	}
+	if l, _ := MeasureDistinctL(tbl, nil, "diagnosis"); l != 0 {
+		t.Errorf("MeasureDistinctL(empty) = %d", l)
+	}
+	if _, err := MeasureDistinctL(tbl, classes, "nope"); err == nil {
+		t.Error("unknown sensitive accepted")
+	}
+}
+
+func TestEntropyLDiversity(t *testing.T) {
+	tbl, classes := buildTable(t, anonRows())
+	h, err := MeasureEntropyL(tbl, classes, "diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst class: {flu:2, gastritis:1}: H = -(2/3)ln(2/3) - (1/3)ln(1/3).
+	want := -(2.0/3)*math.Log(2.0/3) - (1.0/3)*math.Log(1.0/3)
+	if math.Abs(h-want) > 1e-9 {
+		t.Errorf("MeasureEntropyL = %v, want %v", h, want)
+	}
+	// exp(want) ~ 1.88: entropy 1.8-diversity holds, 2-diversity fails.
+	ok, _ := EntropyLDiversity{L: 1.8, Sensitive: "diagnosis"}.Check(tbl, classes)
+	if !ok {
+		t.Error("entropy 1.8-diversity should hold")
+	}
+	ok, _ = EntropyLDiversity{L: 2, Sensitive: "diagnosis"}.Check(tbl, classes)
+	if ok {
+		t.Error("entropy 2-diversity should fail")
+	}
+	if _, err := (EntropyLDiversity{L: 0.5, Sensitive: "diagnosis"}).Check(tbl, classes); !errors.Is(err, ErrParameter) {
+		t.Errorf("l<1 error = %v", err)
+	}
+	if _, err := (EntropyLDiversity{L: 2, Sensitive: "diagnosis"}).Check(tbl, nil); !errors.Is(err, ErrNoClasses) {
+		t.Errorf("no classes error = %v", err)
+	}
+	if h, _ := MeasureEntropyL(tbl, nil, "diagnosis"); h != 0 {
+		t.Errorf("MeasureEntropyL(empty) = %v", h)
+	}
+}
+
+func TestRecursiveCLDiversity(t *testing.T) {
+	tbl, classes := buildTable(t, anonRows())
+	// Worst class counts sorted: [2,1]. For l=2: r1=2, tail=1. Need 2 < c*1.
+	ok, err := RecursiveCLDiversity{C: 3, L: 2, Sensitive: "diagnosis"}.Check(tbl, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("(3,2)-diversity should hold")
+	}
+	ok, _ = RecursiveCLDiversity{C: 1.5, L: 2, Sensitive: "diagnosis"}.Check(tbl, classes)
+	if ok {
+		t.Error("(1.5,2)-diversity should fail")
+	}
+	// l larger than the number of distinct values fails.
+	ok, _ = RecursiveCLDiversity{C: 10, L: 3, Sensitive: "diagnosis"}.Check(tbl, classes)
+	if ok {
+		t.Error("(10,3)-diversity should fail (only 2 distinct values in a class)")
+	}
+	if _, err := (RecursiveCLDiversity{C: 0, L: 2, Sensitive: "diagnosis"}).Check(tbl, classes); !errors.Is(err, ErrParameter) {
+		t.Errorf("c=0 error = %v", err)
+	}
+	if _, err := (RecursiveCLDiversity{C: 1, L: 1, Sensitive: "nope"}).Check(tbl, classes); err == nil {
+		t.Error("unknown sensitive accepted")
+	}
+	if _, err := (RecursiveCLDiversity{C: 1, L: 1, Sensitive: "diagnosis"}).Check(tbl, nil); !errors.Is(err, ErrNoClasses) {
+		t.Errorf("no classes error = %v", err)
+	}
+}
+
+func TestTCloseness(t *testing.T) {
+	// Global: flu 3/6, cancer 1/6, hiv 1/6, gastritis 1/6.
+	tbl, classes := buildTable(t, anonRows())
+	maxEMD, err := MeasureMaxEMD(tbl, classes, "diagnosis", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class1 dist: flu 1/3, cancer 1/3, hiv 1/3, gastritis 0
+	// |1/3-1/2| + |1/3-1/6| + |1/3-1/6| + |0-1/6| = 1/6+1/6+1/6+1/6 = 2/3 -> EMD 1/3.
+	if math.Abs(maxEMD-1.0/3) > 1e-9 {
+		t.Errorf("MeasureMaxEMD = %v, want 1/3", maxEMD)
+	}
+	ok, _ := TCloseness{T: 0.35, Sensitive: "diagnosis"}.Check(tbl, classes)
+	if !ok {
+		t.Error("0.35-closeness should hold")
+	}
+	ok, _ = TCloseness{T: 0.2, Sensitive: "diagnosis"}.Check(tbl, classes)
+	if ok {
+		t.Error("0.2-closeness should fail")
+	}
+	if _, err := (TCloseness{T: -1, Sensitive: "diagnosis"}).Check(tbl, classes); !errors.Is(err, ErrParameter) {
+		t.Errorf("t<0 error = %v", err)
+	}
+	if _, err := (TCloseness{T: 0.5, Sensitive: "diagnosis"}).Check(tbl, nil); !errors.Is(err, ErrNoClasses) {
+		t.Errorf("no classes error = %v", err)
+	}
+	if _, err := MeasureMaxEMD(tbl, classes, "nope", false); err == nil {
+		t.Error("unknown sensitive accepted")
+	}
+}
+
+func TestTClosenessOrdered(t *testing.T) {
+	// Numeric sensitive attribute (say salary in thousands).
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "grp", Kind: dataset.QuasiIdentifier, Type: dataset.Categorical},
+		dataset.Attribute{Name: "salary", Kind: dataset.Sensitive, Type: dataset.Numeric},
+	)
+	rows := []dataset.Row{
+		{"a", "10"}, {"a", "20"}, {"a", "30"},
+		{"b", "70"}, {"b", "80"}, {"b", "90"},
+	}
+	tbl, err := dataset.FromRows(schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, _ := tbl.GroupByQuasiIdentifier()
+	ordered, err := MeasureMaxEMD(tbl, classes, "salary", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equal, err := MeasureMaxEMD(tbl, classes, "salary", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both classes concentrate on one end of the ordered domain, so the
+	// ordered EMD should be strictly larger than 0 and also larger than the
+	// equal-distance EMD divided by domain effects; the key property is that
+	// the ordered distance notices how far the mass moved.
+	if ordered <= 0 || equal <= 0 {
+		t.Fatalf("EMDs should be positive: ordered=%v equal=%v", ordered, equal)
+	}
+	if ordered <= 0.3 {
+		t.Errorf("ordered EMD %v suspiciously small for fully separated classes", ordered)
+	}
+}
+
+func TestCheckAll(t *testing.T) {
+	tbl, classes := buildTable(t, anonRows())
+	ok, failed, err := CheckAll(tbl, classes,
+		KAnonymity{K: 2},
+		DistinctLDiversity{L: 2, Sensitive: "diagnosis"},
+	)
+	if err != nil || !ok || failed != "" {
+		t.Errorf("CheckAll = %v, %q, %v", ok, failed, err)
+	}
+	ok, failed, err = CheckAll(tbl, classes,
+		KAnonymity{K: 2},
+		DistinctLDiversity{L: 5, Sensitive: "diagnosis"},
+	)
+	if err != nil || ok {
+		t.Errorf("CheckAll should fail: %v, %v", ok, err)
+	}
+	if failed == "" {
+		t.Error("CheckAll should report the failed criterion")
+	}
+	_, failed, err = CheckAll(tbl, classes, KAnonymity{K: 0})
+	if err == nil || failed == "" {
+		t.Error("CheckAll should propagate errors with the criterion name")
+	}
+}
+
+func TestDeltaPresence(t *testing.T) {
+	pubSchema := dataset.MustSchema(
+		dataset.Attribute{Name: "age", Kind: dataset.QuasiIdentifier, Type: dataset.Categorical},
+		dataset.Attribute{Name: "zip", Kind: dataset.QuasiIdentifier, Type: dataset.Categorical},
+	)
+	public, err := dataset.FromRows(pubSchema, []dataset.Row{
+		{"[20-30)", "303**"}, {"[20-30)", "303**"}, {"[20-30)", "303**"}, {"[20-30)", "303**"},
+		{"[30-40)", "303**"}, {"[30-40)", "303**"}, {"[30-40)", "303**"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	privSchema := dataset.MustSchema(
+		dataset.Attribute{Name: "age", Kind: dataset.QuasiIdentifier, Type: dataset.Categorical},
+		dataset.Attribute{Name: "zip", Kind: dataset.QuasiIdentifier, Type: dataset.Categorical},
+		dataset.Attribute{Name: "diagnosis", Kind: dataset.Sensitive, Type: dataset.Categorical},
+	)
+	private, err := dataset.FromRows(privSchema, []dataset.Row{
+		{"[20-30)", "303**", "flu"},
+		{"[20-30)", "303**", "hiv"},
+		{"[30-40)", "303**", "flu"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := MeasurePresence(private, public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-1.0/3) > 1e-9 || math.Abs(hi-0.5) > 1e-9 {
+		t.Errorf("presence bounds = [%v, %v], want [1/3, 1/2]", lo, hi)
+	}
+	ok, err := DeltaPresence{DeltaMin: 0.2, DeltaMax: 0.6, Public: public}.Check(private, nil)
+	if err != nil || !ok {
+		t.Errorf("presence check = %v, %v", ok, err)
+	}
+	ok, _ = DeltaPresence{DeltaMin: 0.4, DeltaMax: 0.6, Public: public}.Check(private, nil)
+	if ok {
+		t.Error("delta-min violation not detected")
+	}
+	ok, _ = DeltaPresence{DeltaMin: 0.0, DeltaMax: 0.4, Public: public}.Check(private, nil)
+	if ok {
+		t.Error("delta-max violation not detected")
+	}
+	if _, err := (DeltaPresence{DeltaMin: 0.9, DeltaMax: 0.1, Public: public}).Check(private, nil); !errors.Is(err, ErrParameter) {
+		t.Errorf("inverted delta range error = %v", err)
+	}
+	if _, _, err := MeasurePresence(private, nil); err == nil {
+		t.Error("nil public table accepted")
+	}
+	if got := (DeltaPresence{DeltaMin: 0.1, DeltaMax: 0.5}).Name(); got != "(0.10,0.50)-presence" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+// Property: for random small releases, MeasureK equals the smallest class
+// size, and KAnonymity.Check agrees with comparing against MeasureK.
+func TestMeasureKConsistencyProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		rows := propertyRows(seed)
+		schema := dataset.MustSchema(
+			dataset.Attribute{Name: "qi", Kind: dataset.QuasiIdentifier, Type: dataset.Categorical},
+			dataset.Attribute{Name: "s", Kind: dataset.Sensitive, Type: dataset.Categorical},
+		)
+		tbl, err := dataset.FromRows(schema, rows)
+		if err != nil {
+			return false
+		}
+		classes, err := tbl.GroupByQuasiIdentifier()
+		if err != nil {
+			return false
+		}
+		ok, err := KAnonymity{K: k}.Check(tbl, classes)
+		if err != nil {
+			return false
+		}
+		return ok == (MeasureK(classes) >= k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// propertyRows builds a small deterministic pseudo-random release.
+func propertyRows(seed int64) []dataset.Row {
+	qis := []string{"a", "b", "c"}
+	ss := []string{"x", "y", "z"}
+	n := 6 + int(seed%7+7)%7
+	rows := make([]dataset.Row, 0, n)
+	state := uint64(seed)
+	next := func(m int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % m
+	}
+	for i := 0; i < n; i++ {
+		rows = append(rows, dataset.Row{qis[next(3)], ss[next(3)]})
+	}
+	return rows
+}

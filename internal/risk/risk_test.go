@@ -1,0 +1,242 @@
+package risk
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/algorithms/mondrian"
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/privacy"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+func releasedTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "age", Kind: dataset.QuasiIdentifier, Type: dataset.Categorical},
+		dataset.Attribute{Name: "sex", Kind: dataset.QuasiIdentifier, Type: dataset.Categorical},
+		dataset.Attribute{Name: "diag", Kind: dataset.Sensitive, Type: dataset.Categorical},
+	)
+	rows := []dataset.Row{
+		{"[20-30)", "male", "flu"},
+		{"[20-30)", "male", "flu"},
+		{"[20-30)", "male", "flu"},
+		{"[30-40)", "female", "flu"},
+		{"[30-40)", "female", "cancer"},
+		{"[40-50)", "male", "hiv"},
+	}
+	tbl, err := dataset.FromRows(schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestMeasureReidentification(t *testing.T) {
+	tbl := releasedTable(t)
+	r, err := MeasureReidentification(tbl, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ProsecutorMax != 1.0 {
+		t.Errorf("ProsecutorMax = %v (singleton class exists)", r.ProsecutorMax)
+	}
+	if math.Abs(r.ProsecutorAvg-3.0/6.0) > 1e-12 {
+		t.Errorf("ProsecutorAvg = %v, want 0.5", r.ProsecutorAvg)
+	}
+	// Only the singleton class strictly exceeds risk 0.5 (the size-2 class
+	// sits exactly at 0.5) => 1 of 6 records at risk.
+	if math.Abs(r.RecordsAtRisk-1.0/6.0) > 1e-12 {
+		t.Errorf("RecordsAtRisk = %v", r.RecordsAtRisk)
+	}
+	if r.Classes != 3 || r.Records != 6 {
+		t.Errorf("Classes/Records = %d/%d", r.Classes, r.Records)
+	}
+
+	// No quasi-identifiers.
+	plain := dataset.MustSchema(dataset.Attribute{Name: "x", Kind: dataset.Insensitive})
+	pt, _ := dataset.FromRows(plain, []dataset.Row{{"1"}})
+	if _, err := MeasureReidentification(pt, 0.5); !errors.Is(err, ErrNoQuasiIdentifiers) {
+		t.Errorf("no QI error = %v", err)
+	}
+}
+
+func TestRiskFallsWithK(t *testing.T) {
+	tbl := synth.Hospital(1500, 1)
+	prev := 1.1
+	for _, k := range []int{2, 5, 25} {
+		res, err := mondrian.Anonymize(tbl, mondrian.Config{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := MeasureReidentification(res.Table, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ProsecutorMax > 1.0/float64(k)+1e-12 {
+			t.Errorf("k=%d: prosecutor max %v exceeds 1/k", k, r.ProsecutorMax)
+		}
+		if r.ProsecutorMax > prev {
+			t.Errorf("k=%d: risk %v rose above previous %v", k, r.ProsecutorMax, prev)
+		}
+		prev = r.ProsecutorMax
+	}
+}
+
+func TestValueMatches(t *testing.T) {
+	ageH := hierarchy.MustInterval("age", 0, 99, []float64{10})
+	eduH := hierarchy.MustCategory("edu", map[string][]string{
+		"bachelors": {"higher", "*"},
+		"hs-grad":   {"secondary", "*"},
+	})
+	cases := []struct {
+		released, raw string
+		h             hierarchy.Hierarchy
+		want          bool
+	}{
+		{"35", "35", nil, true},
+		{"*", "anything", nil, true},
+		{"[30-40)", "35", ageH, true},
+		{"[30-40)", "40", ageH, false},
+		{"[30-40)", "29", ageH, false},
+		{"{a,b}", "a", nil, true},
+		{"{a,b}", "c", nil, false},
+		{"higher", "bachelors", eduH, true},
+		{"higher", "hs-grad", eduH, false},
+		{"secondary", "hs-grad", eduH, true},
+		{"nonsense", "hs-grad", eduH, false},
+	}
+	for _, c := range cases {
+		if got := ValueMatches(c.released, c.raw, c.h); got != c.want {
+			t.Errorf("ValueMatches(%q, %q) = %v, want %v", c.released, c.raw, got, c.want)
+		}
+	}
+}
+
+func TestLinkageAttackOnRawRelease(t *testing.T) {
+	// Releasing the raw hospital table makes most register members uniquely
+	// linkable; anonymizing with Mondrian k=10 must slash unique links.
+	private := synth.Hospital(800, 2)
+	noID, err := private.DropIdentifiers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	register, err := synth.IdentifiedRegister(private, 0.25, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := LinkageAttack(noID, register, synth.HospitalHierarchies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.RegisterSize != register.Len() {
+		t.Errorf("RegisterSize = %d", raw.RegisterSize)
+	}
+	if raw.Linked == 0 || raw.UniqueLinks == 0 {
+		t.Fatalf("raw release produced no links (linked=%d unique=%d)", raw.Linked, raw.UniqueLinks)
+	}
+
+	res, err := mondrian.Anonymize(private, mondrian.Config{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, err := LinkageAttack(res.Table, register, synth.HospitalHierarchies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anon.UniqueLinks >= raw.UniqueLinks {
+		t.Errorf("anonymization did not reduce unique links: %d vs %d", anon.UniqueLinks, raw.UniqueLinks)
+	}
+	if anon.ExpectedReidentifications >= raw.ExpectedReidentifications {
+		t.Errorf("anonymization did not reduce expected re-identifications: %v vs %v",
+			anon.ExpectedReidentifications, raw.ExpectedReidentifications)
+	}
+	if anon.Linked > 0 && anon.AverageMatchSize <= raw.AverageMatchSize {
+		t.Errorf("anonymization did not grow match sets: %v vs %v", anon.AverageMatchSize, raw.AverageMatchSize)
+	}
+}
+
+func TestLinkageAttackErrors(t *testing.T) {
+	private := synth.Hospital(50, 4)
+	// Register missing a QI column.
+	reg, err := private.Project("name", "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LinkageAttack(private, reg, nil); err == nil {
+		t.Error("register without all QI columns accepted")
+	}
+	plain := dataset.MustSchema(dataset.Attribute{Name: "x", Kind: dataset.Insensitive})
+	pt, _ := dataset.FromRows(plain, []dataset.Row{{"1"}})
+	if _, err := LinkageAttack(pt, reg, nil); !errors.Is(err, ErrNoQuasiIdentifiers) {
+		t.Errorf("no QI error = %v", err)
+	}
+}
+
+func TestHomogeneityAttack(t *testing.T) {
+	tbl := releasedTable(t)
+	res, err := HomogeneityAttack(tbl, "diag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class [20-30)/male is homogeneous (3 records), class [40-50)/male is a
+	// singleton (1 record, also homogeneous) => 4/6 fully disclosed.
+	if math.Abs(res.FullyDisclosed-4.0/6.0) > 1e-12 {
+		t.Errorf("FullyDisclosed = %v", res.FullyDisclosed)
+	}
+	// Expected guess rate: (3 + 1 + 1)/6 ... second class majority flu 1 of 2
+	// -> contributes 1; singleton contributes 1; first class contributes 3.
+	if math.Abs(res.ExpectedGuessRate-5.0/6.0) > 1e-12 {
+		t.Errorf("ExpectedGuessRate = %v", res.ExpectedGuessRate)
+	}
+	if res.WorstClassShare != 1.0 {
+		t.Errorf("WorstClassShare = %v", res.WorstClassShare)
+	}
+	base, err := BaselineGuessRate(tbl, "diag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(base-4.0/6.0) > 1e-12 {
+		t.Errorf("BaselineGuessRate = %v", base)
+	}
+	if res.ExpectedGuessRate <= base {
+		t.Error("release should give the attacker an advantage over the baseline on this table")
+	}
+	if _, err := HomogeneityAttack(tbl, "missing"); err == nil {
+		t.Error("unknown sensitive accepted")
+	}
+	if _, err := BaselineGuessRate(tbl, "missing"); err == nil {
+		t.Error("unknown sensitive accepted by baseline")
+	}
+}
+
+func TestHomogeneityFallsWithLDiversity(t *testing.T) {
+	tbl := synth.Hospital(1200, 5)
+	kOnly, err := mondrian.Anonymize(tbl, mondrian.Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kAttack, err := HomogeneityAttack(kOnly.Table, "diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverse, err := mondrian.Anonymize(tbl, mondrian.Config{
+		K:     5,
+		Extra: []privacy.Criterion{privacy.DistinctLDiversity{L: 3, Sensitive: "diagnosis"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lAttack, err := HomogeneityAttack(diverse.Table, "diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lAttack.FullyDisclosed > 0 {
+		t.Errorf("3-diverse release still fully discloses %.3f of records", lAttack.FullyDisclosed)
+	}
+	if lAttack.FullyDisclosed > kAttack.FullyDisclosed {
+		t.Errorf("l-diversity increased full disclosure: %v vs %v", lAttack.FullyDisclosed, kAttack.FullyDisclosed)
+	}
+}
