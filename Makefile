@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race bench-quick bench-full ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector run; also exercises the parallel Mondrian recursion.
+race:
+	$(GO) test -race ./...
+
+# Micro-benchmarks for the hot paths (quick mode, ~1 minute).
+bench-quick:
+	$(GO) test -run '^$$' -bench 'BenchmarkGroupBy|BenchmarkMondrian|BenchmarkLaplace' -benchmem .
+
+# Full experiment benchmark suite (regenerates EXPERIMENTS.md-scale tables).
+bench-full:
+	$(GO) test -run '^$$' -bench . -benchmem -ppdp.full .
+
+ci: build vet test race

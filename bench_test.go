@@ -11,6 +11,7 @@ package ppdp
 
 import (
 	"flag"
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -128,6 +129,49 @@ func BenchmarkMondrianK10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := mondrian.Anonymize(tbl, mondrian.Config{K: 10, QuasiIdentifiers: qi, Hierarchies: hs}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupByCoded measures coded equivalence-class grouping across row
+// counts, including the first-call cost of building the dictionary-encoded
+// columns (the table is rebuilt per sub-benchmark, the columns are cached
+// across iterations exactly as they are in real pipelines).
+func BenchmarkGroupByCoded(b *testing.B) {
+	for _, rows := range []int{1000, 5000, 20000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			tbl := synth.Census(rows, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tbl.GroupByQuasiIdentifier(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMondrianParallel measures full Mondrian runs across row counts
+// and worker-pool sizes (workers=1 is the sequential baseline; workers=0
+// uses GOMAXPROCS).
+func BenchmarkMondrianParallel(b *testing.B) {
+	hs := synth.CensusHierarchies()
+	qi := []string{"age", "sex", "education", "marital-status", "race"}
+	for _, rows := range []int{2000, 5000, 20000} {
+		tbl := synth.Census(rows, 1)
+		for _, workers := range []int{1, 0} {
+			name := fmt.Sprintf("rows=%d/workers=%d", rows, workers)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cfg := mondrian.Config{K: 10, QuasiIdentifiers: qi, Hierarchies: hs, Workers: workers}
+					if _, err := mondrian.Anonymize(tbl, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,3 @@
+module github.com/ppdp/ppdp
+
+go 1.22

@@ -10,14 +10,26 @@
 // the split dimension stay together) and relaxed partitioning (ties may be
 // divided between the halves), and accepts additional privacy criteria such
 // as l-diversity or t-closeness that gate every split.
+//
+// The implementation operates on the dataset package's cached columnar views:
+// numeric dimensions read parse-once FloatColumns and categorical dimensions
+// read dictionary-encoded CodedColumns, so the recursion never re-parses or
+// re-hashes cell strings. Independent subtrees of the recursion run on a
+// bounded worker pool (see Config.Workers); the result is deterministic
+// regardless of worker count because every partition is split identically and
+// final groups are ordered by their smallest member row index.
 package mondrian
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/generalize"
@@ -33,6 +45,11 @@ var (
 	// privacy criteria (for example k larger than the table).
 	ErrUnsatisfiable = errors.New("mondrian: privacy criteria cannot be satisfied even without splitting")
 )
+
+// parallelThreshold is the minimum partition size worth dispatching to
+// another worker; smaller subtrees recurse inline because the goroutine
+// handoff would cost more than the work itself.
+const parallelThreshold = 512
 
 // Config controls a Mondrian run.
 type Config struct {
@@ -50,13 +67,18 @@ type Config struct {
 	Strict bool
 	// Extra lists additional privacy criteria every partition must satisfy.
 	Extra []privacy.Criterion
+	// Workers bounds the number of concurrent partition workers. Zero uses
+	// runtime.GOMAXPROCS(0); 1 forces a fully sequential run. The released
+	// table, groups and summaries are identical for every worker count.
+	Workers int
 }
 
 // Result describes the outcome of a Mondrian run.
 type Result struct {
 	// Table is the released, multidimensionally recoded table.
 	Table *dataset.Table
-	// Groups are the final partitions as row-index sets into the input table.
+	// Groups are the final partitions as row-index sets into the input
+	// table, ordered by their smallest member row index.
 	Groups [][]int
 	// Summaries are the per-group released quasi-identifier values.
 	Summaries []generalize.GroupSummary
@@ -69,6 +91,9 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("%w: k = %d", ErrConfig, cfg.K)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: workers = %d", ErrConfig, cfg.Workers)
+	}
 	qi := cfg.QuasiIdentifiers
 	if len(qi) == 0 {
 		qi = t.Schema().QuasiIdentifierNames()
@@ -76,50 +101,58 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 	if len(qi) == 0 {
 		return nil, fmt.Errorf("%w: no quasi-identifier attributes", ErrConfig)
 	}
-	cols := make([]int, len(qi))
-	numeric := make([]bool, len(qi))
+	run := &runner{
+		t:          t,
+		cfg:        cfg,
+		qi:         qi,
+		cols:       make([]int, len(qi)),
+		numeric:    make([]bool, len(qi)),
+		domainSpan: make([]float64, len(qi)),
+		floats:     make([]*dataset.FloatColumn, len(qi)),
+		codes:      make([]*dataset.CodedColumn, len(qi)),
+		catFloat:   make([][]float64, len(qi)),
+		catIsNum:   make([][]bool, len(qi)),
+	}
 	for i, a := range qi {
 		c, err := t.Schema().Index(a)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
 		}
-		cols[i] = c
+		run.cols[i] = c
 		attr, _ := t.Schema().ByName(a)
-		numeric[i] = attr.Type == dataset.Numeric
+		run.numeric[i] = attr.Type == dataset.Numeric
+	}
+	if err := run.buildColumns(); err != nil {
+		return nil, err
 	}
 
 	all := make([]int, t.Len())
 	for i := range all {
 		all[i] = i
 	}
-	// Global domain extents normalize per-partition widths so that numeric
-	// and categorical dimensions compete on equal footing, as in the
-	// original algorithm.
-	domainSpan := make([]float64, len(qi))
-	for i, a := range qi {
-		if numeric[i] {
-			lo, hi, err := t.NumericRange(a)
-			if err == nil && hi > lo {
-				domainSpan[i] = hi - lo
-			} else {
-				domainSpan[i] = 1
-			}
-		} else {
-			dom, err := t.Domain(a)
-			if err == nil && len(dom) > 0 {
-				domainSpan[i] = float64(len(dom))
-			} else {
-				domainSpan[i] = 1
-			}
-		}
-	}
-	run := &runner{t: t, cfg: cfg, qi: qi, cols: cols, numeric: numeric, domainSpan: domainSpan}
 	if ok, err := run.allowable(all); err != nil {
 		return nil, err
 	} else if !ok {
 		return nil, fmt.Errorf("%w (k=%d, %d rows)", ErrUnsatisfiable, cfg.K, t.Len())
 	}
+
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The calling goroutine is itself a worker; the semaphore only meters the
+	// extra ones.
+	run.sem = make(chan struct{}, workers-1)
 	run.partition(all)
+	run.wg.Wait()
+
+	// Deterministic final ordering independent of worker scheduling: groups
+	// are disjoint, so their smallest member row index is a total order.
+	mins := make([]int, len(run.groups))
+	for i, g := range run.groups {
+		mins[i] = minRow(g)
+	}
+	sort.Sort(&groupsByMin{mins: mins, groups: run.groups})
 
 	released, summaries, err := generalize.RecodeGroups(t, qi, cfg.Hierarchies, run.groups)
 	if err != nil {
@@ -129,11 +162,35 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 		Table:     released,
 		Groups:    run.groups,
 		Summaries: summaries,
-		Splits:    run.splits,
+		Splits:    int(run.splits.Load()),
 	}, nil
 }
 
-// runner carries the recursion state.
+// minRow returns the smallest row index of a non-empty group.
+func minRow(rows []int) int {
+	min := rows[0]
+	for _, r := range rows[1:] {
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// groupsByMin sorts groups by their precomputed smallest member row index.
+type groupsByMin struct {
+	mins   []int
+	groups [][]int
+}
+
+func (s *groupsByMin) Len() int           { return len(s.groups) }
+func (s *groupsByMin) Less(i, j int) bool { return s.mins[i] < s.mins[j] }
+func (s *groupsByMin) Swap(i, j int) {
+	s.mins[i], s.mins[j] = s.mins[j], s.mins[i]
+	s.groups[i], s.groups[j] = s.groups[j], s.groups[i]
+}
+
+// runner carries the recursion state shared by all partition workers.
 type runner struct {
 	t          *dataset.Table
 	cfg        Config
@@ -141,8 +198,68 @@ type runner struct {
 	cols       []int
 	numeric    []bool
 	domainSpan []float64
-	groups     [][]int
-	splits     int
+
+	// Columnar views of the quasi-identifier dimensions, built once before
+	// the recursion: floats[i] for numeric dimensions, codes[i] (plus the
+	// per-code parse results catFloat/catIsNum used for split ordering) for
+	// categorical ones.
+	floats   []*dataset.FloatColumn
+	codes    []*dataset.CodedColumn
+	catFloat [][]float64
+	catIsNum [][]bool
+
+	sem    chan struct{}
+	wg     sync.WaitGroup
+	splits atomic.Int64
+
+	mu     sync.Mutex
+	groups [][]int
+}
+
+// buildColumns materializes the columnar views and global domain spans. The
+// spans normalize per-partition widths so that numeric and categorical
+// dimensions compete on equal footing, as in the original algorithm.
+func (r *runner) buildColumns() error {
+	for i := range r.qi {
+		if r.numeric[i] {
+			fc, err := r.t.FloatColumn(r.cols[i])
+			if err != nil {
+				return err
+			}
+			r.floats[i] = fc
+			if fc.ValidCount > 0 && fc.Max > fc.Min {
+				r.domainSpan[i] = fc.Max - fc.Min
+			} else {
+				r.domainSpan[i] = 1
+			}
+			continue
+		}
+		cc, err := r.t.CodedColumn(r.cols[i])
+		if err != nil {
+			return err
+		}
+		r.codes[i] = cc
+		if cc.Cardinality() > 0 {
+			r.domainSpan[i] = float64(cc.Cardinality())
+		} else {
+			r.domainSpan[i] = 1
+		}
+		// Parse each dictionary entry once so splitCategorical can order
+		// values numerically (when the whole partition parses) without
+		// calling ParseFloat per split. The parse results mirror
+		// sortCategorical exactly: numeric eligibility trims whitespace, but
+		// the comparison value does not (an untrimmed parse failure compares
+		// as zero, as the reference comparator's ignored error did).
+		r.catFloat[i] = make([]float64, cc.Cardinality())
+		r.catIsNum[i] = make([]bool, cc.Cardinality())
+		for code, v := range cc.Dict {
+			if _, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+				r.catIsNum[i][code] = true
+				r.catFloat[i][code], _ = strconv.ParseFloat(v, 64)
+			}
+		}
+	}
+	return nil
 }
 
 // allowable reports whether a candidate partition satisfies k-anonymity and
@@ -160,6 +277,9 @@ func (r *runner) allowable(rows []int) (bool, error) {
 }
 
 // partition recursively splits rows and appends final partitions to groups.
+// After a successful split the left subtree is handed to another worker when
+// one is free (and the subtree is large enough to amortize the handoff); the
+// right subtree always continues on the current goroutine.
 func (r *runner) partition(rows []int) {
 	// Try dimensions in order of decreasing normalized width.
 	order := r.dimensionOrder(rows)
@@ -177,13 +297,29 @@ func (r *runner) partition(rows []int) {
 			continue
 		}
 		if okL && okR {
-			r.splits++
+			r.splits.Add(1)
+			if len(lhs) >= parallelThreshold {
+				select {
+				case r.sem <- struct{}{}:
+					r.wg.Add(1)
+					go func() {
+						defer r.wg.Done()
+						defer func() { <-r.sem }()
+						r.partition(lhs)
+					}()
+					r.partition(rhs)
+					return
+				default:
+				}
+			}
 			r.partition(lhs)
 			r.partition(rhs)
 			return
 		}
 	}
+	r.mu.Lock()
 	r.groups = append(r.groups, rows)
+	r.mu.Unlock()
 }
 
 // dimensionOrder returns quasi-identifier dimension indices sorted by
@@ -197,11 +333,14 @@ func (r *runner) dimensionOrder(rows []int) []int {
 	for i := range r.cols {
 		widths[i] = dw{dim: i, width: r.width(rows, i)}
 	}
-	sort.Slice(widths, func(a, b int) bool {
-		if widths[a].width != widths[b].width {
-			return widths[a].width > widths[b].width
+	slices.SortFunc(widths, func(a, b dw) int {
+		if a.width != b.width {
+			if a.width > b.width {
+				return -1
+			}
+			return 1
 		}
-		return widths[a].dim < widths[b].dim
+		return a.dim - b.dim
 	})
 	out := make([]int, len(widths))
 	for i, w := range widths {
@@ -212,21 +351,22 @@ func (r *runner) dimensionOrder(rows []int) []int {
 
 // width computes the normalized range of dimension dim over rows: the
 // numeric span divided by the attribute's global span, or the distinct-value
-// count divided by the global domain size.
+// count divided by the global domain size. Both cases read the cached
+// columns; no cell is parsed.
 func (r *runner) width(rows []int, dim int) float64 {
-	col := r.cols[dim]
 	span := r.domainSpan[dim]
 	if span <= 0 {
 		span = 1
 	}
 	if r.numeric[dim] {
+		fc := r.floats[dim]
 		lo, hi := 0.0, 0.0
 		first := true
 		for _, row := range rows {
-			v, err := r.t.Float(row, col)
-			if err != nil {
+			if !fc.Valid[row] {
 				continue
 			}
+			v := fc.Values[row]
 			if first || v < lo {
 				lo = v
 			}
@@ -237,130 +377,185 @@ func (r *runner) width(rows []int, dim int) float64 {
 		}
 		return (hi - lo) / span
 	}
-	distinct := make(map[string]struct{})
-	for _, row := range rows {
-		v, err := r.t.Value(row, col)
-		if err != nil {
-			continue
-		}
-		distinct[v] = struct{}{}
-	}
-	if len(distinct) <= 1 {
+	cc := r.codes[dim]
+	distinct := countDistinct(cc, rows)
+	if distinct <= 1 {
 		return 0
 	}
-	return float64(len(distinct)) / span
+	return float64(distinct) / span
+}
+
+// countDistinct counts the distinct codes of cc among rows using a small
+// bitmap over the column's dictionary.
+func countDistinct(cc *dataset.CodedColumn, rows []int) int {
+	seen := make([]uint64, (cc.Cardinality()+63)/64)
+	distinct := 0
+	for _, row := range rows {
+		code := cc.Codes[row]
+		w, b := code>>6, uint64(1)<<(code&63)
+		if seen[w]&b == 0 {
+			seen[w] |= b
+			distinct++
+		}
+	}
+	return distinct
 }
 
 // split divides rows along dimension dim. It returns ok=false when the
 // dimension cannot be split (all values equal, or a strict split would leave
 // one side empty).
 func (r *runner) split(rows []int, dim int) (lhs, rhs []int, ok bool) {
-	col := r.cols[dim]
 	if r.numeric[dim] {
-		return r.splitNumeric(rows, col)
+		return r.splitNumeric(rows, dim)
 	}
-	return r.splitCategorical(rows, col)
+	return r.splitCategorical(rows, dim)
 }
 
-func (r *runner) splitNumeric(rows []int, col int) (lhs, rhs []int, ok bool) {
-	type rv struct {
-		row int
-		val float64
-	}
+// rv pairs a row with its numeric value during a split.
+type rv struct {
+	row int
+	val float64
+}
+
+func (r *runner) splitNumeric(rows []int, dim int) (lhs, rhs []int, ok bool) {
+	fc := r.floats[dim]
 	vals := make([]rv, 0, len(rows))
 	for _, row := range rows {
-		v, err := r.t.Float(row, col)
-		if err != nil {
+		if !fc.Valid[row] {
 			// Non-numeric cell (already generalized or suppressed input):
 			// the dimension cannot be ordered, fall back to unsplittable.
 			return nil, nil, false
 		}
-		vals = append(vals, rv{row, v})
+		vals = append(vals, rv{row, fc.Values[row]})
 	}
-	sort.Slice(vals, func(i, j int) bool {
-		if vals[i].val != vals[j].val {
-			return vals[i].val < vals[j].val
+	slices.SortFunc(vals, func(a, b rv) int {
+		if a.val != b.val {
+			if a.val < b.val {
+				return -1
+			}
+			return 1
 		}
-		return vals[i].row < vals[j].row
+		return a.row - b.row
 	})
 	if vals[0].val == vals[len(vals)-1].val {
 		return nil, nil, false
 	}
+	// The sorted rows land in one arena; lhs and rhs are its two halves, so
+	// a split costs two allocations regardless of partition size.
+	arena := make([]int, len(vals))
+	for i, v := range vals {
+		arena[i] = v.row
+	}
+	cut := 0
 	if r.cfg.Strict {
 		median := vals[len(vals)/2].val
-		for _, v := range vals {
-			if v.val < median {
-				lhs = append(lhs, v.row)
-			} else {
-				rhs = append(rhs, v.row)
-			}
+		for cut < len(vals) && vals[cut].val < median {
+			cut++
 		}
-		if len(lhs) == 0 || len(rhs) == 0 {
+		if cut == 0 {
 			// All mass at or above the median value; put the median group on
 			// the left instead.
-			lhs, rhs = nil, nil
-			for _, v := range vals {
-				if v.val <= median {
-					lhs = append(lhs, v.row)
-				} else {
-					rhs = append(rhs, v.row)
-				}
+			for cut < len(vals) && vals[cut].val <= median {
+				cut++
 			}
 		}
 	} else {
-		mid := len(vals) / 2
-		for i, v := range vals {
-			if i < mid {
-				lhs = append(lhs, v.row)
-			} else {
-				rhs = append(rhs, v.row)
-			}
-		}
+		cut = len(vals) / 2
 	}
-	if len(lhs) == 0 || len(rhs) == 0 {
+	if cut == 0 || cut == len(vals) {
 		return nil, nil, false
 	}
-	return lhs, rhs, true
+	return arena[:cut:cut], arena[cut:], true
 }
 
-func (r *runner) splitCategorical(rows []int, col int) (lhs, rhs []int, ok bool) {
-	byValue := make(map[string][]int)
+func (r *runner) splitCategorical(rows []int, dim int) (lhs, rhs []int, ok bool) {
+	cc := r.codes[dim]
+	// Count occurrences per code, then scatter rows into a value-major arena
+	// (values in split order, rows in partition order within a value). The
+	// two sides are subslices of the arena, so a split costs a handful of
+	// allocations instead of one slice per distinct value.
+	counts := make([]int32, cc.Cardinality())
+	distinct := 0
 	for _, row := range rows {
-		v, err := r.t.Value(row, col)
-		if err != nil {
-			return nil, nil, false
+		code := cc.Codes[row]
+		if counts[code] == 0 {
+			distinct++
 		}
-		byValue[v] = append(byValue[v], row)
+		counts[code]++
 	}
-	if len(byValue) < 2 {
+	if distinct < 2 {
 		return nil, nil, false
 	}
-	values := make([]string, 0, len(byValue))
-	for v := range byValue {
-		values = append(values, v)
+	codes := make([]uint32, 0, distinct)
+	for code, n := range counts {
+		if n > 0 {
+			codes = append(codes, uint32(code))
+		}
 	}
-	sortCategorical(values)
+	r.sortCodes(dim, codes)
 	// Greedy balance: walk values in order, filling the left half until it
 	// holds at least half the rows.
 	target := len(rows) / 2
 	count := 0
-	for _, v := range values {
+	cut := 0
+	cursor := counts // reuse the counts storage as scatter cursors
+	off := int32(0)
+	for _, code := range codes {
+		n := counts[code]
 		if count < target {
-			lhs = append(lhs, byValue[v]...)
-			count += len(byValue[v])
-		} else {
-			rhs = append(rhs, byValue[v]...)
+			count += int(n)
+			cut = int(off) + int(n)
 		}
+		cursor[code] = off
+		off += n
 	}
-	if len(lhs) == 0 || len(rhs) == 0 {
+	arena := make([]int, len(rows))
+	for _, row := range rows {
+		code := cc.Codes[row]
+		arena[cursor[code]] = row
+		cursor[code]++
+	}
+	if cut == 0 || cut == len(rows) {
 		return nil, nil, false
 	}
-	return lhs, rhs, true
+	return arena[:cut:cut], arena[cut:], true
+}
+
+// sortCodes orders the partition's distinct codes the way sortCategorical
+// orders values — numerically when every present value parses as a number,
+// lexicographically otherwise — using the per-code parse results cached at
+// startup instead of re-parsing. Ties (distinct spellings of the same number)
+// break on the code so the order is deterministic.
+func (r *runner) sortCodes(dim int, codes []uint32) {
+	isNum := r.catIsNum[dim]
+	numeric := true
+	for _, c := range codes {
+		if !isNum[c] {
+			numeric = false
+			break
+		}
+	}
+	if numeric {
+		vals := r.catFloat[dim]
+		slices.SortFunc(codes, func(a, b uint32) int {
+			if vals[a] != vals[b] {
+				if vals[a] < vals[b] {
+					return -1
+				}
+				return 1
+			}
+			return int(a) - int(b)
+		})
+		return
+	}
+	dict := r.codes[dim].Dict
+	slices.SortFunc(codes, func(a, b uint32) int { return strings.Compare(dict[a], dict[b]) })
 }
 
 // sortCategorical orders values numerically when they all parse as numbers
 // and lexicographically otherwise, so ordered categorical codes split
-// sensibly.
+// sensibly. The recursion itself orders interned codes with sortCodes; this
+// string form is kept as the reference semantics (and for tests).
 func sortCategorical(values []string) {
 	numeric := true
 	for _, v := range values {

@@ -2,6 +2,7 @@ package mondrian
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"github.com/ppdp/ppdp/internal/dataset"
@@ -237,5 +238,100 @@ func TestSyntheticTinyTable(t *testing.T) {
 	classes, _ := res.Table.GroupBy("age")
 	if privacy.MeasureK(classes) < 2 {
 		t.Error("tiny table release violated 2-anonymity")
+	}
+}
+
+// TestParallelMatchesSequential is the golden-equivalence test for the
+// parallel recursion: for several datasets and configurations, a run with a
+// full worker pool must produce a byte-identical released table and identical
+// groups, summaries and split counts to a forced-sequential run.
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		tbl  func() *dataset.Table
+		cfg  Config
+	}{
+		{"census-k5", func() *dataset.Table { return synth.Census(4000, 7) },
+			Config{K: 5, Hierarchies: synth.CensusHierarchies()}},
+		{"census-k2-strict", func() *dataset.Table { return synth.Census(3000, 8) },
+			Config{K: 2, Strict: true}},
+		{"hospital-k10", func() *dataset.Table { return synth.Hospital(2500, 9) },
+			Config{K: 10, Hierarchies: synth.HospitalHierarchies()}},
+		{"hospital-ldiv", func() *dataset.Table { return synth.Hospital(2000, 10) },
+			Config{K: 5, Extra: []privacy.Criterion{privacy.DistinctLDiversity{L: 2, Sensitive: "diagnosis"}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tbl := tc.tbl()
+			seq := tc.cfg
+			seq.Workers = 1
+			par := tc.cfg
+			par.Workers = 8
+			a, err := Anonymize(tbl, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Anonymize(tbl, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Splits != b.Splits {
+				t.Errorf("splits differ: sequential %d, parallel %d", a.Splits, b.Splits)
+			}
+			if !reflect.DeepEqual(a.Groups, b.Groups) {
+				t.Fatal("groups differ between sequential and parallel runs")
+			}
+			if !reflect.DeepEqual(a.Summaries, b.Summaries) {
+				t.Fatal("summaries differ between sequential and parallel runs")
+			}
+			if a.Table.Len() != b.Table.Len() {
+				t.Fatalf("released sizes differ: %d vs %d", a.Table.Len(), b.Table.Len())
+			}
+			for r := 0; r < a.Table.Len(); r++ {
+				ra, _ := a.Table.Row(r)
+				rb, _ := b.Table.Row(r)
+				if !reflect.DeepEqual(ra, rb) {
+					t.Fatalf("released row %d differs: %v vs %v", r, ra, rb)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRace drives the parallel recursion hard enough to surface data
+// races under `go test -race`: K=2 on several thousand rows forces a deep
+// recursion with many concurrent subtree workers.
+func TestParallelRace(t *testing.T) {
+	tbl := synth.Census(6000, 11)
+	res, err := Anonymize(tbl, Config{K: 2, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make(map[int]bool)
+	for _, g := range res.Groups {
+		if len(g) < 2 {
+			t.Fatalf("group of size %d violates k=2", len(g))
+		}
+		for _, r := range g {
+			if covered[r] {
+				t.Fatalf("row %d appears in multiple groups", r)
+			}
+			covered[r] = true
+		}
+	}
+	if len(covered) != tbl.Len() {
+		t.Fatalf("%d rows covered, want %d", len(covered), tbl.Len())
+	}
+}
+
+// TestWorkersConfig checks the Workers knob validation and defaulting.
+func TestWorkersConfig(t *testing.T) {
+	tbl := synth.Hospital(200, 12)
+	if _, err := Anonymize(tbl, Config{K: 2, Workers: -1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("negative workers error = %v, want ErrConfig", err)
+	}
+	// Workers: 0 defaults to GOMAXPROCS and must still succeed.
+	if _, err := Anonymize(tbl, Config{K: 2, Workers: 0}); err != nil {
+		t.Errorf("default workers failed: %v", err)
 	}
 }

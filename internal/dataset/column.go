@@ -1,0 +1,248 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file implements the lazily-built columnar view of a Table. Tables stay
+// row-oriented strings at the storage layer (so generalized values like
+// "[20-30)" remain first-class), but hot paths — equivalence-class grouping,
+// Mondrian partitioning, query evaluation, information-loss metrics — operate
+// on cached typed columns:
+//
+//   - FloatColumn parses every cell of a column exactly once and records which
+//     cells are numeric, so algorithms never re-run strconv.ParseFloat on the
+//     same cell at every recursion level.
+//   - CodedColumn interns every distinct value of a column as a dense uint32
+//     code, so grouping and equality predicates compare integers instead of
+//     building per-row strings.
+//
+// Caches are invalidated on mutation (SetValue invalidates only the touched
+// column; Append and AppendTable invalidate everything) and rebuilt on the
+// next access. Returned columns are immutable snapshots: a mutation never
+// changes a column a caller already holds, it only causes the next accessor
+// call to rebuild. Tables sharing row storage through WithSchema also share
+// the cache, so mutations through one view invalidate the other.
+
+// FloatColumn is a parse-once numeric view of one column. Values[i] holds the
+// parsed number of row i and is meaningful only where Valid[i] is true (cells
+// that are suppressed or generalized to intervals do not parse).
+type FloatColumn struct {
+	// Values holds one parsed value per row; entries where Valid is false
+	// are zero and must be ignored.
+	Values []float64
+	// Valid reports, per row, whether the cell parsed as a number.
+	Valid []bool
+	// ValidCount is the number of rows whose cell parsed.
+	ValidCount int
+	// Min and Max are the extrema over valid cells; when ValidCount is zero
+	// Min is +Inf and Max is -Inf.
+	Min, Max float64
+}
+
+// Len returns the number of rows in the column.
+func (c *FloatColumn) Len() int { return len(c.Values) }
+
+// CodedColumn is a dictionary-encoded view of one column: every distinct
+// string value is interned as a dense uint32 code in first-appearance (row)
+// order, which makes the encoding deterministic for a given table content.
+type CodedColumn struct {
+	// Codes holds one dictionary code per row.
+	Codes []uint32
+	// Dict maps codes back to values; Dict[Codes[i]] is the cell of row i.
+	Dict  []string
+	index map[string]uint32
+	// ranks[code] is the position of Dict[code] in byte-lexicographic order
+	// of the dictionary; grouping uses it to order classes without comparing
+	// strings.
+	ranks []uint32
+	// clean reports that no dictionary value contains a byte below 0x20.
+	// Only then is per-value rank order guaranteed to match the byte order
+	// of joined signatures (the separator is 0x1f).
+	clean bool
+}
+
+// Len returns the number of rows in the column.
+func (c *CodedColumn) Len() int { return len(c.Codes) }
+
+// Cardinality returns the number of distinct values in the column.
+func (c *CodedColumn) Cardinality() int { return len(c.Dict) }
+
+// Value returns the string value for a code.
+func (c *CodedColumn) Value(code uint32) string { return c.Dict[code] }
+
+// Code returns the dictionary code of a value and whether the value occurs in
+// the column.
+func (c *CodedColumn) Code(value string) (uint32, bool) {
+	code, ok := c.index[value]
+	return code, ok
+}
+
+// colCache holds the per-table columnar caches. It is shared between tables
+// that share row storage (WithSchema views) and guarded by a mutex so that
+// concurrent readers — for example parallel Mondrian workers — can build and
+// reuse columns safely.
+type colCache struct {
+	mu     sync.Mutex
+	floats map[int]*FloatColumn
+	codes  map[int]*CodedColumn
+}
+
+func newColCache() *colCache { return &colCache{} }
+
+// invalidateAll drops every cached column (row set changed).
+func (c *colCache) invalidateAll() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.floats = nil
+	c.codes = nil
+	c.mu.Unlock()
+}
+
+// invalidateCol drops the cached views of a single column (cell mutated).
+func (c *colCache) invalidateCol(col int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	delete(c.floats, col)
+	delete(c.codes, col)
+	c.mu.Unlock()
+}
+
+// colcache returns the table's cache, allocating it race-free for tables
+// constructed without a constructor (for example by struct literals inside
+// the package).
+func (t *Table) colcache() *colCache {
+	t.cacheOnce.Do(func() {
+		if t.cache == nil {
+			t.cache = newColCache()
+		}
+	})
+	return t.cache
+}
+
+// FloatColumn returns the parse-once numeric view of column col, building and
+// caching it on first access. The returned column is a read-only snapshot;
+// callers must not modify it.
+func (t *Table) FloatColumn(col int) (*FloatColumn, error) {
+	if col < 0 || col >= t.schema.Len() {
+		return nil, fmt.Errorf("dataset: column index %d out of range", col)
+	}
+	c := t.colcache()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fc, ok := c.floats[col]; ok {
+		return fc, nil
+	}
+	fc := &FloatColumn{
+		Values: make([]float64, len(t.rows)),
+		Valid:  make([]bool, len(t.rows)),
+		Min:    math.Inf(1),
+		Max:    math.Inf(-1),
+	}
+	for i, r := range t.rows {
+		f, err := strconv.ParseFloat(strings.TrimSpace(r[col]), 64)
+		if err != nil {
+			continue
+		}
+		fc.Values[i] = f
+		fc.Valid[i] = true
+		fc.ValidCount++
+		if f < fc.Min {
+			fc.Min = f
+		}
+		if f > fc.Max {
+			fc.Max = f
+		}
+	}
+	if c.floats == nil {
+		c.floats = make(map[int]*FloatColumn)
+	}
+	c.floats[col] = fc
+	return fc, nil
+}
+
+// FloatColumnByName is FloatColumn keyed by attribute name.
+func (t *Table) FloatColumnByName(name string) (*FloatColumn, error) {
+	col, err := t.schema.Index(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.FloatColumn(col)
+}
+
+// CodedColumn returns the dictionary-encoded view of column col, building and
+// caching it on first access. Codes are assigned in first-appearance order,
+// so the encoding is deterministic for a given table content. The returned
+// column is a read-only snapshot; callers must not modify it.
+func (t *Table) CodedColumn(col int) (*CodedColumn, error) {
+	if col < 0 || col >= t.schema.Len() {
+		return nil, fmt.Errorf("dataset: column index %d out of range", col)
+	}
+	c := t.colcache()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc, ok := c.codes[col]; ok {
+		return cc, nil
+	}
+	cc := &CodedColumn{
+		Codes: make([]uint32, len(t.rows)),
+		index: make(map[string]uint32),
+	}
+	for i, r := range t.rows {
+		v := r[col]
+		code, ok := cc.index[v]
+		if !ok {
+			code = uint32(len(cc.Dict))
+			cc.Dict = append(cc.Dict, v)
+			cc.index[v] = code
+		}
+		cc.Codes[i] = code
+	}
+	cc.buildRanks()
+	if c.codes == nil {
+		c.codes = make(map[int]*CodedColumn)
+	}
+	c.codes[col] = cc
+	return cc, nil
+}
+
+// buildRanks computes the byte-lexicographic rank of every code and whether
+// the dictionary is free of control bytes (see the field docs).
+func (c *CodedColumn) buildRanks() {
+	order := make([]uint32, len(c.Dict))
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return c.Dict[order[i]] < c.Dict[order[j]] })
+	c.ranks = make([]uint32, len(c.Dict))
+	for pos, code := range order {
+		c.ranks[code] = uint32(pos)
+	}
+	c.clean = true
+	for _, v := range c.Dict {
+		for i := 0; i < len(v); i++ {
+			if v[i] < 0x20 {
+				c.clean = false
+				return
+			}
+		}
+	}
+}
+
+// CodedColumnByName is CodedColumn keyed by attribute name.
+func (t *Table) CodedColumnByName(name string) (*CodedColumn, error) {
+	col, err := t.schema.Index(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.CodedColumn(col)
+}

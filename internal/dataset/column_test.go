@@ -1,0 +1,334 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestFloatColumnParsesOnceAndCaches(t *testing.T) {
+	tbl := testTable(t)
+	age := tbl.Schema().MustIndex("age")
+	fc, err := tbl.FloatColumn(age)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Len() != tbl.Len() || fc.ValidCount != tbl.Len() {
+		t.Fatalf("FloatColumn len=%d valid=%d, want %d", fc.Len(), fc.ValidCount, tbl.Len())
+	}
+	if fc.Min != 30 || fc.Max != 47 {
+		t.Errorf("Min/Max = %v/%v, want 30/47", fc.Min, fc.Max)
+	}
+	if fc.Values[3] != 45 || !fc.Valid[3] {
+		t.Errorf("Values[3] = %v (valid %v), want 45", fc.Values[3], fc.Valid[3])
+	}
+	again, err := tbl.FloatColumn(age)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != fc {
+		t.Error("second FloatColumn call did not return the cached snapshot")
+	}
+	// Non-numeric cells are flagged, not fatal.
+	diag, err := tbl.FloatColumnByName("diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.ValidCount != 0 {
+		t.Errorf("diagnosis ValidCount = %d, want 0", diag.ValidCount)
+	}
+	if _, err := tbl.FloatColumn(99); err == nil {
+		t.Error("FloatColumn out of range succeeded")
+	}
+	if _, err := tbl.FloatColumnByName("missing"); err == nil {
+		t.Error("FloatColumnByName(missing) succeeded")
+	}
+}
+
+func TestCodedColumnDeterminismAndLookup(t *testing.T) {
+	tbl := testTable(t)
+	cc, err := tbl.CodedColumnByName("diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Codes are assigned in first-appearance order: flu, cancer, hiv.
+	if !reflect.DeepEqual(cc.Dict, []string{"flu", "cancer", "hiv"}) {
+		t.Errorf("Dict = %v", cc.Dict)
+	}
+	if !reflect.DeepEqual(cc.Codes, []uint32{0, 0, 1, 2, 0}) {
+		t.Errorf("Codes = %v", cc.Codes)
+	}
+	if cc.Cardinality() != 3 || cc.Value(2) != "hiv" {
+		t.Errorf("Cardinality/Value wrong: %d %q", cc.Cardinality(), cc.Value(2))
+	}
+	code, ok := cc.Code("cancer")
+	if !ok || code != 1 {
+		t.Errorf("Code(cancer) = %d, %v", code, ok)
+	}
+	if _, ok := cc.Code("absent"); ok {
+		t.Error("Code(absent) reported present")
+	}
+	// An identical table encodes identically.
+	other := testTable(t)
+	oc, err := other.CodedColumnByName("diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oc.Codes, cc.Codes) || !reflect.DeepEqual(oc.Dict, cc.Dict) {
+		t.Error("identical tables produced different encodings")
+	}
+	if _, err := tbl.CodedColumn(-1); err == nil {
+		t.Error("CodedColumn out of range succeeded")
+	}
+}
+
+func TestColumnCacheInvalidatedBySetValue(t *testing.T) {
+	tbl := testTable(t)
+	age := tbl.Schema().MustIndex("age")
+	before, err := tbl.FloatColumn(age)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetValue(0, age, "99"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := tbl.FloatColumn(age)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == before {
+		t.Fatal("SetValue did not invalidate the float cache")
+	}
+	if after.Values[0] != 99 || after.Max != 99 {
+		t.Errorf("rebuilt column Values[0]=%v Max=%v, want 99", after.Values[0], after.Max)
+	}
+	// The old snapshot is immutable.
+	if before.Values[0] != 30 {
+		t.Errorf("old snapshot mutated: %v", before.Values[0])
+	}
+	// Mutating one column does not invalidate others.
+	diagBefore, _ := tbl.CodedColumnByName("diagnosis")
+	if err := tbl.SetValue(0, age, "100"); err != nil {
+		t.Fatal(err)
+	}
+	diagAfter, _ := tbl.CodedColumnByName("diagnosis")
+	if diagBefore != diagAfter {
+		t.Error("mutating age invalidated the diagnosis cache")
+	}
+}
+
+func TestColumnCacheInvalidatedByAppend(t *testing.T) {
+	tbl := testTable(t)
+	age := tbl.Schema().MustIndex("age")
+	before, err := tbl.FloatColumn(age)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Append(Row{"zed", "70", "30309", "flu"}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := tbl.FloatColumn(age)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == before || after.Len() != 6 || after.Max != 70 {
+		t.Errorf("Append did not rebuild the column: len=%d max=%v", after.Len(), after.Max)
+	}
+
+	cc1, _ := tbl.CodedColumnByName("zip")
+	other := testTable(t)
+	if err := tbl.AppendTable(other); err != nil {
+		t.Fatal(err)
+	}
+	cc2, _ := tbl.CodedColumnByName("zip")
+	if cc1 == cc2 || cc2.Len() != tbl.Len() {
+		t.Error("AppendTable did not invalidate the coded cache")
+	}
+}
+
+func TestWithSchemaViewSharesCache(t *testing.T) {
+	tbl := testTable(t)
+	s2, err := tbl.Schema().WithKinds(map[string]Kind{"zip": Sensitive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := tbl.WithSchema(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	age := tbl.Schema().MustIndex("age")
+	before, _ := tbl.FloatColumn(age)
+	// Mutating through the view invalidates the base table's cache too:
+	// they share row storage.
+	if err := view.SetValue(0, age, "80"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := tbl.FloatColumn(age)
+	if after == before {
+		t.Fatal("mutation through WithSchema view did not invalidate base cache")
+	}
+	if after.Values[0] != 80 {
+		t.Errorf("base table column not rebuilt: %v", after.Values[0])
+	}
+}
+
+func TestAppendTableRejectsMismatchedSchemas(t *testing.T) {
+	tbl := testTable(t)
+
+	// Same arity, different attribute name.
+	renamed := MustSchema(
+		Attribute{Name: "name", Kind: Identifier, Type: Categorical},
+		Attribute{Name: "years", Kind: QuasiIdentifier, Type: Numeric},
+		Attribute{Name: "zip", Kind: QuasiIdentifier, Type: Categorical},
+		Attribute{Name: "diagnosis", Kind: Sensitive, Type: Categorical},
+	)
+	other := NewTable(renamed)
+	if err := other.Append(Row{"x", "1", "2", "flu"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendTable(other); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("renamed schema append error = %v, want ErrSchemaMismatch", err)
+	}
+
+	// Same names and types, different kind.
+	retyped, err := tbl.Schema().WithKinds(map[string]Kind{"zip": Sensitive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reviewed, err := testTable(t).WithSchema(retyped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AppendTable(reviewed); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("re-kinded schema append error = %v, want ErrSchemaMismatch", err)
+	}
+
+	// Equal schemas still append, and row count grows.
+	n := tbl.Len()
+	if err := tbl.AppendTable(testTable(t)); err != nil {
+		t.Fatalf("equal-schema append failed: %v", err)
+	}
+	if tbl.Len() != n+5 {
+		t.Errorf("append len = %d, want %d", tbl.Len(), n+5)
+	}
+}
+
+// TestGroupByCodedMatchesSignaturePath is the property test required by the
+// columnar refactor: for random tables, coded grouping must return classes
+// byte-identical (signatures, values, member rows, order) to the historical
+// string-signature implementation.
+func TestGroupByCodedMatchesSignaturePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	categorical := []string{"a", "b", "ab", "A", "", "z*z", "über", "flu", "[20-30)", "*"}
+	for trial := 0; trial < 200; trial++ {
+		ncols := 1 + rng.Intn(4)
+		attrs := make([]Attribute, ncols)
+		for i := range attrs {
+			typ := Categorical
+			if rng.Intn(2) == 0 {
+				typ = Numeric
+			}
+			attrs[i] = Attribute{Name: fmt.Sprintf("c%d", i), Kind: QuasiIdentifier, Type: typ}
+		}
+		tbl := NewTable(MustSchema(attrs...))
+		nrows := rng.Intn(60)
+		for r := 0; r < nrows; r++ {
+			row := make(Row, ncols)
+			for i := range row {
+				if attrs[i].Type == Numeric {
+					row[i] = fmt.Sprintf("%d", rng.Intn(8))
+				} else {
+					row[i] = categorical[rng.Intn(len(categorical))]
+				}
+			}
+			if err := tbl.Append(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		names := tbl.Schema().Names()
+		coded, err := tbl.GroupBy(names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols := make([]int, len(names))
+		for i, n := range names {
+			cols[i] = tbl.Schema().MustIndex(n)
+		}
+		ref, err := tbl.groupBySignature(cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(coded, ref) {
+			t.Fatalf("trial %d: coded GroupBy diverged from string-signature path:\ncoded: %+v\nref:   %+v",
+				trial, coded, ref)
+		}
+	}
+}
+
+// TestGroupByControlByteFallback exercises the string-sort fallback taken
+// when values contain bytes below 0x20 (rank order can then differ from
+// joined-signature byte order).
+func TestGroupByControlByteFallback(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "x", Kind: QuasiIdentifier, Type: Categorical},
+		Attribute{Name: "y", Kind: QuasiIdentifier, Type: Categorical},
+	)
+	tbl := NewTable(s)
+	rows := []Row{
+		{"a", "b"}, {"a\x01c", "b"}, {"a", "\x02"}, {"a\x01c", "b"}, {"q", "r"},
+	}
+	for _, r := range rows {
+		if err := tbl.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coded, err := tbl.GroupBy("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := tbl.groupBySignature([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coded, ref) {
+		t.Fatalf("control-byte grouping diverged:\ncoded: %+v\nref:   %+v", coded, ref)
+	}
+}
+
+// TestGroupByRadixOverflowFallback forces the cardinality product past
+// uint64 so GroupBy takes the string-signature path.
+func TestGroupByRadixOverflowFallback(t *testing.T) {
+	ncols := 10
+	attrs := make([]Attribute, ncols)
+	for i := range attrs {
+		attrs[i] = Attribute{Name: fmt.Sprintf("w%d", i), Kind: QuasiIdentifier, Type: Categorical}
+	}
+	tbl := NewTable(MustSchema(attrs...))
+	rng := rand.New(rand.NewSource(3))
+	for r := 0; r < 300; r++ {
+		row := make(Row, ncols)
+		for i := range row {
+			// ~150 distinct values per column: 150^10 overflows uint64.
+			row[i] = fmt.Sprintf("v%03d", rng.Intn(150))
+		}
+		if err := tbl.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	classes, err := tbl.GroupBy(tbl.Schema().Names()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, c := range classes {
+		total += c.Size()
+		if i > 0 && classes[i-1].Signature >= c.Signature {
+			t.Fatal("fallback classes not sorted by signature")
+		}
+	}
+	if total != tbl.Len() {
+		t.Fatalf("fallback classes cover %d rows, want %d", total, tbl.Len())
+	}
+}

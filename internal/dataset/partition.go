@@ -1,6 +1,8 @@
 package dataset
 
 import (
+	"math"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -33,19 +35,163 @@ func SplitSignature(sig string) []string { return strings.Split(sig, signatureSe
 // GroupBy partitions the table into equivalence classes over the named
 // columns. Classes are returned in deterministic order (sorted by signature)
 // and each class lists its member row indices in table order.
+//
+// Grouping runs over the dictionary-encoded columnar view: each row's key is
+// the mixed-radix combination of its interned value codes — a single uint64
+// that identifies the value tuple exactly — so the hot loop does one integer
+// map operation per row and allocates nothing per row. Member-row sets and
+// per-class value slices are carved out of shared arenas, and the string
+// signature is materialized once per class, byte-identical to the historical
+// string-join implementation (which remains as groupBySignature, both as the
+// fallback when the cardinality product overflows and as the reference
+// implementation for equivalence tests).
 func (t *Table) GroupBy(columns ...string) ([]EquivalenceClass, error) {
-	idx := make([]int, len(columns))
+	cols := make([]int, len(columns))
 	for i, c := range columns {
 		ci, err := t.schema.Index(c)
 		if err != nil {
 			return nil, err
 		}
-		idx[i] = ci
+		cols[i] = ci
 	}
+	n := len(t.rows)
+	if n == 0 {
+		return []EquivalenceClass{}, nil
+	}
+	k := len(cols)
+	coded := make([]*CodedColumn, k)
+	radix := make([]uint64, k)
+	prod := uint64(1)
+	for i, ci := range cols {
+		cc, err := t.CodedColumn(ci)
+		if err != nil {
+			return nil, err
+		}
+		if !cc.clean {
+			// A value contains a control byte: it could embed the 0x1f
+			// signature separator, in which case distinct value tuples can
+			// join to one signature and must be merged exactly as the
+			// historical implementation merged them (and rank order is no
+			// longer signature byte order). Delegate wholesale.
+			return t.groupBySignature(cols)
+		}
+		coded[i] = cc
+		card := uint64(cc.Cardinality())
+		radix[i] = card
+		if prod > math.MaxUint64/card {
+			// The exact combined key does not fit 64 bits (astronomically
+			// wide groupings only); fall back to string signatures.
+			return t.groupBySignature(cols)
+		}
+		prod *= card
+	}
+
+	// Pass 1: assign every row to a group via its exact combined key.
+	type grp struct {
+		key        uint64
+		count, off int32
+	}
+	first := make(map[uint64]int32, n/4+8)
+	groups := make([]grp, 0, 64)
+	rowGroup := make([]int32, n)
+	for r := 0; r < n; r++ {
+		key := uint64(0)
+		for i, cc := range coded {
+			key = key*radix[i] + uint64(cc.Codes[r])
+		}
+		gi, ok := first[key]
+		if !ok {
+			gi = int32(len(groups))
+			groups = append(groups, grp{key: key})
+			first[key] = gi
+		}
+		groups[gi].count++
+		rowGroup[r] = gi
+	}
+
+	// Order classes before materializing. The dictionaries are free of
+	// control bytes (checked above), so the mixed-radix combination of
+	// per-value lexicographic ranks orders classes exactly like a byte
+	// comparison of their joined signatures would (values cannot contain the
+	// 0x1f separator or anything below it): the sort compares integers
+	// instead of strings.
+	type ranked struct {
+		rk uint64
+		gi int32
+	}
+	perm := make([]ranked, len(groups))
+	for gi, g := range groups {
+		key := g.key
+		rk := uint64(0)
+		weight := uint64(1)
+		for i := k - 1; i >= 0; i-- {
+			rk += uint64(coded[i].ranks[key%radix[i]]) * weight
+			weight *= radix[i]
+			key /= radix[i]
+		}
+		perm[gi] = ranked{rk: rk, gi: int32(gi)}
+	}
+	slices.SortFunc(perm, func(a, b ranked) int {
+		if a.rk < b.rk {
+			return -1
+		}
+		if a.rk > b.rk {
+			return 1
+		}
+		return 0
+	})
+
+	// Pass 2: scatter rows into one shared arena, preserving table order
+	// within each class.
+	rowsArena := make([]int, n)
+	cursor := make([]int32, len(groups))
+	off := int32(0)
+	for gi := range groups {
+		groups[gi].off = off
+		cursor[gi] = off
+		off += groups[gi].count
+	}
+	for r := 0; r < n; r++ {
+		gi := rowGroup[r]
+		rowsArena[cursor[gi]] = r
+		cursor[gi]++
+	}
+
+	// Materialize classes in output order: decode each group key back into
+	// value strings carved from a shared arena.
+	out := make([]EquivalenceClass, len(groups))
+	valuesArena := make([]string, len(groups)*k)
+	for oi, p := range perm {
+		g := groups[p.gi]
+		values := valuesArena[oi*k : (oi+1)*k : (oi+1)*k]
+		key := g.key
+		for i := k - 1; i >= 0; i-- {
+			values[i] = coded[i].Dict[key%radix[i]]
+			key /= radix[i]
+		}
+		sig := Signature(values)
+		if k == 0 {
+			// Preserve the historical string-split behavior: grouping by no
+			// columns yields Values == [""], not an empty slice.
+			values = SplitSignature(sig)
+		}
+		out[oi] = EquivalenceClass{
+			Signature: sig,
+			Values:    values,
+			Rows:      rowsArena[g.off : g.off+g.count : g.off+g.count],
+		}
+	}
+	return out, nil
+}
+
+// groupBySignature is the historical string-join grouping used when the
+// coded-key space overflows uint64, and the reference implementation that
+// coded grouping is tested against.
+func (t *Table) groupBySignature(cols []int) ([]EquivalenceClass, error) {
 	groups := make(map[string][]int)
 	for r, row := range t.rows {
-		key := make([]string, len(idx))
-		for i, c := range idx {
+		key := make([]string, len(cols))
+		for i, c := range cols {
 			key[i] = row[c]
 		}
 		sig := Signature(key)

@@ -3,11 +3,11 @@ package dataset
 import (
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Common table errors.
@@ -22,6 +22,9 @@ var (
 	ErrNotNumeric = errors.New("dataset: value is not numeric")
 	// ErrEmptyTable is returned by operations that require at least one row.
 	ErrEmptyTable = errors.New("dataset: table has no rows")
+	// ErrSchemaMismatch is returned when two tables that must share an equal
+	// schema (same names, kinds and types, in order) do not.
+	ErrSchemaMismatch = errors.New("dataset: schemas are not equal")
 )
 
 // SuppressedValue is the conventional marker used for fully suppressed cells.
@@ -43,11 +46,18 @@ func (r Row) Clone() Row {
 type Table struct {
 	schema *Schema
 	rows   []Row
+	// cache holds the lazily-built columnar views (see column.go). Tables
+	// that share row storage (WithSchema views) share the cache. All
+	// constructors set it; cacheOnce guards the fallback initialization for
+	// tables built by in-package struct literals so that concurrent column
+	// accessors never race on the pointer.
+	cache     *colCache
+	cacheOnce sync.Once
 }
 
 // NewTable returns an empty table with the given schema.
 func NewTable(schema *Schema) *Table {
-	return &Table{schema: schema}
+	return &Table{schema: schema, cache: newColCache()}
 }
 
 // FromRows builds a table from the given rows, validating arity. Rows are
@@ -74,6 +84,7 @@ func (t *Table) Append(r Row) error {
 		return fmt.Errorf("%w: got %d values, want %d", ErrRowArity, len(r), t.schema.Len())
 	}
 	t.rows = append(t.rows, r.Clone())
+	t.cache.invalidateAll()
 	return nil
 }
 
@@ -108,6 +119,7 @@ func (t *Table) SetValue(i, col int, v string) error {
 		return fmt.Errorf("dataset: column index %d out of range", col)
 	}
 	r[col] = v
+	t.cache.invalidateCol(col)
 	return nil
 }
 
@@ -125,10 +137,17 @@ func (t *Table) Float(i, col int) (float64, error) {
 }
 
 // Clone returns a deep copy of the table (same schema pointer, copied rows).
+// All cloned rows share one backing arena, which makes cloning a single
+// allocation per table instead of one per row; rows remain independent
+// fixed-capacity subslices.
 func (t *Table) Clone() *Table {
-	out := &Table{schema: t.schema, rows: make([]Row, len(t.rows))}
+	out := &Table{schema: t.schema, rows: make([]Row, len(t.rows)), cache: newColCache()}
+	k := t.schema.Len()
+	arena := make([]string, len(t.rows)*k)
 	for i, r := range t.rows {
-		out.rows[i] = r.Clone()
+		nr := arena[i*k : (i+1)*k : (i+1)*k]
+		copy(nr, r)
+		out.rows[i] = nr
 	}
 	return out
 }
@@ -179,31 +198,17 @@ func (t *Table) Frequencies(name string) (map[string]int, error) {
 
 // NumericRange returns the minimum and maximum of a numeric column. Values
 // that do not parse as numbers (for example suppressed cells) are skipped; if
-// no value parses, ErrNotNumeric is returned.
+// no value parses, ErrNotNumeric is returned. The scan is served from the
+// parse-once FloatColumn cache.
 func (t *Table) NumericRange(name string) (min, max float64, err error) {
-	col, err := t.schema.Index(name)
+	fc, err := t.FloatColumnByName(name)
 	if err != nil {
 		return 0, 0, err
 	}
-	min, max = math.Inf(1), math.Inf(-1)
-	found := false
-	for i := range t.rows {
-		f, ferr := strconv.ParseFloat(strings.TrimSpace(t.rows[i][col]), 64)
-		if ferr != nil {
-			continue
-		}
-		found = true
-		if f < min {
-			min = f
-		}
-		if f > max {
-			max = f
-		}
-	}
-	if !found {
+	if fc.ValidCount == 0 {
 		return 0, 0, fmt.Errorf("%w: column %q has no numeric values", ErrNotNumeric, name)
 	}
-	return min, max, nil
+	return fc.Min, fc.Max, nil
 }
 
 // Project returns a new table containing only the named columns, in order.
@@ -306,19 +311,25 @@ func (t *Table) WithSchema(s *Schema) (*Table, error) {
 	if s.Len() != t.schema.Len() {
 		return nil, fmt.Errorf("dataset: schema arity %d does not match table arity %d", s.Len(), t.schema.Len())
 	}
-	return &Table{schema: s, rows: t.rows}, nil
+	// The view shares row storage, so it also shares the columnar cache:
+	// a mutation through either table invalidates both.
+	return &Table{schema: s, rows: t.rows, cache: t.colcache()}, nil
 }
 
-// AppendTable appends all rows of other (which must share an equal schema
-// layout) to the table.
+// AppendTable appends all rows of other to the table. The schemas must be
+// fully equal — same attribute names, kinds and types in the same order — not
+// merely the same arity; appending rows under a re-typed or renamed schema
+// would silently change their meaning. Callers that intend such a re-typing
+// must make it explicit with WithSchema first.
 func (t *Table) AppendTable(other *Table) error {
-	if other.schema.Len() != t.schema.Len() {
-		return fmt.Errorf("dataset: cannot append table with arity %d to table with arity %d",
-			other.schema.Len(), t.schema.Len())
+	if !t.schema.Equal(other.schema) {
+		return fmt.Errorf("%w: cannot append table with schema %v to table with schema %v",
+			ErrSchemaMismatch, other.schema.Names(), t.schema.Names())
 	}
 	for _, r := range other.rows {
 		t.rows = append(t.rows, r.Clone())
 	}
+	t.cache.invalidateAll()
 	return nil
 }
 

@@ -173,15 +173,20 @@ func NCP(original, released *dataset.Table, hs *hierarchy.Set) (float64, error) 
 		infos = append(infos, ci)
 	}
 
-	total := 0.0
-	cells := 0
-	for r := 0; r < released.Len(); r++ {
-		row, err := released.Row(r)
+	// The released table holds a handful of distinct values per column (that
+	// is the point of generalization), so compute the span of each distinct
+	// value once and stream the per-cell sum over the dictionary codes —
+	// no cell is parsed or matched against hierarchies more than once.
+	spans := make([][]float64, len(infos))
+	codes := make([][]uint32, len(infos))
+	for i, ci := range infos {
+		cc, err := released.CodedColumn(ci.col)
 		if err != nil {
 			return 0, err
 		}
-		for _, ci := range infos {
-			v := row[ci.col]
+		spans[i] = make([]float64, cc.Cardinality())
+		codes[i] = cc.Codes
+		for code, v := range cc.Dict {
 			var span float64
 			if ci.numeric {
 				span = numericSpan(v, ci.domain)
@@ -196,7 +201,16 @@ func NCP(original, released *dataset.Table, hs *hierarchy.Set) (float64, error) 
 			if span > 1 {
 				span = 1
 			}
-			total += span
+			spans[i][code] = span
+		}
+	}
+	total := 0.0
+	cells := 0
+	// Accumulate row-major so the floating-point sum is bit-identical to the
+	// historical per-cell implementation.
+	for r := 0; r < released.Len(); r++ {
+		for i := range infos {
+			total += spans[i][codes[i][r]]
 			cells++
 		}
 	}

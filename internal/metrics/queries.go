@@ -47,24 +47,60 @@ func (q CountQuery) String() string {
 }
 
 // ExactCount evaluates the query on a table of raw (ungeneralized) values.
+// Range predicates scan the parse-once FloatColumn and equality predicates
+// compare interned dictionary codes, so no cell is parsed or compared as a
+// string in the per-row loop.
 func ExactCount(t *dataset.Table, q CountQuery) (int, error) {
-	cols := make([]int, len(q.Conditions))
+	type matcher struct {
+		isRange bool
+		fc      *dataset.FloatColumn
+		lo, hi  float64
+		codes   []uint32
+		code    uint32
+	}
+	matchers := make([]matcher, len(q.Conditions))
+	impossible := false
 	for i, c := range q.Conditions {
 		idx, err := t.Schema().Index(c.Attribute)
 		if err != nil {
 			return 0, err
 		}
-		cols[i] = idx
-	}
-	count := 0
-	for r := 0; r < t.Len(); r++ {
-		row, err := t.Row(r)
+		if c.IsRange {
+			fc, err := t.FloatColumn(idx)
+			if err != nil {
+				return 0, err
+			}
+			matchers[i] = matcher{isRange: true, fc: fc, lo: c.Lo, hi: c.Hi}
+			continue
+		}
+		cc, err := t.CodedColumn(idx)
 		if err != nil {
 			return 0, err
 		}
+		code, present := cc.Code(c.Equals)
+		if !present {
+			// The value never occurs: the conjunctive query cannot match.
+			// Keep resolving the remaining conditions so unknown attributes
+			// still error, then skip the scan.
+			impossible = true
+			continue
+		}
+		matchers[i] = matcher{codes: cc.Codes, code: code}
+	}
+	if impossible {
+		return 0, nil
+	}
+	count := 0
+	for r := 0; r < t.Len(); r++ {
 		match := true
-		for i, c := range q.Conditions {
-			if !matchesExact(row[cols[i]], c) {
+		for i := range matchers {
+			m := &matchers[i]
+			if m.isRange {
+				if !m.fc.Valid[r] || m.fc.Values[r] < m.lo || m.fc.Values[r] >= m.hi {
+					match = false
+					break
+				}
+			} else if m.codes[r] != m.code {
 				match = false
 				break
 			}
@@ -76,6 +112,8 @@ func ExactCount(t *dataset.Table, q CountQuery) (int, error) {
 	return count, nil
 }
 
+// matchesExact is the single-cell reference semantics of ExactCount's
+// predicates, kept for tests and documentation.
 func matchesExact(value string, c Condition) bool {
 	if c.IsRange {
 		f, err := strconv.ParseFloat(strings.TrimSpace(value), 64)
@@ -93,24 +131,34 @@ func matchesExact(value string, c Condition) bool {
 // generalizations use the fraction of covered leaves that satisfy the
 // predicate (1/groupSize for equality predicates); suppressed cells
 // contribute the predicate's selectivity over the original domain.
+// EstimateCount memoizes the per-value match probability over each column's
+// dictionary: a released column holds few distinct (generalized) values, so
+// the interval parsing and hierarchy walks run once per distinct value and
+// the per-row loop is pure table lookups.
 func EstimateCount(released *dataset.Table, q CountQuery, hs *hierarchy.Set) (float64, error) {
-	cols := make([]int, len(q.Conditions))
+	codes := make([][]uint32, len(q.Conditions))
+	probs := make([][]float64, len(q.Conditions))
 	for i, c := range q.Conditions {
 		idx, err := released.Schema().Index(c.Attribute)
 		if err != nil {
 			return 0, err
 		}
-		cols[i] = idx
-	}
-	total := 0.0
-	for r := 0; r < released.Len(); r++ {
-		row, err := released.Row(r)
+		cc, err := released.CodedColumn(idx)
 		if err != nil {
 			return 0, err
 		}
+		codes[i] = cc.Codes
+		probs[i] = make([]float64, cc.Cardinality())
+		h := lookup(hs, c.Attribute)
+		for code, v := range cc.Dict {
+			probs[i][code] = matchProbability(v, c, h)
+		}
+	}
+	total := 0.0
+	for r := 0; r < released.Len(); r++ {
 		p := 1.0
-		for i, c := range q.Conditions {
-			p *= matchProbability(row[cols[i]], c, lookup(hs, c.Attribute))
+		for i := range probs {
+			p *= probs[i][codes[i][r]]
 			if p == 0 {
 				break
 			}
