@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-quick bench-full ci
+.PHONY: all build test vet race fmt-check linkcheck serve bench-quick bench-full ci
 
 all: build
 
@@ -12,6 +12,21 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Fail when any file needs gofmt (mirrors the CI Format step).
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+# Verify relative links in the documentation resolve.
+linkcheck:
+	$(GO) run ./cmd/mdlinkcheck README.md CHANGES.md ROADMAP.md docs
+
+# Run the HTTP anonymization service with a preloaded census table.
+serve:
+	$(GO) run ./cmd/ppdp serve -preload census=5000
 
 # Race-detector run; also exercises the parallel Mondrian recursion.
 race:
@@ -25,4 +40,4 @@ bench-quick:
 bench-full:
 	$(GO) test -run '^$$' -bench . -benchmem -ppdp.full .
 
-ci: build vet test race
+ci: build fmt-check vet linkcheck test race

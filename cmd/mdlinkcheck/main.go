@@ -1,0 +1,148 @@
+// Command mdlinkcheck verifies that the relative links in markdown files
+// resolve to files that exist in the repository, so documentation rot is
+// caught by CI instead of by readers. It checks inline links ([text](target))
+// and bare reference definitions ([label]: target); external links (anything
+// with a URL scheme) and pure in-page anchors are skipped because offline CI
+// cannot and need not resolve them.
+//
+// Usage:
+//
+//	mdlinkcheck [file.md | dir]...
+//
+// Directories are walked recursively for *.md files. With no arguments it
+// checks README.md and docs/. The exit status is 1 when any link is broken.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	targets := os.Args[1:]
+	if len(targets) == 0 {
+		targets = []string{"README.md", "docs"}
+	}
+	broken, err := check(targets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdlinkcheck:", err)
+		os.Exit(2)
+	}
+	for _, b := range broken {
+		fmt.Fprintln(os.Stderr, b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinkcheck: %d broken link(s)\n", len(broken))
+		os.Exit(1)
+	}
+}
+
+// check expands the targets into markdown files and returns one message per
+// broken link.
+func check(targets []string) ([]string, error) {
+	files, err := collectFiles(targets)
+	if err != nil {
+		return nil, err
+	}
+	var broken []string
+	for _, f := range files {
+		b, err := checkFile(f)
+		if err != nil {
+			return nil, err
+		}
+		broken = append(broken, b...)
+	}
+	return broken, nil
+}
+
+// collectFiles resolves the given files and directories into a list of
+// markdown files. Missing targets are an error: a CI invocation that names a
+// file that no longer exists should fail loudly, not pass vacuously.
+func collectFiles(targets []string) ([]string, error) {
+	var files []string
+	for _, t := range targets {
+		info, err := os.Stat(t)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, t)
+			continue
+		}
+		err = filepath.WalkDir(t, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}
+
+// linkPattern matches inline markdown links and images; the first group is
+// the target. Optional titles ([t](file "title")) are excluded from the
+// target.
+var linkPattern = regexp.MustCompile(`!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+"[^"]*")?\s*\)`)
+
+// refPattern matches reference-style definitions at line start:
+// [label]: target
+// The target class excludes '>' so angle-bracketed targets ([l]: <file.md>)
+// capture the path, not the closing bracket.
+var refPattern = regexp.MustCompile(`(?m)^\s*\[[^\]]+\]:\s+<?([^>\s]+)>?`)
+
+// checkFile returns one message per broken relative link in the file.
+func checkFile(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	var broken []string
+	seen := map[string]bool{}
+	for _, m := range append(linkPattern.FindAllStringSubmatch(string(raw), -1),
+		refPattern.FindAllStringSubmatch(string(raw), -1)...) {
+		target := m[1]
+		if seen[target] {
+			continue
+		}
+		seen[target] = true
+		if skipTarget(target) {
+			continue
+		}
+		// Drop the in-page fragment; anchor validity is out of scope.
+		file := target
+		if i := strings.IndexByte(file, '#'); i >= 0 {
+			file = file[:i]
+		}
+		if file == "" {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, file)); err != nil {
+			broken = append(broken, fmt.Sprintf("%s: broken link %q", path, target))
+		}
+	}
+	return broken, nil
+}
+
+// skipTarget reports whether a link target is external (scheme-qualified) or
+// a pure anchor and therefore not checked.
+func skipTarget(target string) bool {
+	if strings.HasPrefix(target, "#") {
+		return true
+	}
+	// A scheme like https:, mailto:, tel: — a colon before any slash.
+	if i := strings.IndexAny(target, ":/"); i >= 0 && target[i] == ':' {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckFileSyntheticCases(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "exists.md"), []byte("# hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sub", "deep.md"), []byte("# deep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := `# Test
+[good](exists.md) and [deep](sub/deep.md) and [anchor](exists.md#section)
+[external](https://example.com/x.md) [mail](mailto:a@b.c) [pure anchor](#here)
+![image](missing.png)
+[broken](nope.md) [broken twice](nope.md)
+[ref link][r1]
+
+[r1]: sub/deep.md
+[r2]: gone.md
+[r3]: <sub/deep.md>
+`
+	main := filepath.Join(dir, "main.md")
+	if err := os.WriteFile(main, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	broken, err := checkFile(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly three distinct broken targets: missing.png, nope.md (deduped),
+	// gone.md.
+	if len(broken) != 3 {
+		t.Fatalf("broken = %v, want 3 entries", broken)
+	}
+	joined := strings.Join(broken, "\n")
+	for _, want := range []string{"missing.png", "nope.md", "gone.md"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("broken output misses %q: %v", want, broken)
+		}
+	}
+	for _, unwanted := range []string{"exists.md", "deep.md", "example.com"} {
+		if strings.Contains(joined, unwanted) {
+			t.Errorf("false positive on %q: %v", unwanted, broken)
+		}
+	}
+}
+
+func TestCollectFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, f := range []string{"a.md", "b.MD", "c.txt", "sub/d.md"} {
+		path := filepath.Join(dir, f)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := collectFiles([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("collectFiles = %v, want the 3 markdown files", files)
+	}
+	if _, err := collectFiles([]string{filepath.Join(dir, "missing.md")}); err == nil {
+		t.Error("missing target did not error")
+	}
+}
+
+// TestRepositoryDocs gates the repository's own documentation: every
+// relative link in the top-level markdown files and docs/ must resolve.
+// This is the tier-1 hook behind the CI link-check step.
+func TestRepositoryDocs(t *testing.T) {
+	root := filepath.Join("..", "..")
+	var targets []string
+	for _, name := range []string{"README.md", "CHANGES.md", "ROADMAP.md", "docs"} {
+		if _, err := os.Stat(filepath.Join(root, name)); err == nil {
+			targets = append(targets, filepath.Join(root, name))
+		}
+	}
+	if len(targets) == 0 {
+		t.Skip("no documentation found (running outside the repository?)")
+	}
+	broken, err := check(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range broken {
+		t.Error(b)
+	}
+}

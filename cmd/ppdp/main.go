@@ -1,17 +1,39 @@
 // Command ppdp is the command-line interface of the privacy-preserving data
 // publishing library. It can generate the synthetic benchmark datasets,
-// anonymize a CSV table with any of the implemented algorithms, assess
+// anonymize a CSV table with any of the seven implemented algorithms, assess
 // re-identification and attribute-disclosure risk of a release, evaluate
-// utility metrics, and run the survey-reproduction experiments.
+// utility metrics, run the survey-reproduction experiments, and serve the
+// whole pipeline as a long-running HTTP service.
 //
 // Usage:
 //
 //	ppdp generate  -dataset census|hospital -rows N -seed S -out file.csv
-//	ppdp anonymize -dataset census|hospital -in file.csv -algorithm mondrian -k 10 [-l 3] [-t 0.2] -out out.csv
-//	ppdp risk      -dataset census|hospital -in file.csv
-//	ppdp utility   -dataset census|hospital -original orig.csv -released rel.csv
-//	ppdp experiment -id E1 [-quick] [-rows N]
-//	ppdp experiment -all [-quick]
+//	ppdp anonymize -dataset census|hospital -in file.csv -algorithm A [flags] -out out.csv
+//	ppdp risk      -dataset census|hospital -in file.csv [-threshold 0.2]
+//	ppdp utility   -dataset census|hospital -original orig.csv -released rel.csv [-k 10]
+//	ppdp experiment -id E1 [-quick] [-rows N] | -all [-quick]
+//	ppdp serve     [-addr :8080] [-workers N] [-timeout 60s] [-preload census=5000]
+//
+// The anonymize subcommand accepts any of the seven algorithms; each reads
+// the subset of flags that applies to it:
+//
+//	mondrian   -k [-l -t -sensitive -diversity -c -strict -workers]
+//	           multidimensional greedy partitioning (the default)
+//	datafly    -k [-max-suppression]
+//	           greedy full-domain generalization with record suppression
+//	incognito  -k [-l -t -sensitive -diversity -c]
+//	           optimal full-domain generalization lattice search
+//	samarati   -k [-max-suppression]
+//	           binary search on lattice height with record suppression
+//	topdown    -k [-l -t -sensitive -diversity -c]
+//	           top-down specialization from the fully generalized table
+//	kmember    -k
+//	           greedy k-member clustering
+//	anatomy    -l [-sensitive]
+//	           l-diverse bucketization into QIT/ST tables (no generalization)
+//
+// `ppdp serve` exposes the same pipeline over HTTP — see internal/server and
+// docs/ARCHITECTURE.md for the endpoint reference.
 package main
 
 import (
@@ -51,6 +73,8 @@ func run(args []string) error {
 		return cmdUtility(args[1:])
 	case "experiment":
 		return cmdExperiment(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -68,20 +92,26 @@ subcommands:
   anonymize   anonymize a CSV dataset with k-anonymity / l-diversity / t-closeness
   risk        assess re-identification and attribute-disclosure risk of a release
   utility     compare a released table against the original with utility metrics
-  experiment  run one or all of the survey-reproduction experiments (E1-E12)`)
-}
+  experiment  run one or all of the survey-reproduction experiments (E1-E12)
+  serve       run the HTTP anonymization service (see docs/ARCHITECTURE.md)
 
-// datasetSpec resolves the schema and hierarchies of the named benchmark
-// dataset family.
-func datasetSpec(name string) (*dataset.Schema, *hierarchy.Set, error) {
-	switch name {
-	case "census":
-		return synth.CensusSchema(), synth.CensusHierarchies(), nil
-	case "hospital":
-		return synth.HospitalSchema(), synth.HospitalHierarchies(), nil
-	default:
-		return nil, nil, fmt.Errorf("unknown dataset family %q (want census or hospital)", name)
-	}
+anonymize algorithms (-algorithm) and the flags each one reads:
+  mondrian    -k [-l -t -sensitive -diversity -c -strict -workers]
+              multidimensional greedy partitioning (default)
+  datafly     -k [-max-suppression]
+              greedy full-domain generalization with suppression
+  incognito   -k [-l -t -sensitive -diversity -c]
+              optimal full-domain lattice search
+  samarati    -k [-max-suppression]
+              binary lattice-height search with suppression
+  topdown     -k [-l -t -sensitive -diversity -c]
+              top-down specialization from full generalization
+  kmember     -k
+              greedy k-member clustering
+  anatomy     -l [-sensitive]
+              l-diverse bucketization into QIT/ST (no generalization)
+
+run 'ppdp <subcommand> -h' for the full flag list of a subcommand.`)
 }
 
 func cmdGenerate(args []string) error {
@@ -93,15 +123,11 @@ func cmdGenerate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var tbl *dataset.Table
-	switch *datasetName {
-	case "census":
-		tbl = synth.Census(*rows, *seed)
-	case "hospital":
-		tbl = synth.Hospital(*rows, *seed)
-	default:
-		return fmt.Errorf("unknown dataset family %q", *datasetName)
+	family, err := synth.FamilyByName(*datasetName)
+	if err != nil {
+		return err
 	}
+	tbl := family.Generate(*rows, *seed)
 	if *out == "" {
 		return tbl.WriteCSV(os.Stdout)
 	}
@@ -112,33 +138,19 @@ func cmdGenerate(args []string) error {
 	return nil
 }
 
-// loadTable reads a CSV in the named dataset family. Released tables have
-// their direct-identifier columns dropped, so when the full schema does not
-// match, the identifier-free schema is tried as well.
+// loadTable reads a CSV in the named dataset family (full schema with an
+// identifier-free fallback for released tables — see synth.Family.ReadCSV)
+// and returns it with the family's hierarchies.
 func loadTable(family, path string) (*dataset.Table, *hierarchy.Set, error) {
-	schema, hs, err := datasetSpec(family)
+	f, err := synth.FamilyByName(family)
 	if err != nil {
 		return nil, nil, err
 	}
-	tbl, err := dataset.ReadCSVFile(schema, path)
-	if err == nil {
-		return tbl, hs, nil
-	}
-	var keep []dataset.Attribute
-	for _, a := range schema.Attributes() {
-		if a.Kind != dataset.Identifier {
-			keep = append(keep, a)
-		}
-	}
-	released, serr := dataset.NewSchema(keep...)
-	if serr != nil {
+	tbl, err := f.ReadCSVFile(path)
+	if err != nil {
 		return nil, nil, err
 	}
-	tbl, rerr := dataset.ReadCSVFile(released, path)
-	if rerr != nil {
-		return nil, nil, fmt.Errorf("%v (also tried identifier-free schema: %v)", err, rerr)
-	}
-	return tbl, hs, nil
+	return tbl, f.Hierarchies(), nil
 }
 
 func cmdAnonymize(args []string) error {
@@ -148,8 +160,13 @@ func cmdAnonymize(args []string) error {
 	out := fs.String("out", "", "output CSV path (stdout when empty)")
 	algorithm := fs.String("algorithm", "mondrian", "mondrian|datafly|incognito|samarati|topdown|kmember|anatomy")
 	k := fs.Int("k", 10, "k-anonymity parameter")
-	l := fs.Int("l", 0, "l-diversity parameter (0 disables)")
+	l := fs.Int("l", 0, "l-diversity parameter (0 disables; anatomy requires >= 2)")
 	t := fs.Float64("t", 0, "t-closeness parameter (0 disables)")
+	diversity := fs.String("diversity", "", "l-diversity variant: distinct|entropy|recursive (distinct when empty)")
+	c := fs.Float64("c", 0, "recursive (c,l)-diversity constant (default 3)")
+	sensitive := fs.String("sensitive", "", "sensitive attribute (defaults to the schema's first sensitive column)")
+	strict := fs.Bool("strict", false, "strict Mondrian partitioning (never separate equal values)")
+	workers := fs.Int("workers", 0, "Mondrian worker pool bound (0 = GOMAXPROCS)")
 	suppress := fs.Float64("max-suppression", 0.02, "maximum fraction of suppressed records (datafly/samarati)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -157,11 +174,13 @@ func cmdAnonymize(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("anonymize: -in is required")
 	}
-	tbl, hs, err := loadTable(*datasetName, *in)
+	// Validate the cheap flags before touching the filesystem so usage
+	// errors do not depend on the input file being readable.
+	alg, err := core.ParseAlgorithm(*algorithm)
 	if err != nil {
 		return err
 	}
-	alg, err := core.ParseAlgorithm(*algorithm)
+	tbl, hs, err := loadTable(*datasetName, *in)
 	if err != nil {
 		return err
 	}
@@ -170,6 +189,11 @@ func cmdAnonymize(args []string) error {
 		K:              *k,
 		L:              *l,
 		T:              *t,
+		DiversityMode:  core.DiversityMode(*diversity),
+		C:              *c,
+		Sensitive:      *sensitive,
+		StrictMondrian: *strict,
+		Workers:        *workers,
 		Hierarchies:    hs,
 		MaxSuppression: *suppress,
 	})

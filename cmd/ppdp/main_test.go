@@ -1,6 +1,10 @@
 package main
 
 import (
+	"os"
+	"strings"
+
+	"github.com/ppdp/ppdp/internal/server"
 	"path/filepath"
 	"testing"
 )
@@ -55,5 +59,99 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"help"}); err != nil {
 		t.Errorf("help returned error: %v", err)
+	}
+}
+
+// TestAnonymizeFlagErrors covers the anonymize flag-parsing and validation
+// error paths: missing input, unknown algorithm, and privacy parameters the
+// core config rejects.
+func TestAnonymizeFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	census := filepath.Join(dir, "census.csv")
+	if err := run([]string{"generate", "-dataset", "census", "-rows", "120", "-seed", "1", "-out", census}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"missing -in", []string{"anonymize", "-dataset", "census"}, "-in is required"},
+		{"unknown algorithm", []string{"anonymize", "-in", census, "-algorithm", "bogus"}, "unknown algorithm"},
+		// The algorithm is validated before the input file is opened.
+		{"unknown algorithm without file", []string{"anonymize", "-in", "/does/not/exist.csv", "-algorithm", "bogus"}, "unknown algorithm"},
+		{"invalid k", []string{"anonymize", "-in", census, "-k", "0"}, "K must be at least 1"},
+		{"negative l", []string{"anonymize", "-in", census, "-k", "5", "-l", "-2"}, "invalid configuration"},
+		{"t out of range", []string{"anonymize", "-in", census, "-k", "5", "-t", "1.5"}, "invalid configuration"},
+		{"anatomy needs l", []string{"anonymize", "-in", census, "-algorithm", "anatomy"}, "anatomy requires L >= 2"},
+		{"bad suppression", []string{"anonymize", "-in", census, "-max-suppression", "2"}, "invalid configuration"},
+		{"negative workers", []string{"anonymize", "-in", census, "-workers", "-1"}, "invalid configuration"},
+		{"unparseable flag", []string{"anonymize", "-in", census, "-k", "abc"}, "invalid value"},
+		{"unknown flag", []string{"anonymize", "-in", census, "-bogus-flag"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("%s: run(%v) succeeded, want error", tc.name, tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestAnonymizeExtendedFlags drives the newer anonymize flags end-to-end.
+func TestAnonymizeExtendedFlags(t *testing.T) {
+	dir := t.TempDir()
+	hosp := filepath.Join(dir, "hospital.csv")
+	out := filepath.Join(dir, "anon.csv")
+	if err := run([]string{"generate", "-dataset", "hospital", "-rows", "300", "-seed", "3", "-out", hosp}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"anonymize", "-dataset", "hospital", "-in", hosp, "-out", out,
+		"-algorithm", "mondrian", "-k", "5", "-l", "2",
+		"-diversity", "recursive", "-c", "4", "-sensitive", "diagnosis",
+		"-strict", "-workers", "2",
+	})
+	if err != nil {
+		t.Fatalf("extended flags: %v", err)
+	}
+	if _, statErr := os.Stat(out); statErr != nil {
+		t.Fatalf("no output written: %v", statErr)
+	}
+}
+
+// TestServeFlagErrors covers the serve subcommand's flag validation without
+// binding a listener.
+func TestServeFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"serve", "-bogus-flag"},
+		{"serve", "-preload", "bogus=100"},
+		{"serve", "-preload", "census=abc"},
+		{"serve", "-preload", "census=0"},
+		{"serve", "-preload", "census=-5"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestPreloadDataset checks the -preload spec parser against a real server.
+func TestPreloadDataset(t *testing.T) {
+	srv := server.New(server.Config{})
+	if err := preloadDataset(srv, "hospital=150"); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	// Same name twice collides.
+	if err := preloadDataset(srv, "hospital=150"); err == nil {
+		t.Error("duplicate preload succeeded")
+	}
+	// Bare family defaults to 5000 rows under the family name.
+	if err := preloadDataset(srv, "census"); err != nil {
+		t.Fatalf("bare family preload: %v", err)
 	}
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"github.com/ppdp/ppdp/internal/server"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+// cmdServe runs the HTTP anonymization service until SIGINT/SIGTERM, then
+// shuts down gracefully.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", server.DefaultAddr, "listen address")
+	workers := fs.Int("workers", 0, "Mondrian worker pool bound per request (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", server.DefaultRequestTimeout, "per-request anonymization timeout")
+	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
+	preload := fs.String("preload", "", "preload a synthetic dataset, e.g. census=5000 or hospital=10000")
+	quiet := fs.Bool("quiet", false, "disable request logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := server.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+	}
+	if !*quiet {
+		cfg.Log = log.New(os.Stderr, "", log.LstdFlags)
+	}
+	srv := server.New(cfg)
+	if *preload != "" {
+		if err := preloadDataset(srv, *preload); err != nil {
+			return err
+		}
+		if cfg.Log != nil {
+			cfg.Log.Printf("preloaded dataset %q", *preload)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.ListenAndServe(ctx)
+}
+
+// preloadDataset registers a synthetic dataset before serving, so a fresh
+// process answers anonymize calls without a prior upload. The spec is
+// family[=rows]; the dataset is stored under the family name.
+func preloadDataset(srv *server.Server, spec string) error {
+	family, rows := spec, 5000
+	if name, val, ok := strings.Cut(spec, "="); ok {
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("serve: -preload rows %q must be a positive integer", val)
+		}
+		family, rows = name, n
+	}
+	f, err := synth.FamilyByName(family)
+	if err != nil {
+		return fmt.Errorf("serve: -preload: %w", err)
+	}
+	return srv.AddDataset(f.Name, f.Name, f.Generate(rows, 42), f.Hierarchies())
+}

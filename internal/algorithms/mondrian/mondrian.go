@@ -18,9 +18,16 @@
 // bounded worker pool (see Config.Workers); the result is deterministic
 // regardless of worker count because every partition is split identically and
 // final groups are ordered by their smallest member row index.
+//
+// Runs are cancelable: AnonymizeContext threads a context.Context through the
+// recursion, every worker polls it at subtree entry, and a canceled run
+// drains the pool and returns ctx.Err() without publishing a partial table.
+// Request-scoped callers (the ppdp HTTP service) rely on this to shed
+// abandoned work.
 package mondrian
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -86,8 +93,18 @@ type Result struct {
 	Splits int
 }
 
-// Anonymize runs Mondrian over t.
+// Anonymize runs Mondrian over t with no cancellation; it is shorthand for
+// AnonymizeContext with a background context.
 func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
+	return AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext runs Mondrian over t. The context is observed by every
+// partition worker: when it is canceled (or its deadline passes) the
+// recursion stops splitting, in-flight workers drain, and the run returns
+// ctx.Err() instead of a release. Cancellation never publishes a partial
+// table.
+func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Result, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("%w: k = %d", ErrConfig, cfg.K)
 	}
@@ -102,6 +119,7 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("%w: no quasi-identifier attributes", ErrConfig)
 	}
 	run := &runner{
+		ctx:        ctx,
 		t:          t,
 		cfg:        cfg,
 		qi:         qi,
@@ -145,6 +163,9 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 	run.sem = make(chan struct{}, workers-1)
 	run.partition(all)
 	run.wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mondrian: %w", err)
+	}
 
 	// Deterministic final ordering independent of worker scheduling: groups
 	// are disjoint, so their smallest member row index is a total order.
@@ -192,6 +213,7 @@ func (s *groupsByMin) Swap(i, j int) {
 
 // runner carries the recursion state shared by all partition workers.
 type runner struct {
+	ctx        context.Context
 	t          *dataset.Table
 	cfg        Config
 	qi         []string
@@ -281,6 +303,15 @@ func (r *runner) allowable(rows []int) (bool, error) {
 // one is free (and the subtree is large enough to amortize the handoff); the
 // right subtree always continues on the current goroutine.
 func (r *runner) partition(rows []int) {
+	// Cancellation gate: every subtree entry polls the context, so a canceled
+	// request stops the whole pool within one split's worth of work. The
+	// partial groups are discarded by AnonymizeContext, so bailing out without
+	// appending is safe.
+	select {
+	case <-r.ctx.Done():
+		return
+	default:
+	}
 	// Try dimensions in order of decreasing normalized width.
 	order := r.dimensionOrder(rows)
 	for _, dim := range order {

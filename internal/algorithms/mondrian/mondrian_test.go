@@ -1,9 +1,11 @@
 package mondrian
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/hierarchy"
@@ -333,5 +335,65 @@ func TestWorkersConfig(t *testing.T) {
 	// Workers: 0 defaults to GOMAXPROCS and must still succeed.
 	if _, err := Anonymize(tbl, Config{K: 2, Workers: 0}); err != nil {
 		t.Errorf("default workers failed: %v", err)
+	}
+}
+
+// TestContextCancellation checks that a canceled context aborts the run with
+// ctx.Err() instead of publishing a partial release.
+func TestContextCancellation(t *testing.T) {
+	tbl := synth.Census(2000, 7)
+
+	// Already-canceled context: the run must fail fast.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := AnonymizeContext(ctx, tbl, Config{K: 5, Hierarchies: synth.CensusHierarchies()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled error = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("pre-canceled run returned a result")
+	}
+
+	// Expired deadline: same contract, different cause.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	<-ctx2.Done()
+	if _, err := AnonymizeContext(ctx2, tbl, Config{K: 5}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline error = %v, want context.DeadlineExceeded", err)
+	}
+
+	// A live context must not disturb the run.
+	if _, err := AnonymizeContext(context.Background(), tbl, Config{K: 5}); err != nil {
+		t.Fatalf("background context run failed: %v", err)
+	}
+}
+
+// TestContextCancellationMidRunParallel cancels while the worker pool is
+// busy; raced under -race this guards the drain path.
+func TestContextCancellationMidRunParallel(t *testing.T) {
+	tbl := synth.Census(4000, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		// Let some splits happen, then pull the plug.
+		time.Sleep(500 * time.Microsecond)
+		cancel()
+		close(done)
+	}()
+	res, err := AnonymizeContext(ctx, tbl, Config{K: 2, Workers: 4})
+	<-done
+	if err == nil {
+		// The run may legitimately finish before the cancel lands; then the
+		// result must be complete and valid.
+		if res == nil || res.Table == nil || res.Table.Len() != tbl.Len() {
+			t.Fatal("completed run returned an incomplete table")
+		}
+		return
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled run returned a result")
 	}
 }

@@ -5,9 +5,17 @@
 // a Release that contains the published data together with the measured
 // privacy and utility properties, so the "trust but verify" step of the
 // survey's methodology is built in.
+//
+// Long-running callers use AnonymizeContext: the context bounds the run
+// (request deadlines, client disconnects) and is threaded into the
+// context-aware algorithms — Mondrian's worker pool polls it per subtree —
+// while Config.Workers bounds that pool so a server can share the machine
+// across concurrent requests. The HTTP service in internal/server is the
+// primary such caller.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -106,6 +114,11 @@ type Config struct {
 	MaxSuppression float64
 	// StrictMondrian selects strict partitioning for Mondrian.
 	StrictMondrian bool
+	// Workers bounds the parallel Mondrian worker pool. Zero uses
+	// GOMAXPROCS; 1 forces a sequential run. Long-running callers (the HTTP
+	// service) set this once per process so concurrent requests share the
+	// machine fairly.
+	Workers int
 }
 
 // ErrConfig is returned for invalid top-level configurations.
@@ -174,6 +187,9 @@ func New(cfg Config) (*Anonymizer, error) {
 	if cfg.MaxSuppression < 0 || cfg.MaxSuppression > 1 {
 		return nil, fmt.Errorf("%w: MaxSuppression=%v", ErrConfig, cfg.MaxSuppression)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: Workers=%d", ErrConfig, cfg.Workers)
+	}
 	if cfg.DiversityMode == "" {
 		cfg.DiversityMode = DistinctDiversity
 	}
@@ -235,9 +251,21 @@ func (a *Anonymizer) extraCriteria(sensitive string) ([]privacy.Criterion, error
 	return out, nil
 }
 
-// Anonymize runs the configured pipeline on t: direct identifiers are
-// dropped, the algorithm is applied, and the release is measured.
+// Anonymize runs the configured pipeline on t with no cancellation; it is
+// shorthand for AnonymizeContext with a background context.
 func (a *Anonymizer) Anonymize(t *dataset.Table) (*Release, error) {
+	return a.AnonymizeContext(context.Background(), t)
+}
+
+// AnonymizeContext runs the configured pipeline on t: direct identifiers are
+// dropped, the algorithm is applied, and the release is measured. The context
+// bounds the run: Mondrian threads it through every partition worker, and the
+// other algorithms are gated between their major phases, so a canceled or
+// timed-out request returns ctx.Err() instead of a release.
+func (a *Anonymizer) AnonymizeContext(ctx context.Context, t *dataset.Table) (*Release, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	input, err := t.DropIdentifiers()
 	if err != nil {
 		return nil, err
@@ -252,9 +280,9 @@ func (a *Anonymizer) Anonymize(t *dataset.Table) (*Release, error) {
 
 	switch a.cfg.Algorithm {
 	case Mondrian, "":
-		res, err := mondrian.Anonymize(input, mondrian.Config{
+		res, err := mondrian.AnonymizeContext(ctx, input, mondrian.Config{
 			K: a.cfg.K, QuasiIdentifiers: qi, Hierarchies: a.cfg.Hierarchies,
-			Strict: a.cfg.StrictMondrian, Extra: extra,
+			Strict: a.cfg.StrictMondrian, Extra: extra, Workers: a.cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -322,6 +350,12 @@ func (a *Anonymizer) Anonymize(t *dataset.Table) (*Release, error) {
 		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrConfig, a.cfg.Algorithm)
 	}
 
+	// The non-Mondrian algorithms do not poll the context internally; gate
+	// between the algorithm and the measurement phase so a canceled request
+	// at least skips the grouping and metric passes.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if release.Table != nil {
 		m, err := a.measure(input, release.Table, sensitive)
 		if err != nil {

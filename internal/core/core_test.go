@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -230,5 +231,64 @@ func TestSensitiveDefaultsAndLDiversityWithoutSensitive(t *testing.T) {
 	}
 	if rel.Measured.DistinctL != 0 {
 		t.Errorf("DistinctL measured without sensitive attribute: %d", rel.Measured.DistinctL)
+	}
+}
+
+// TestParseAlgorithmStrictness locks in that parsing is exact: no case
+// folding, no whitespace trimming, no prefixes.
+func TestParseAlgorithmStrictness(t *testing.T) {
+	for _, s := range []string{"Mondrian", "MONDRIAN", " mondrian", "mondrian ", "mond", "mondrian2"} {
+		if got, err := ParseAlgorithm(s); err == nil {
+			t.Errorf("ParseAlgorithm(%q) = %v, want error", s, got)
+		}
+	}
+	// Every listed algorithm round-trips through its string form.
+	for _, a := range Algorithms() {
+		if got, err := ParseAlgorithm(string(a)); err != nil || got != a {
+			t.Errorf("round-trip %q = %v, %v", a, got, err)
+		}
+	}
+}
+
+// TestAnonymizeContext checks that cancellation reaches the pipeline for both
+// the context-aware Mondrian path and the gated non-Mondrian paths.
+func TestAnonymizeContext(t *testing.T) {
+	tbl := synth.Census(600, 3)
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range []Algorithm{Mondrian, KMember} {
+		a, err := New(Config{Algorithm: alg, K: 5, Hierarchies: synth.CensusHierarchies()})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if _, err := a.AnonymizeContext(canceled, tbl); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: canceled error = %v, want context.Canceled", alg, err)
+		}
+		if _, err := a.AnonymizeContext(context.Background(), tbl); err != nil {
+			t.Errorf("%s: live context failed: %v", alg, err)
+		}
+	}
+	// Anonymize (no context) is unchanged.
+	a, err := New(Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Anonymize(tbl); err != nil {
+		t.Fatalf("Anonymize: %v", err)
+	}
+}
+
+// TestWorkersValidation checks the Workers knob on the core config.
+func TestWorkersValidation(t *testing.T) {
+	if _, err := New(Config{K: 2, Workers: -1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("negative workers error = %v, want ErrConfig", err)
+	}
+	a, err := New(Config{K: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := a.Anonymize(synth.Census(400, 4))
+	if err != nil || rel.Measured.K < 5 {
+		t.Fatalf("workers=2 release = %+v, err %v", rel, err)
 	}
 }

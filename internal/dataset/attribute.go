@@ -1,15 +1,3 @@
-// Package dataset provides the in-memory tabular data model used throughout
-// the PPDP library: schemas, typed attributes, row-oriented tables,
-// equivalence-class partitioning, projections, sampling and CSV interchange.
-//
-// The model follows the conventions of the privacy-preserving data publishing
-// literature. Every attribute carries a Kind that describes its disclosure
-// role (identifier, quasi-identifier, sensitive, insensitive) and a Type that
-// describes how its values are interpreted (categorical or numeric). Values
-// are stored as strings; numeric attributes are parsed on demand, which keeps
-// the table representation uniform across original, generalized and perturbed
-// releases (a generalized numeric value such as "[20-29]" is no longer a
-// number).
 package dataset
 
 import (

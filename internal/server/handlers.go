@@ -1,0 +1,653 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/ppdp/ppdp/internal/core"
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/metrics"
+	"github.com/ppdp/ppdp/internal/risk"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+// ---- datasets ----
+
+// datasetInfo is the JSON view of a stored dataset.
+type datasetInfo struct {
+	Name             string    `json:"name"`
+	Family           string    `json:"family,omitempty"`
+	Rows             int       `json:"rows"`
+	Columns          []string  `json:"columns"`
+	QuasiIdentifiers []string  `json:"quasi_identifiers"`
+	Sensitive        []string  `json:"sensitive"`
+	Created          time.Time `json:"created"`
+}
+
+func datasetJSON(ds *storedDataset) datasetInfo {
+	return datasetInfo{
+		Name:             ds.name,
+		Family:           ds.family,
+		Rows:             ds.table.Len(),
+		Columns:          ds.table.Schema().Names(),
+		QuasiIdentifiers: ds.table.Schema().QuasiIdentifierNames(),
+		Sensitive:        ds.table.Schema().SensitiveNames(),
+		Created:          ds.created,
+	}
+}
+
+// maxGenerateRows caps synthetic generation per dataset: the generators run
+// synchronously and allocate in memory, so an unbounded count would let one
+// request exhaust the process (uploads are bounded by MaxBodyBytes instead).
+const maxGenerateRows = 1_000_000
+
+// generateRequest is the POST /v1/datasets body: materialize one of the
+// synthetic benchmark families under a registry name.
+type generateRequest struct {
+	Name   string `json:"name"`
+	Family string `json:"family"`
+	Rows   int    `json:"rows"`
+	// Seed is a pointer so an explicit 0 is distinguishable from absent
+	// (which defaults to 42).
+	Seed *int64 `json:"seed"`
+}
+
+func (s *Server) handleGenerateDataset(w http.ResponseWriter, r *http.Request) {
+	var req generateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "name is required")
+		return
+	}
+	if req.Rows <= 0 {
+		req.Rows = 5000
+	}
+	if req.Rows > maxGenerateRows {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"rows %d exceeds the per-dataset limit %d", req.Rows, maxGenerateRows)
+		return
+	}
+	seed := int64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	// Advisory pre-check before generating up to a million rows; the
+	// authoritative check stays inside putDataset.
+	if err := s.reg.canCreateDataset(req.Name); err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	if req.Family == "" {
+		req.Family = "census"
+	}
+	family, err := synth.FamilyByName(req.Family)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	ds := &storedDataset{
+		name:    req.Name,
+		family:  family.Name,
+		table:   family.Generate(req.Rows, seed),
+		hier:    family.Hierarchies(),
+		created: time.Now(),
+	}
+	if err := s.reg.putDataset(ds, false); err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, datasetJSON(ds))
+}
+
+// writeRegistryError maps registry store failures: occupancy limits are 507
+// (free space with DELETE and retry), everything else is a name conflict.
+func writeRegistryError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errRegistryFull) {
+		writeError(w, http.StatusInsufficientStorage, "registry_full", "%v", err)
+		return
+	}
+	writeError(w, http.StatusConflict, "conflict", "%v", err)
+}
+
+// handleUploadDataset ingests a CSV body under PUT /v1/datasets/{name}. The
+// ?family= query parameter selects the schema (census or hospital); uploads
+// of already-released tables (identifier columns stripped) are accepted via
+// the identifier-free fallback schema. PUT is create-or-replace.
+func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	family := r.URL.Query().Get("family")
+	if family == "" {
+		family = "census"
+	}
+	f, err := synth.FamilyByName(family)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	// ReadCSV buffers the body once itself (it needs two parse attempts),
+	// so the handler streams the request straight in instead of holding a
+	// second copy.
+	tbl, err := f.ReadCSV(r.Body)
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_csv", "%v", err)
+		return
+	}
+	ds := &storedDataset{name: name, family: f.Name, table: tbl, hier: f.Hierarchies(), created: time.Now()}
+	if err := s.reg.putDataset(ds, true); err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, datasetJSON(ds))
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	list := s.reg.listDatasets()
+	out := make([]datasetInfo, len(list))
+	for i, ds := range list {
+		out[i] = datasetJSON(ds)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.reg.getDataset(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetJSON(ds))
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	err := s.reg.deleteDataset(r.PathValue("name"))
+	switch {
+	case errors.Is(err, errDatasetMissing):
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+	case errors.Is(err, errDatasetReferred):
+		writeError(w, http.StatusConflict, "conflict", "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// ---- algorithms ----
+
+// algorithmInfo documents one algorithm for GET /v1/algorithms.
+type algorithmInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Parameters  string `json:"parameters"`
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": []algorithmInfo{
+		{"mondrian", "multidimensional greedy partitioning (default)", "k; optional l, t, strict_mondrian, quasi_identifiers"},
+		{"datafly", "greedy full-domain generalization with suppression", "k; optional max_suppression"},
+		{"incognito", "optimal full-domain lattice search", "k; optional l, t"},
+		{"samarati", "binary lattice-height search with suppression", "k; optional max_suppression"},
+		{"topdown", "top-down specialization from full generalization", "k; optional l, t"},
+		{"kmember", "greedy clustering anonymization", "k"},
+		{"anatomy", "l-diverse bucketization into QIT/ST (no generalization)", "l >= 2; optional sensitive"},
+	}})
+}
+
+// ---- anonymize ----
+
+// anonymizeRequest is the POST /v1/anonymize body. Zero values mean "use the
+// pipeline default" throughout, mirroring core.Config.
+type anonymizeRequest struct {
+	// Dataset names the registry table to anonymize (required).
+	Dataset string `json:"dataset"`
+	// Algorithm is one of the seven names; mondrian when empty.
+	Algorithm string `json:"algorithm"`
+	// K, L, T, C and DiversityMode are the privacy parameters.
+	K             int     `json:"k"`
+	L             int     `json:"l"`
+	T             float64 `json:"t"`
+	C             float64 `json:"c"`
+	DiversityMode string  `json:"diversity_mode"`
+	// Sensitive overrides the schema's sensitive attribute.
+	Sensitive string `json:"sensitive"`
+	// QuasiIdentifiers restricts the quasi-identifier.
+	QuasiIdentifiers []string `json:"quasi_identifiers"`
+	// MaxSuppression bounds record suppression (datafly/samarati); the
+	// pointer distinguishes "absent" (default 0.02) from an explicit 0.
+	MaxSuppression *float64 `json:"max_suppression"`
+	// StrictMondrian selects strict partitioning.
+	StrictMondrian bool `json:"strict_mondrian"`
+	// OrderedSensitive selects the ordered-distance EMD for t-closeness.
+	OrderedSensitive bool `json:"ordered_sensitive"`
+	// Store keeps the release in the registry for later report queries.
+	Store bool `json:"store"`
+	// IncludeRows inlines the released rows into the response.
+	IncludeRows bool `json:"include_rows"`
+	// TimeoutMS tightens (never widens) the server's request timeout.
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// measurementsJSON is the JSON view of core.Measurements.
+type measurementsJSON struct {
+	K                 int     `json:"k"`
+	DistinctL         int     `json:"distinct_l"`
+	MaxEMD            float64 `json:"max_emd"`
+	NCP               float64 `json:"ncp"`
+	Discernibility    float64 `json:"discernibility"`
+	ProsecutorMaxRisk float64 `json:"prosecutor_max_risk"`
+	SuppressedRows    int     `json:"suppressed_rows"`
+}
+
+func measurementsJSONOf(m core.Measurements) measurementsJSON {
+	return measurementsJSON{
+		K: m.K, DistinctL: m.DistinctL, MaxEMD: m.MaxEMD, NCP: m.NCP,
+		Discernibility: m.Discernibility, ProsecutorMaxRisk: m.ProsecutorMaxRisk,
+		SuppressedRows: m.SuppressedRows,
+	}
+}
+
+// anonymizeResponse is the POST /v1/anonymize result.
+type anonymizeResponse struct {
+	ReleaseID    string           `json:"release_id,omitempty"`
+	Dataset      string           `json:"dataset"`
+	Algorithm    string           `json:"algorithm"`
+	Rows         int              `json:"rows"`
+	Node         []int            `json:"node,omitempty"`
+	Measurements measurementsJSON `json:"measurements"`
+	ElapsedMS    float64          `json:"elapsed_ms"`
+	Header       []string         `json:"header,omitempty"`
+	Data         [][]string       `json:"data,omitempty"`
+}
+
+func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
+	var req anonymizeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "dataset is required")
+		return
+	}
+	ds, err := s.reg.getDataset(req.Dataset)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+		return
+	}
+	alg, err := core.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	if req.K == 0 && alg != core.Anatomy {
+		req.K = 10
+	}
+	maxSuppression := 0.02
+	if req.MaxSuppression != nil {
+		maxSuppression = *req.MaxSuppression
+	}
+	anon, err := core.New(core.Config{
+		Algorithm:        alg,
+		K:                req.K,
+		L:                req.L,
+		T:                req.T,
+		C:                req.C,
+		DiversityMode:    core.DiversityMode(req.DiversityMode),
+		Sensitive:        req.Sensitive,
+		QuasiIdentifiers: req.QuasiIdentifiers,
+		OrderedSensitive: req.OrderedSensitive,
+		Hierarchies:      ds.hier,
+		MaxSuppression:   maxSuppression,
+		StrictMondrian:   req.StrictMondrian,
+		Workers:          s.cfg.Workers,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_config", "%v", err)
+		return
+	}
+
+	// The request context already covers client disconnects; the timeout
+	// bounds runaway parameter choices. The client may only tighten it.
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	rel, err := anon.AnonymizeContext(ctx, ds.table)
+	elapsed := time.Since(start)
+	if err != nil {
+		writeAnonymizeError(w, err)
+		return
+	}
+
+	resp := anonymizeResponse{
+		Dataset:      req.Dataset,
+		Algorithm:    string(alg),
+		Node:         rel.Node,
+		Measurements: measurementsJSONOf(rel.Measured),
+		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+	}
+	switch {
+	case rel.Table != nil:
+		resp.Rows = rel.Table.Len()
+		if req.IncludeRows {
+			resp.Header = rel.Table.Schema().Names()
+			resp.Data = rowsOf(rel.Table)
+		}
+	case rel.QIT != nil:
+		resp.Rows = rel.QIT.Len()
+	}
+	if req.Store {
+		id, err := s.reg.putRelease(&storedRelease{
+			dataset:   req.Dataset,
+			origin:    ds,
+			algorithm: alg,
+			params:    req,
+			release:   rel,
+			elapsed:   elapsed,
+			created:   time.Now(),
+		})
+		if err != nil {
+			writeRegistryError(w, err)
+			return
+		}
+		resp.ReleaseID = id
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rowsOf flattens a table into JSON-friendly rows.
+func rowsOf(t *dataset.Table) [][]string {
+	rows := t.Rows()
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return out
+}
+
+// ---- releases ----
+
+// releaseInfo is the JSON view of a stored release.
+type releaseInfo struct {
+	ID           string           `json:"id"`
+	Dataset      string           `json:"dataset"`
+	Algorithm    string           `json:"algorithm"`
+	Rows         int              `json:"rows"`
+	Node         []int            `json:"node,omitempty"`
+	Measurements measurementsJSON `json:"measurements"`
+	ElapsedMS    float64          `json:"elapsed_ms"`
+	Created      time.Time        `json:"created"`
+}
+
+func releaseJSON(rel *storedRelease) releaseInfo {
+	info := releaseInfo{
+		ID:           rel.id,
+		Dataset:      rel.dataset,
+		Algorithm:    string(rel.algorithm),
+		Node:         rel.release.Node,
+		Measurements: measurementsJSONOf(rel.release.Measured),
+		ElapsedMS:    float64(rel.elapsed.Microseconds()) / 1000,
+		Created:      rel.created,
+	}
+	switch {
+	case rel.release.Table != nil:
+		info.Rows = rel.release.Table.Len()
+	case rel.release.QIT != nil:
+		info.Rows = rel.release.QIT.Len()
+	}
+	return info
+}
+
+func (s *Server) handleListReleases(w http.ResponseWriter, r *http.Request) {
+	list := s.reg.listReleases()
+	out := make([]releaseInfo, len(list))
+	for i, rel := range list {
+		out[i] = releaseJSON(rel)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"releases": out})
+}
+
+func (s *Server) handleGetRelease(w http.ResponseWriter, r *http.Request) {
+	rel, err := s.reg.getRelease(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, releaseJSON(rel))
+}
+
+func (s *Server) handleDeleteRelease(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.deleteRelease(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleReleaseData streams a stored release as CSV. Anatomy releases pick
+// the table with ?table=qit|st (default qit); microdata releases have a
+// single table and reject an explicit table selector rather than silently
+// serving the wrong thing.
+func (s *Server) handleReleaseData(w http.ResponseWriter, r *http.Request) {
+	rel, err := s.reg.getRelease(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+		return
+	}
+	which := r.URL.Query().Get("table")
+	if which != "" && which != "qit" && which != "st" {
+		writeError(w, http.StatusBadRequest, "bad_request", "table must be qit or st")
+		return
+	}
+	tbl := rel.release.Table
+	if tbl != nil {
+		if which != "" {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				"release %s is a single microdata table; drop the table parameter", rel.id)
+			return
+		}
+	} else {
+		if which == "" || which == "qit" {
+			tbl = rel.release.QIT
+		} else {
+			tbl = rel.release.ST
+		}
+	}
+	if tbl == nil {
+		writeError(w, http.StatusUnprocessableEntity, "unsupported", "release %s has no table", rel.id)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.csv", rel.id))
+	if err := tbl.WriteCSV(w); err != nil {
+		// Headers are committed; nothing more to do than drop the conn.
+		return
+	}
+}
+
+// riskReport is the GET /v1/releases/{id}/risk body.
+type riskReport struct {
+	ReleaseID     string              `json:"release_id"`
+	Records       int                 `json:"records"`
+	Classes       int                 `json:"classes"`
+	ProsecutorMax float64             `json:"prosecutor_max"`
+	ProsecutorAvg float64             `json:"prosecutor_avg"`
+	Threshold     float64             `json:"threshold"`
+	RecordsAtRisk float64             `json:"records_at_risk"`
+	Sensitive     []sensitiveRiskJSON `json:"sensitive,omitempty"`
+}
+
+// sensitiveRiskJSON reports attribute disclosure for one sensitive column.
+type sensitiveRiskJSON struct {
+	Attribute         string  `json:"attribute"`
+	FullyDisclosed    float64 `json:"fully_disclosed"`
+	ExpectedGuessRate float64 `json:"expected_guess_rate"`
+	BaselineGuessRate float64 `json:"baseline_guess_rate"`
+	WorstClassShare   float64 `json:"worst_class_share"`
+}
+
+func (s *Server) handleReleaseRisk(w http.ResponseWriter, r *http.Request) {
+	rel, err := s.reg.getRelease(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+		return
+	}
+	tbl := rel.release.Table
+	if tbl == nil {
+		writeError(w, http.StatusUnprocessableEntity, "unsupported",
+			"risk reports cover microdata releases; anatomy publishes QIT/ST (fetch them via /data)")
+		return
+	}
+	threshold := 0.2
+	if q := r.URL.Query().Get("threshold"); q != "" {
+		threshold, err = strconv.ParseFloat(q, 64)
+		if err != nil || threshold < 0 || threshold > 1 {
+			writeError(w, http.StatusBadRequest, "bad_request", "threshold must be a number in [0,1]")
+			return
+		}
+	}
+	rr, err := risk.MeasureReidentification(tbl, threshold)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	report := riskReport{
+		ReleaseID:     rel.id,
+		Records:       rr.Records,
+		Classes:       rr.Classes,
+		ProsecutorMax: rr.ProsecutorMax,
+		ProsecutorAvg: rr.ProsecutorAvg,
+		Threshold:     rr.Threshold,
+		RecordsAtRisk: rr.RecordsAtRisk,
+	}
+	for _, sensitive := range tbl.Schema().SensitiveNames() {
+		h, err := risk.HomogeneityAttack(tbl, sensitive)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+			return
+		}
+		base, err := risk.BaselineGuessRate(tbl, sensitive)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+			return
+		}
+		report.Sensitive = append(report.Sensitive, sensitiveRiskJSON{
+			Attribute:         sensitive,
+			FullyDisclosed:    h.FullyDisclosed,
+			ExpectedGuessRate: h.ExpectedGuessRate,
+			BaselineGuessRate: base,
+			WorstClassShare:   h.WorstClassShare,
+		})
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+// utilityReport is the GET /v1/releases/{id}/utility body.
+type utilityReport struct {
+	ReleaseID               string  `json:"release_id"`
+	Dataset                 string  `json:"dataset"`
+	NCP                     float64 `json:"ncp"`
+	Discernibility          float64 `json:"discernibility"`
+	NormalizedAvgClassSize  float64 `json:"normalized_avg_class_size"`
+	NormalizedAvgClassSizeK int     `json:"normalized_avg_class_size_k"`
+	// GeneralizationPrecision is present only for full-domain releases
+	// (those that carry a lattice node).
+	GeneralizationPrecision *float64 `json:"generalization_precision,omitempty"`
+}
+
+func (s *Server) handleReleaseUtility(w http.ResponseWriter, r *http.Request) {
+	rel, err := s.reg.getRelease(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+		return
+	}
+	tbl := rel.release.Table
+	if tbl == nil {
+		writeError(w, http.StatusUnprocessableEntity, "unsupported",
+			"utility reports cover microdata releases; anatomy keeps exact QI values by design")
+		return
+	}
+	// Reports compare against the dataset snapshot captured at anonymize
+	// time (rel.origin), not a by-name lookup: a dataset replaced while the
+	// release was in flight must not change what the release is scored
+	// against.
+	original, err := rel.origin.table.DropIdentifiers()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	k := rel.params.K
+	if k < 1 {
+		k = 10
+	}
+	if q := r.URL.Query().Get("k"); q != "" {
+		k, err = strconv.Atoi(q)
+		if err != nil || k < 1 {
+			writeError(w, http.StatusBadRequest, "bad_request", "k must be a positive integer")
+			return
+		}
+	}
+	report := utilityReport{ReleaseID: rel.id, Dataset: rel.dataset, NormalizedAvgClassSizeK: k}
+	report.NCP, err = metrics.NCP(original, tbl, rel.origin.hier)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "NCP: %v", err)
+		return
+	}
+	report.Discernibility, err = metrics.Discernibility(tbl, original.Len())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "discernibility: %v", err)
+		return
+	}
+	report.NormalizedAvgClassSize, err = metrics.NormalizedAverageClassSize(tbl, k)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "C_avg: %v", err)
+		return
+	}
+	if len(rel.release.Node) > 0 && rel.origin.hier != nil {
+		qi := tbl.Schema().QuasiIdentifierNames()
+		if len(rel.params.QuasiIdentifiers) > 0 {
+			qi = rel.params.QuasiIdentifiers
+		}
+		if maxLevels, lerr := rel.origin.hier.MaxLevels(qi); lerr == nil {
+			if p, perr := metrics.GeneralizationPrecision(rel.release.Node, maxLevels); perr == nil {
+				report.GeneralizationPrecision = &p
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+// decodeJSON parses a JSON request body strictly (unknown fields are errors,
+// so typos in parameter names surface instead of silently defaulting). It
+// writes the error envelope itself and reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", "%v", err)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad_json", "decode request: %v", err)
+		return false
+	}
+	return true
+}

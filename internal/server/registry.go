@@ -1,0 +1,230 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/ppdp/ppdp/internal/core"
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/hierarchy"
+)
+
+// Registry errors.
+var (
+	errDatasetExists   = errors.New("dataset already exists")
+	errDatasetMissing  = errors.New("dataset not found")
+	errReleaseMissing  = errors.New("release not found")
+	errDatasetReferred = errors.New("dataset is referenced by stored releases")
+	errRegistryFull    = errors.New("registry is full")
+)
+
+// Registry occupancy caps. Datasets and stored releases retain full tables
+// in memory, so without a bound a client looping generate/store requests
+// would defeat the per-request size limits and exhaust the process. The
+// caps are generous for interactive and batch use; delete entries (or
+// restart) to reclaim space.
+const (
+	maxDatasets = 128
+	maxReleases = 1024
+)
+
+// storedDataset is one named table in the registry together with the
+// hierarchy set used to anonymize and score it. The table is treated as
+// immutable once stored: handlers only read it (reads build the shared
+// columnar caches, which are internally synchronized).
+type storedDataset struct {
+	name    string
+	family  string
+	table   *dataset.Table
+	hier    *hierarchy.Set
+	created time.Time
+}
+
+// storedRelease is one anonymization result kept for later report queries.
+type storedRelease struct {
+	id  string
+	seq int
+	// dataset is the registry name the release was built from; origin is
+	// the dataset snapshot actually used. Reports read origin, so a
+	// dataset replaced while the anonymization was in flight cannot make a
+	// release compare itself against a table it was not built from.
+	dataset   string
+	origin    *storedDataset
+	algorithm core.Algorithm
+	params    anonymizeRequest
+	release   *core.Release
+	elapsed   time.Duration
+	created   time.Time
+}
+
+// registry is the concurrent in-memory store behind the service. A single
+// RWMutex suffices because handlers hold it only for map operations; the
+// expensive work (parsing, anonymizing, measuring) happens outside the lock,
+// so concurrent anonymize requests over one dataset do not serialize.
+type registry struct {
+	mu       sync.RWMutex
+	datasets map[string]*storedDataset
+	releases map[string]*storedRelease
+	nextID   int
+}
+
+func newRegistry() *registry {
+	return &registry{
+		datasets: make(map[string]*storedDataset),
+		releases: make(map[string]*storedRelease),
+	}
+}
+
+// counts reports registry occupancy for /healthz.
+func (r *registry) counts() (datasets, releases int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.datasets), len(r.releases)
+}
+
+// putDataset stores ds. When replace is false a name collision fails with
+// errDatasetExists. Even with replace, a dataset that stored releases still
+// reference is protected — swapping the table underneath them would silently
+// corrupt their utility reports, the same breakage deleteDataset refuses.
+func (r *registry) putDataset(ds *storedDataset, replace bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.datasets[ds.name]; ok {
+		if !replace {
+			return fmt.Errorf("%w: %q", errDatasetExists, ds.name)
+		}
+		for _, rel := range r.releases {
+			if rel.dataset == ds.name {
+				return fmt.Errorf("%w: %q (release %s)", errDatasetReferred, ds.name, rel.id)
+			}
+		}
+	} else if len(r.datasets) >= maxDatasets {
+		return fmt.Errorf("%w: %d datasets stored (limit %d)", errRegistryFull, len(r.datasets), maxDatasets)
+	}
+	r.datasets[ds.name] = ds
+	return nil
+}
+
+// canCreateDataset is a cheap advisory pre-check (name free, under cap) so
+// handlers can refuse before doing expensive generation work. putDataset
+// remains the authoritative check under the write lock.
+func (r *registry) canCreateDataset(name string) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, ok := r.datasets[name]; ok {
+		return fmt.Errorf("%w: %q", errDatasetExists, name)
+	}
+	if len(r.datasets) >= maxDatasets {
+		return fmt.Errorf("%w: %d datasets stored (limit %d)", errRegistryFull, len(r.datasets), maxDatasets)
+	}
+	return nil
+}
+
+// getDataset looks a dataset up by name.
+func (r *registry) getDataset(name string) (*storedDataset, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ds, ok := r.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errDatasetMissing, name)
+	}
+	return ds, nil
+}
+
+// listDatasets returns every stored dataset in name order.
+func (r *registry) listDatasets() []*storedDataset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*storedDataset, 0, len(r.datasets))
+	for _, ds := range r.datasets {
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// deleteDataset removes a dataset. Datasets still referenced by a stored
+// release are protected: deleting them would silently break the release's
+// utility reports.
+func (r *registry) deleteDataset(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.datasets[name]; !ok {
+		return fmt.Errorf("%w: %q", errDatasetMissing, name)
+	}
+	for _, rel := range r.releases {
+		if rel.dataset == name {
+			return fmt.Errorf("%w: %q (release %s)", errDatasetReferred, name, rel.id)
+		}
+	}
+	delete(r.datasets, name)
+	return nil
+}
+
+// putRelease stores a release and assigns it a process-unique id.
+func (r *registry) putRelease(rel *storedRelease) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.releases) >= maxReleases {
+		return "", fmt.Errorf("%w: %d releases stored (limit %d)", errRegistryFull, len(r.releases), maxReleases)
+	}
+	r.nextID++
+	rel.seq = r.nextID
+	rel.id = fmt.Sprintf("r%d", r.nextID)
+	r.releases[rel.id] = rel
+	return rel.id, nil
+}
+
+// deleteRelease removes a stored release, unpinning its dataset.
+func (r *registry) deleteRelease(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.releases[id]; !ok {
+		return fmt.Errorf("%w: %q", errReleaseMissing, id)
+	}
+	delete(r.releases, id)
+	return nil
+}
+
+// getRelease looks a release up by id.
+func (r *registry) getRelease(id string) (*storedRelease, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rel, ok := r.releases[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errReleaseMissing, id)
+	}
+	return rel, nil
+}
+
+// AddDataset registers a table (with the hierarchy set used to anonymize and
+// score it) under a name before the server starts taking traffic — the
+// programmatic equivalent of POST /v1/datasets, used by `ppdp serve -preload`
+// and embedding callers. It fails when the name is already taken.
+func (s *Server) AddDataset(name, family string, tbl *dataset.Table, hs *hierarchy.Set) error {
+	if name == "" {
+		return errors.New("server: dataset name is required")
+	}
+	if tbl == nil {
+		return errors.New("server: dataset table is required")
+	}
+	return s.reg.putDataset(&storedDataset{
+		name: name, family: family, table: tbl, hier: hs, created: time.Now(),
+	}, false)
+}
+
+// listReleases returns every stored release in creation order (ids are a
+// counter, so the sequence number is a total order).
+func (r *registry) listReleases() []*storedRelease {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*storedRelease, 0, len(r.releases))
+	for _, rel := range r.releases {
+		out = append(out, rel)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}

@@ -1,0 +1,285 @@
+// Package server implements `ppdp serve`: a long-running HTTP anonymization
+// service over the core release pipeline.
+//
+// The service keeps a concurrent in-memory registry of named datasets —
+// uploaded as CSV or generated from the synthetic census/hospital families —
+// and of the releases produced from them. Clients anonymize a dataset with
+// any of the seven algorithms through POST /v1/anonymize, passing per-request
+// privacy parameters (k, l, t, diversity mode, suppression budget), and read
+// risk and utility reports for stored releases through GET endpoints.
+//
+// Concurrency model: the registry is guarded by a single RWMutex and handlers
+// hold it only for lookups and stores, never while an algorithm runs, so
+// requests over the same dataset proceed in parallel (the shared columnar
+// caches in the dataset package are themselves mutex-built). Each anonymize
+// request runs under a context derived from the HTTP request and bounded by
+// Config.RequestTimeout; cancellation propagates through
+// core.AnonymizeContext into the Mondrian partition pool, whose width is
+// bounded per process by Config.Workers so concurrent requests share the
+// machine fairly.
+//
+// Every error response is a JSON envelope {"error":{"code":...,
+// "message":...}} with a machine-readable code; /healthz reports liveness
+// and registry occupancy for load balancers.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"github.com/ppdp/ppdp/internal/algorithms/anatomy"
+	"github.com/ppdp/ppdp/internal/algorithms/datafly"
+	"github.com/ppdp/ppdp/internal/algorithms/incognito"
+	"github.com/ppdp/ppdp/internal/algorithms/kmember"
+	"github.com/ppdp/ppdp/internal/algorithms/mondrian"
+	"github.com/ppdp/ppdp/internal/algorithms/samarati"
+	"github.com/ppdp/ppdp/internal/algorithms/topdown"
+	"github.com/ppdp/ppdp/internal/core"
+)
+
+// Config tunes a Server. The zero value is usable: it listens on :8080,
+// bounds request bodies at 32 MiB, times anonymize requests out after 60
+// seconds and sizes the Mondrian pool by GOMAXPROCS.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (":8080" when empty).
+	Addr string
+	// Workers bounds the parallel Mondrian partition pool per request; zero
+	// uses GOMAXPROCS. A service handling many concurrent requests should
+	// set this low (1 or 2) and let request-level parallelism fill the CPUs.
+	Workers int
+	// RequestTimeout sets the deadline of one anonymize request (60s when
+	// zero). Clients may ask for less via timeout_ms but never for more.
+	// Mondrian observes the deadline mid-run (its workers poll the context
+	// per subtree); the other algorithms observe it only between their
+	// major phases, so a pathological non-Mondrian run can overshoot the
+	// deadline before its 504 is written.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies, notably CSV uploads (32 MiB when
+	// zero).
+	MaxBodyBytes int64
+	// Log receives one line per request; nil disables request logging.
+	Log *log.Logger
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultAddr           = ":8080"
+	DefaultRequestTimeout = 60 * time.Second
+	DefaultMaxBodyBytes   = 32 << 20
+)
+
+// Server is the ppdp anonymization service. Create one with New; it is ready
+// to serve via Handler (for tests and embedding) or ListenAndServe.
+type Server struct {
+	cfg     Config
+	reg     *registry
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a Server with an empty registry.
+func New(cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = DefaultAddr
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.Workers < 0 {
+		cfg.Workers = 0
+	}
+	s := &Server{cfg: cfg, reg: newRegistry(), started: time.Now()}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// routes wires every endpoint. Method-qualified patterns (Go 1.22 ServeMux)
+// give free 405s for wrong methods.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleGenerateDataset)
+	s.mux.HandleFunc("PUT /v1/datasets/{name}", s.handleUploadDataset)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
+	s.mux.HandleFunc("POST /v1/anonymize", s.handleAnonymize)
+	s.mux.HandleFunc("GET /v1/releases", s.handleListReleases)
+	s.mux.HandleFunc("GET /v1/releases/{id}", s.handleGetRelease)
+	s.mux.HandleFunc("DELETE /v1/releases/{id}", s.handleDeleteRelease)
+	s.mux.HandleFunc("GET /v1/releases/{id}/data", s.handleReleaseData)
+	s.mux.HandleFunc("GET /v1/releases/{id}/risk", s.handleReleaseRisk)
+	s.mux.HandleFunc("GET /v1/releases/{id}/utility", s.handleReleaseUtility)
+}
+
+// Handler returns the service's HTTP handler with body limits and logging
+// applied. Tests mount it on httptest.Server; ListenAndServe uses it too.
+func (s *Server) Handler() http.Handler {
+	var h http.Handler = s.mux
+	h = s.limitBody(h)
+	if s.cfg.Log != nil {
+		h = s.logRequests(h)
+	}
+	return h
+}
+
+// ListenAndServe runs the service until ctx is canceled, then drains with a
+// graceful shutdown. It returns nil after a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Shutdown pacing: quick requests get shutdownGrace to drain normally; then
+// in-flight request contexts are canceled so long anonymize runs shed through
+// their cancellation path, well inside the shutdownBudget Shutdown waits.
+const (
+	shutdownGrace  = 5 * time.Second
+	shutdownBudget = 15 * time.Second
+)
+
+// Serve runs the service on an existing listener until ctx is canceled.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// Request contexts derive from baseCtx, not from ctx directly: shutdown
+	// must first let in-flight work drain, and only cancel it after the
+	// grace period — deriving from ctx would kill every request the moment
+	// the signal arrives.
+	baseCtx, cancelRequests := context.WithCancel(context.Background())
+	defer cancelRequests()
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf("ppdp serve: listening on %s", ln.Addr())
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		grace := time.AfterFunc(shutdownGrace, cancelRequests)
+		defer grace.Stop()
+		shutCtx, cancel := context.WithTimeout(context.Background(), shutdownBudget)
+		defer cancel()
+		return hs.Shutdown(shutCtx)
+	}
+}
+
+// limitBody caps every request body at Config.MaxBodyBytes.
+func (s *Server) limitBody(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// logRequests writes one line per request to Config.Log.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		s.cfg.Log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status    string `json:"status"`
+	Datasets  int    `json:"datasets"`
+	Releases  int    `json:"releases"`
+	UptimeSec int64  `json:"uptime_seconds"`
+	Go        string `json:"go"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	d, rel := s.reg.counts()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:    "ok",
+		Datasets:  d,
+		Releases:  rel,
+		UptimeSec: int64(time.Since(s.started).Seconds()),
+		Go:        runtime.Version(),
+	})
+}
+
+// errorEnvelope is the uniform JSON error body.
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// apiError carries a machine-readable code alongside the human message.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeJSON renders v with the proper content type. Encoding errors at this
+// point can only be I/O failures on a committed response, so they are
+// ignored.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Error: apiError{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// StatusClientClosedRequest mirrors nginx's non-standard 499: the client went
+// away before the anonymization finished.
+const StatusClientClosedRequest = 499
+
+// writeAnonymizeError maps pipeline errors onto HTTP statuses and envelope
+// codes: configuration problems are the client's fault (400), privacy
+// parameters no algorithm run can meet are 422, timeouts are 504, abandoned
+// requests are 499, anything else is a 500.
+func writeAnonymizeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "timeout", "anonymization exceeded the request deadline: %v", err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, StatusClientClosedRequest, "canceled", "request canceled: %v", err)
+	case errors.Is(err, core.ErrConfig),
+		errors.Is(err, mondrian.ErrConfig),
+		errors.Is(err, datafly.ErrConfig),
+		errors.Is(err, incognito.ErrConfig),
+		errors.Is(err, samarati.ErrConfig),
+		errors.Is(err, topdown.ErrConfig),
+		errors.Is(err, kmember.ErrConfig),
+		errors.Is(err, anatomy.ErrConfig):
+		writeError(w, http.StatusBadRequest, "bad_config", "%v", err)
+	case errors.Is(err, mondrian.ErrUnsatisfiable),
+		errors.Is(err, datafly.ErrUnsatisfiable),
+		errors.Is(err, incognito.ErrUnsatisfiable),
+		errors.Is(err, samarati.ErrUnsatisfiable),
+		errors.Is(err, topdown.ErrUnsatisfiable),
+		errors.Is(err, kmember.ErrTooFewRecords),
+		errors.Is(err, anatomy.ErrEligibility):
+		writeError(w, http.StatusUnprocessableEntity, "unsatisfiable", "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package synth
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/hierarchy"
+)
+
+// Family bundles everything the entry points need to work with one synthetic
+// benchmark dataset family: its schema, its generalization hierarchies, and
+// its generator. The CLI subcommands and the HTTP service both dispatch on
+// FamilyByName so a new family only has to be registered here.
+type Family struct {
+	// Name is the family's CLI/API name ("census", "hospital").
+	Name string
+	// Schema returns the family's full schema (including identifiers).
+	Schema func() *dataset.Schema
+	// Hierarchies returns the generalization hierarchies used to anonymize
+	// and score the family.
+	Hierarchies func() *hierarchy.Set
+	// Generate materializes n synthetic rows deterministically per seed.
+	Generate func(n int, seed int64) *dataset.Table
+}
+
+// Families returns every registered family, in stable order.
+func Families() []*Family {
+	return []*Family{
+		{Name: "census", Schema: CensusSchema, Hierarchies: CensusHierarchies, Generate: Census},
+		{Name: "hospital", Schema: HospitalSchema, Hierarchies: HospitalHierarchies, Generate: Hospital},
+	}
+}
+
+// FamilyByName resolves a family name as used by the -dataset flag and the
+// HTTP API's family parameter.
+func FamilyByName(name string) (*Family, error) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("synth: unknown dataset family %q (want census or hospital)", name)
+}
+
+// ReadCSV reads a CSV stream under the family's schema. Released tables have
+// their direct-identifier columns dropped, so when the full schema does not
+// match, the identifier-free variant is tried as well; both errors are
+// reported when neither fits.
+func (f *Family) ReadCSV(r io.Reader) (*dataset.Table, error) {
+	// Both attempts need the stream from the start; buffer it once.
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("synth: read csv: %w", err)
+	}
+	schema := f.Schema()
+	tbl, err := dataset.ReadCSV(schema, bytes.NewReader(body))
+	if err == nil {
+		return tbl, nil
+	}
+	var keep []dataset.Attribute
+	for _, a := range schema.Attributes() {
+		if a.Kind != dataset.Identifier {
+			keep = append(keep, a)
+		}
+	}
+	released, serr := dataset.NewSchema(keep...)
+	if serr != nil {
+		return nil, err
+	}
+	tbl, rerr := dataset.ReadCSV(released, bytes.NewReader(body))
+	if rerr != nil {
+		return nil, fmt.Errorf("%v (also tried identifier-free schema: %v)", err, rerr)
+	}
+	return tbl, nil
+}
+
+// ReadCSVFile is ReadCSV over the named file.
+func (f *Family) ReadCSVFile(path string) (*dataset.Table, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	defer file.Close()
+	return f.ReadCSV(file)
+}
