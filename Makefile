@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fmt-check linkcheck serve bench-quick bench-full ci
+.PHONY: all build test vet race fmt-check linkcheck serve bench bench-quick bench-full ci
 
 all: build
 
@@ -31,6 +31,18 @@ serve:
 # Race-detector run; also exercises the parallel Mondrian recursion.
 race:
 	$(GO) test -race ./...
+
+# Hot-path benchmarks with memory stats, recorded as JSON so the perf
+# trajectory is tracked per PR (see the non-gating CI bench job). The file
+# name carries the PR number that introduced the recording.
+BENCH_OUT ?= BENCH_PR3.json
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkGroupBy|BenchmarkMondrian|BenchmarkIncognito|BenchmarkTopDown|BenchmarkLaplace|BenchmarkServeAnonymize' \
+		-benchmem ./... > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
+	cat bench.out
+	$(GO) run ./cmd/benchjson < bench.out > $(BENCH_OUT)
+	@rm -f bench.out
+	@echo "wrote $(BENCH_OUT)"
 
 # Micro-benchmarks for the hot paths (quick mode, ~1 minute).
 bench-quick:

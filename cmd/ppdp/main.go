@@ -9,28 +9,16 @@
 //
 //	ppdp generate  -dataset census|hospital -rows N -seed S -out file.csv
 //	ppdp anonymize -dataset census|hospital -in file.csv -algorithm A [flags] -out out.csv
+//	ppdp algorithms
 //	ppdp risk      -dataset census|hospital -in file.csv [-threshold 0.2]
 //	ppdp utility   -dataset census|hospital -original orig.csv -released rel.csv [-k 10]
 //	ppdp experiment -id E1 [-quick] [-rows N] | -all [-quick]
 //	ppdp serve     [-addr :8080] [-workers N] [-timeout 60s] [-preload census=5000]
 //
-// The anonymize subcommand accepts any of the seven algorithms; each reads
-// the subset of flags that applies to it:
-//
-//	mondrian   -k [-l -t -sensitive -diversity -c -strict -workers]
-//	           multidimensional greedy partitioning (the default)
-//	datafly    -k [-max-suppression]
-//	           greedy full-domain generalization with record suppression
-//	incognito  -k [-l -t -sensitive -diversity -c]
-//	           optimal full-domain generalization lattice search
-//	samarati   -k [-max-suppression]
-//	           binary search on lattice height with record suppression
-//	topdown    -k [-l -t -sensitive -diversity -c]
-//	           top-down specialization from the fully generalized table
-//	kmember    -k
-//	           greedy k-member clustering
-//	anatomy    -l [-sensitive]
-//	           l-diverse bucketization into QIT/ST tables (no generalization)
+// The anonymize subcommand accepts any registered algorithm; `ppdp
+// algorithms` prints the registry's listing — name, description and the
+// flags each algorithm reads — generated from the same engine metadata the
+// HTTP service serves on GET /v1/algorithms.
 //
 // `ppdp serve` exposes the same pipeline over HTTP — see internal/server and
 // docs/ARCHITECTURE.md for the endpoint reference.
@@ -40,9 +28,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/ppdp/ppdp/internal/core"
 	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/engine"
 	"github.com/ppdp/ppdp/internal/experiments"
 	"github.com/ppdp/ppdp/internal/hierarchy"
 	"github.com/ppdp/ppdp/internal/metrics"
@@ -67,6 +57,8 @@ func run(args []string) error {
 		return cmdGenerate(args[1:])
 	case "anonymize":
 		return cmdAnonymize(args[1:])
+	case "algorithms":
+		return cmdAlgorithms(args[1:])
 	case "risk":
 		return cmdRisk(args[1:])
 	case "utility":
@@ -90,28 +82,90 @@ func usage() {
 subcommands:
   generate    generate a synthetic census or hospital dataset as CSV
   anonymize   anonymize a CSV dataset with k-anonymity / l-diversity / t-closeness
+  algorithms  list the registered algorithms with their parameters
   risk        assess re-identification and attribute-disclosure risk of a release
   utility     compare a released table against the original with utility metrics
   experiment  run one or all of the survey-reproduction experiments (E1-E12)
   serve       run the HTTP anonymization service (see docs/ARCHITECTURE.md)
 
-anonymize algorithms (-algorithm) and the flags each one reads:
-  mondrian    -k [-l -t -sensitive -diversity -c -strict -workers]
-              multidimensional greedy partitioning (default)
-  datafly     -k [-max-suppression]
-              greedy full-domain generalization with suppression
-  incognito   -k [-l -t -sensitive -diversity -c]
-              optimal full-domain lattice search
-  samarati    -k [-max-suppression]
-              binary lattice-height search with suppression
-  topdown     -k [-l -t -sensitive -diversity -c]
-              top-down specialization from full generalization
-  kmember     -k
-              greedy k-member clustering
-  anatomy     -l [-sensitive]
-              l-diverse bucketization into QIT/ST (no generalization)
-
+anonymize algorithms (-algorithm) and the flags each one reads:`)
+	writeAlgorithmListing(os.Stderr)
+	fmt.Fprintln(os.Stderr, `
 run 'ppdp <subcommand> -h' for the full flag list of a subcommand.`)
+}
+
+// flagOf derives an algorithm parameter's CLI flag name from the engine
+// metadata: the explicit Flag override when set, otherwise the wire name
+// with underscores dashed.
+func flagOf(p engine.Param) string {
+	if p.Flag != "" {
+		return p.Flag
+	}
+	return strings.ReplaceAll(p.Name, "_", "-")
+}
+
+// writeAlgorithmListing renders the registry's algorithms as the usage
+// block: one line of flags (required first, optional bracketed) and one line
+// of description per algorithm. Both the CLI usage and `ppdp algorithms`
+// are generated from the same engine metadata the server serves, so a newly
+// registered algorithm shows up everywhere with no edit here.
+func writeAlgorithmListing(w *os.File) {
+	for _, info := range engine.Infos() {
+		var required, optional []string
+		for _, p := range info.Parameters {
+			// quasi_identifiers is schema-driven in the CLI (no flag).
+			if p.Name == "quasi_identifiers" {
+				continue
+			}
+			if p.Required {
+				required = append(required, "-"+flagOf(p))
+			} else {
+				optional = append(optional, "-"+flagOf(p))
+			}
+		}
+		flags := strings.Join(required, " ")
+		if len(optional) > 0 {
+			flags += " [" + strings.Join(optional, " ") + "]"
+		}
+		fmt.Fprintf(w, "  %-11s %s\n              %s\n", info.Name, strings.TrimSpace(flags), info.Description)
+	}
+}
+
+// cmdAlgorithms prints the algorithm registry: the same metadata the HTTP
+// service serves on GET /v1/algorithms, as a flag-oriented text table.
+func cmdAlgorithms(args []string) error {
+	fs := flag.NewFlagSet("algorithms", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, info := range engine.Infos() {
+		kind := string(info.Kind)
+		if info.FullDomain {
+			kind += ", full-domain"
+		}
+		if info.RequiresHierarchies {
+			kind += ", needs hierarchies"
+		}
+		if info.Parallel {
+			kind += ", parallel"
+		}
+		if info.Default {
+			kind += ", default"
+		}
+		fmt.Printf("%s — %s (%s)\n", info.Name, info.Description, kind)
+		for _, p := range info.Parameters {
+			req := "optional"
+			if p.Required {
+				req = "required"
+			}
+			flagName := "-" + flagOf(p)
+			if p.Name == "quasi_identifiers" {
+				flagName = "(schema)"
+			}
+			fmt.Printf("  %-18s %-8s %-8s %s\n", flagName, p.Type, req, p.Description)
+		}
+	}
+	return nil
 }
 
 func cmdGenerate(args []string) error {
@@ -158,7 +212,7 @@ func cmdAnonymize(args []string) error {
 	datasetName := fs.String("dataset", "census", "dataset family: census or hospital")
 	in := fs.String("in", "", "input CSV path (required)")
 	out := fs.String("out", "", "output CSV path (stdout when empty)")
-	algorithm := fs.String("algorithm", "mondrian", "mondrian|datafly|incognito|samarati|topdown|kmember|anatomy")
+	algorithm := fs.String("algorithm", "mondrian", strings.Join(engine.Names(), "|"))
 	k := fs.Int("k", 10, "k-anonymity parameter")
 	l := fs.Int("l", 0, "l-diversity parameter (0 disables; anatomy requires >= 2)")
 	t := fs.Float64("t", 0, "t-closeness parameter (0 disables)")
@@ -166,7 +220,7 @@ func cmdAnonymize(args []string) error {
 	c := fs.Float64("c", 0, "recursive (c,l)-diversity constant (default 3)")
 	sensitive := fs.String("sensitive", "", "sensitive attribute (defaults to the schema's first sensitive column)")
 	strict := fs.Bool("strict", false, "strict Mondrian partitioning (never separate equal values)")
-	workers := fs.Int("workers", 0, "Mondrian worker pool bound (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "worker pool bound for parallel algorithms (0 = GOMAXPROCS)")
 	suppress := fs.Float64("max-suppression", 0.02, "maximum fraction of suppressed records (datafly/samarati)")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -28,6 +28,17 @@ func TestRunSubcommands(t *testing.T) {
 	}
 }
 
+// TestAlgorithmsSubcommand checks the registry listing subcommand: it must
+// succeed and reject stray flags.
+func TestAlgorithmsSubcommand(t *testing.T) {
+	if err := run([]string{"algorithms"}); err != nil {
+		t.Fatalf("algorithms: %v", err)
+	}
+	if err := run([]string{"algorithms", "-bogus"}); err == nil {
+		t.Error("algorithms with unknown flag succeeded, want error")
+	}
+}
+
 func TestRunHospitalAnatomy(t *testing.T) {
 	dir := t.TempDir()
 	hosp := filepath.Join(dir, "hospital.csv")

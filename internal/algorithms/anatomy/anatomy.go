@@ -11,6 +11,7 @@
 package anatomy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -64,8 +65,17 @@ type Result struct {
 	QuasiIdentifiers []string
 }
 
-// Anonymize bucketizes t into l-diverse groups.
+// Anonymize bucketizes t into l-diverse groups with no cancellation; it is
+// shorthand for AnonymizeContext with a background context.
 func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
+	return AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext bucketizes t into l-diverse groups. The context is polled
+// once per bucket round of the group-creation phase — the algorithm's
+// natural unit of work — so a canceled or timed-out run returns ctx.Err()
+// after at most one round instead of a result.
+func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Result, error) {
 	if cfg.L < 2 {
 		return nil, fmt.Errorf("%w: l = %d", ErrConfig, cfg.L)
 	}
@@ -115,6 +125,9 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 	// form a group with one record from each of the L largest groups.
 	var groups []Group
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("anatomy: %w", err)
+		}
 		order := valuesByRemaining(byValue)
 		if len(order) < cfg.L {
 			break

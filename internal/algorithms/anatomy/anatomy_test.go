@@ -1,12 +1,14 @@
 package anatomy
 
 import (
+	"context"
 	"errors"
 	"strconv"
 	"testing"
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/synth"
+	"github.com/ppdp/ppdp/internal/testctx"
 )
 
 func TestAnonymizeLDiverseGroups(t *testing.T) {
@@ -170,5 +172,30 @@ func TestGroupIDsConsistentAcrossTables(t *testing.T) {
 		if qitGroups[strconv.Itoa(g.ID)] != len(g.Rows) {
 			t.Errorf("group %d has %d QIT rows, want %d", g.ID, qitGroups[strconv.Itoa(g.ID)], len(g.Rows))
 		}
+	}
+}
+
+// TestAnonymizeContextCancellation checks the context gate at the
+// algorithm's natural unit of work (one bucket round): a canceled run
+// returns ctx.Err() and no partial result, deterministically via a
+// poll-counting context.
+func TestAnonymizeContextCancellation(t *testing.T) {
+	tbl := synth.Hospital(600, 1)
+	cfg := Config{L: 3}
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := AnonymizeContext(pre, tbl, cfg)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("pre-canceled: res=%v err=%v, want nil + context.Canceled", res, err)
+	}
+	for _, n := range []int{1, 5} {
+		res, err := AnonymizeContext(testctx.CancelAfter(n), tbl, cfg)
+		if !errors.Is(err, context.Canceled) || res != nil {
+			t.Fatalf("cancel after %d polls: res=%v err=%v, want nil + context.Canceled", n, res, err)
+		}
+	}
+	if _, err := AnonymizeContext(context.Background(), tbl, cfg); err != nil {
+		t.Fatalf("live context: %v", err)
 	}
 }

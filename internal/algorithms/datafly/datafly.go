@@ -5,6 +5,7 @@
 package datafly
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -54,8 +55,17 @@ type Result struct {
 	Iterations int
 }
 
-// Anonymize runs Datafly over t.
+// Anonymize runs Datafly over t with no cancellation; it is shorthand for
+// AnonymizeContext with a background context.
 func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
+	return AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext runs Datafly over t. The context is polled once per
+// generalization round — the algorithm's natural unit of work — so a
+// canceled or timed-out run returns ctx.Err() after at most one round
+// instead of a release.
+func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Result, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("%w: k = %d", ErrConfig, cfg.K)
 	}
@@ -82,6 +92,9 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 	current := t.Clone()
 	iterations := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("datafly: %w", err)
+		}
 		classes, err := current.GroupBy(qi...)
 		if err != nil {
 			return nil, err

@@ -1,12 +1,14 @@
 package datafly
 
 import (
+	"context"
 	"errors"
 	"testing"
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/privacy"
 	"github.com/ppdp/ppdp/internal/synth"
+	"github.com/ppdp/ppdp/internal/testctx"
 )
 
 func TestAnonymizeReachesK(t *testing.T) {
@@ -129,5 +131,33 @@ func TestViolatingRows(t *testing.T) {
 	}
 	if got := violatingRows(classes, 1); got != nil {
 		t.Errorf("violatingRows k=1 = %v", got)
+	}
+}
+
+// TestAnonymizeContextCancellation checks the context gate at the
+// algorithm's natural unit of work (one generalization round): a canceled
+// run returns ctx.Err() and no partial result, deterministically via a
+// poll-counting context.
+func TestAnonymizeContextCancellation(t *testing.T) {
+	tbl := synth.Hospital(600, 1)
+	cfg := Config{K: 5, Hierarchies: synth.HospitalHierarchies(), MaxSuppression: 0.05}
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := AnonymizeContext(pre, tbl, cfg)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("pre-canceled: res=%v err=%v, want nil + context.Canceled", res, err)
+	}
+	// Mid-run: trip the context after n rounds; the run has started real
+	// work but must still abandon it without publishing anything.
+	for _, n := range []int{1, 2} {
+		res, err := AnonymizeContext(testctx.CancelAfter(n), tbl, cfg)
+		if !errors.Is(err, context.Canceled) || res != nil {
+			t.Fatalf("cancel after %d polls: res=%v err=%v, want nil + context.Canceled", n, res, err)
+		}
+	}
+	// A live context is unaffected.
+	if _, err := AnonymizeContext(context.Background(), tbl, cfg); err != nil {
+		t.Fatalf("live context: %v", err)
 	}
 }

@@ -1,0 +1,75 @@
+package incognito
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/engine"
+)
+
+// adapter plugs Incognito into the engine registry (see package engine).
+type adapter struct{}
+
+func init() { engine.Register(adapter{}) }
+
+func (adapter) Name() string { return "incognito" }
+
+func (adapter) Describe() engine.Info {
+	return engine.Info{
+		Name:                "incognito",
+		Description:         "optimal full-domain lattice search",
+		Kind:                engine.Microdata,
+		FullDomain:          true,
+		RequiresHierarchies: true,
+		Parallel:            true,
+		CostExponent:        1,
+		Parameters: []engine.Param{
+			{Name: "k", Type: "int", Required: true, Description: "minimum equivalence-class size"},
+			{Name: "quasi_identifiers", Type: "[]string", Description: "attributes to generalize (schema QI columns when empty)"},
+			{Name: "l", Type: "int", Description: "l-diversity parameter (0 disables)"},
+			{Name: "diversity_mode", Flag: "diversity", Type: "string", Description: "l-diversity variant: distinct|entropy|recursive"},
+			{Name: "c", Type: "float", Description: "recursive (c,l)-diversity constant"},
+			{Name: "t", Type: "float", Description: "t-closeness parameter (0 disables)"},
+			{Name: "sensitive", Type: "string", Description: "sensitive attribute for l/t criteria"},
+			{Name: "workers", Type: "int", Description: "lattice-layer worker pool bound (0 = GOMAXPROCS)"},
+		},
+	}
+}
+
+func (adapter) Validate(spec engine.Spec) error {
+	if spec.K < 1 {
+		return fmt.Errorf("incognito: K must be at least 1 (got %d)", spec.K)
+	}
+	if spec.Hierarchies == nil {
+		return fmt.Errorf("incognito: algorithm requires generalization hierarchies")
+	}
+	return nil
+}
+
+func (adapter) Run(ctx context.Context, t *dataset.Table, spec engine.Spec) (*engine.Result, error) {
+	res, err := AnonymizeContext(ctx, t, Config{
+		K:                spec.K,
+		QuasiIdentifiers: spec.QuasiIdentifiers,
+		Hierarchies:      spec.Hierarchies,
+		Extra:            spec.Extra,
+		Workers:          spec.Workers,
+	})
+	if err != nil {
+		return nil, classify(err)
+	}
+	return &engine.Result{Table: res.Table, Node: res.Node, Extra: res}, nil
+}
+
+// classify wraps the package's sentinel errors with the engine's error
+// classes so the service layer can map them without importing this package.
+func classify(err error) error {
+	switch {
+	case errors.Is(err, ErrConfig):
+		return engine.ConfigError(err)
+	case errors.Is(err, ErrUnsatisfiable):
+		return engine.UnsatisfiableError(err)
+	}
+	return err
+}

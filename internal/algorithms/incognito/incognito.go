@@ -10,16 +10,28 @@
 // attribute-subset lattices before combining them; this implementation keeps
 // the subset pre-check for single attributes (cheap and effective) and then
 // searches the full lattice breadth-first with rollup pruning.
+//
+// Lattice nodes at one height are independent of each other — no node can
+// dominate a distinct node of equal height — so each breadth-first layer is
+// checked by a bounded worker pool (Config.Workers). The result is identical
+// for every worker count: candidates are collected per index and folded back
+// in node order. Runs are cancelable: AnonymizeContext polls the context
+// once per evaluated lattice node and returns ctx.Err() without publishing a
+// partial result.
 package incognito
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/generalize"
 	"github.com/ppdp/ppdp/internal/hierarchy"
 	"github.com/ppdp/ppdp/internal/lattice"
+	"github.com/ppdp/ppdp/internal/parallel"
 	"github.com/ppdp/ppdp/internal/privacy"
 )
 
@@ -47,8 +59,13 @@ type Config struct {
 	// to remain sound; the models in the privacy package are.
 	Extra []privacy.Criterion
 	// ScoreNode ranks satisfying nodes; lower is better. When nil, the node
-	// height (total generalization) is used.
+	// height (total generalization) is used. It is always called from a
+	// single goroutine, after the search, so it may close over shared state.
 	ScoreNode func(t *dataset.Table, classes []dataset.EquivalenceClass, node lattice.Node) float64
+	// Workers bounds the pool that checks the independent nodes of one
+	// lattice layer concurrently. Zero uses runtime.GOMAXPROCS(0); 1 forces
+	// a sequential search. The released node is identical for every count.
+	Workers int
 }
 
 // Result describes the outcome of an Incognito run.
@@ -66,10 +83,22 @@ type Result struct {
 	NodesEvaluated int
 }
 
-// Anonymize runs the lattice search over t.
+// Anonymize runs the lattice search over t with no cancellation; it is
+// shorthand for AnonymizeContext with a background context.
 func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
+	return AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext runs the lattice search over t. The context is polled
+// once per evaluated lattice node, in the sequential pre-check and by every
+// pool worker, so a canceled or timed-out run returns ctx.Err() after at
+// most one node's recoding instead of a result.
+func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Result, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("%w: k = %d", ErrConfig, cfg.K)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: workers = %d", ErrConfig, cfg.Workers)
 	}
 	if cfg.Hierarchies == nil {
 		return nil, fmt.Errorf("%w: nil hierarchy set", ErrConfig)
@@ -89,10 +118,17 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
-	evaluated := 0
+	var evaluated atomic.Int64
 	satisfies := func(node lattice.Node) (bool, *dataset.Table, []dataset.EquivalenceClass, error) {
-		evaluated++
+		if err := ctx.Err(); err != nil {
+			return false, nil, nil, fmt.Errorf("incognito: %w", err)
+		}
+		evaluated.Add(1)
 		recoded, err := generalize.FullDomain(t, qi, cfg.Hierarchies, node)
 		if err != nil {
 			return false, nil, nil, err
@@ -160,18 +196,35 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 	}
 	var all []candidate
 	for h := 0; h <= lat.MaxHeight(); h++ {
+		// Nodes of equal height cannot dominate one another (domination with
+		// equal component sums forces equality), so pruning only ever uses
+		// minimal nodes from lower layers: the surviving nodes of this layer
+		// are independent and safe to check concurrently.
+		var layer []lattice.Node
 		for _, node := range lat.NodesAtHeight(h) {
 			if belowFloor(node) || dominatedByMinimal(node) {
 				continue
 			}
-			ok, recoded, classes, err := satisfies(node)
+			layer = append(layer, node.Clone())
+		}
+		outcomes, err := parallel.Map(len(layer), workers, func(i int) (outcome, error) {
+			ok, table, classes, err := satisfies(layer[i])
 			if err != nil {
-				return nil, err
+				return outcome{}, err
 			}
-			if ok {
-				minimal = append(minimal, node.Clone())
-				all = append(all, candidate{node: node.Clone(), table: recoded, classes: classes})
+			return outcome{ok: ok, table: table, classes: classes}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Fold back in node order so the result is identical for every
+		// worker count.
+		for i, out := range outcomes {
+			if !out.ok {
+				continue
 			}
+			minimal = append(minimal, layer[i])
+			all = append(all, candidate{node: layer[i], table: out.table, classes: out.classes})
 		}
 	}
 	if len(minimal) == 0 {
@@ -197,6 +250,13 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 		Node:             all[best].node,
 		QuasiIdentifiers: append([]string(nil), qi...),
 		MinimalNodes:     minimal,
-		NodesEvaluated:   evaluated,
+		NodesEvaluated:   int(evaluated.Load()),
 	}, nil
+}
+
+// outcome is the per-node result of one layer check.
+type outcome struct {
+	ok      bool
+	table   *dataset.Table
+	classes []dataset.EquivalenceClass
 }

@@ -1,6 +1,8 @@
 package incognito
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -8,6 +10,7 @@ import (
 	"github.com/ppdp/ppdp/internal/lattice"
 	"github.com/ppdp/ppdp/internal/privacy"
 	"github.com/ppdp/ppdp/internal/synth"
+	"github.com/ppdp/ppdp/internal/testctx"
 )
 
 func TestAnonymizeReachesK(t *testing.T) {
@@ -161,3 +164,89 @@ func TestChosenNodeIsLowestHeightByDefault(t *testing.T) {
 		}
 	}
 }
+
+// TestAnonymizeContextCancellation checks the context gate at the
+// algorithm's natural unit of work (one lattice node), sequentially and on
+// the parallel layer pool: a canceled run returns ctx.Err() and no partial
+// result, deterministically via a poll-counting context.
+func TestAnonymizeContextCancellation(t *testing.T) {
+	tbl := synth.Hospital(600, 1)
+	for _, workers := range []int{1, 4} {
+		cfg := Config{K: 5, Hierarchies: synth.HospitalHierarchies(), Workers: workers}
+
+		pre, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := AnonymizeContext(pre, tbl, cfg)
+		if !errors.Is(err, context.Canceled) || res != nil {
+			t.Fatalf("workers=%d pre-canceled: res=%v err=%v, want nil + context.Canceled", workers, res, err)
+		}
+		for _, n := range []int{1, 6} {
+			res, err := AnonymizeContext(testctx.CancelAfter(n), tbl, cfg)
+			if !errors.Is(err, context.Canceled) || res != nil {
+				t.Fatalf("workers=%d cancel after %d polls: res=%v err=%v, want nil + context.Canceled", workers, n, res, err)
+			}
+		}
+		if _, err := AnonymizeContext(context.Background(), tbl, cfg); err != nil {
+			t.Fatalf("workers=%d live context: %v", workers, err)
+		}
+	}
+}
+
+// TestWorkersEquivalence locks in that the parallel lattice-layer search is
+// deterministic: every worker count releases the identical node, minimal
+// set and table.
+func TestWorkersEquivalence(t *testing.T) {
+	tbl := synth.Hospital(800, 2)
+	base, err := Anonymize(tbl, Config{K: 4, Hierarchies: synth.HospitalHierarchies(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		res, err := Anonymize(tbl, Config{K: 4, Hierarchies: synth.HospitalHierarchies(), Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Node.Key() != base.Node.Key() {
+			t.Errorf("workers=%d node %v != sequential %v", workers, res.Node, base.Node)
+		}
+		if len(res.MinimalNodes) != len(base.MinimalNodes) {
+			t.Fatalf("workers=%d minimal set size %d != %d", workers, len(res.MinimalNodes), len(base.MinimalNodes))
+		}
+		for i := range res.MinimalNodes {
+			if res.MinimalNodes[i].Key() != base.MinimalNodes[i].Key() {
+				t.Errorf("workers=%d minimal[%d] %v != %v", workers, i, res.MinimalNodes[i], base.MinimalNodes[i])
+			}
+		}
+		if res.NodesEvaluated != base.NodesEvaluated {
+			t.Errorf("workers=%d evaluated %d nodes != sequential %d", workers, res.NodesEvaluated, base.NodesEvaluated)
+		}
+		var seq, par bytes.Buffer
+		if err := base.Table.WriteCSV(&seq); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Table.WriteCSV(&par); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+			t.Errorf("workers=%d released table differs from sequential run", workers)
+		}
+	}
+}
+
+// benchmarkWorkers measures the lattice search at a fixed worker count; the
+// 1-vs-max pair quantifies the parallel speedup of the layer pool.
+func benchmarkWorkers(b *testing.B, workers int) {
+	tbl := synth.Census(2000, 1)
+	hs := synth.CensusHierarchies()
+	qi := []string{"age", "sex", "education", "marital-status", "race"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Anonymize(tbl, Config{K: 10, QuasiIdentifiers: qi, Hierarchies: hs, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncognitoWorkers1(b *testing.B)   { benchmarkWorkers(b, 1) }
+func BenchmarkIncognitoWorkersMax(b *testing.B) { benchmarkWorkers(b, 0) }

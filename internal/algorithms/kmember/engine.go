@@ -1,0 +1,62 @@
+package kmember
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/engine"
+)
+
+// adapter plugs k-member clustering into the engine registry (see package
+// engine).
+type adapter struct{}
+
+func init() { engine.Register(adapter{}) }
+
+func (adapter) Name() string { return "kmember" }
+
+func (adapter) Describe() engine.Info {
+	return engine.Info{
+		Name:         "kmember",
+		Description:  "greedy clustering anonymization",
+		Kind:         engine.Microdata,
+		CostExponent: 2,
+		Parameters: []engine.Param{
+			{Name: "k", Type: "int", Required: true, Description: "minimum cluster size"},
+			{Name: "quasi_identifiers", Type: "[]string", Description: "attributes for distance and recoding (schema QI columns when empty)"},
+		},
+	}
+}
+
+func (adapter) Validate(spec engine.Spec) error {
+	if spec.K < 1 {
+		return fmt.Errorf("kmember: K must be at least 1 (got %d)", spec.K)
+	}
+	return nil
+}
+
+func (adapter) Run(ctx context.Context, t *dataset.Table, spec engine.Spec) (*engine.Result, error) {
+	res, err := AnonymizeContext(ctx, t, Config{
+		K:                spec.K,
+		QuasiIdentifiers: spec.QuasiIdentifiers,
+		Hierarchies:      spec.Hierarchies,
+	})
+	if err != nil {
+		return nil, classify(err)
+	}
+	return &engine.Result{Table: res.Table, Extra: res}, nil
+}
+
+// classify wraps the package's sentinel errors with the engine's error
+// classes so the service layer can map them without importing this package.
+func classify(err error) error {
+	switch {
+	case errors.Is(err, ErrConfig):
+		return engine.ConfigError(err)
+	case errors.Is(err, ErrTooFewRecords):
+		return engine.UnsatisfiableError(err)
+	}
+	return err
+}

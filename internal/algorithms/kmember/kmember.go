@@ -8,6 +8,7 @@
 package kmember
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -57,8 +58,17 @@ type clusterState struct {
 	values []map[string]struct{}
 }
 
-// Anonymize runs greedy k-member clustering over t.
+// Anonymize runs greedy k-member clustering over t with no cancellation; it
+// is shorthand for AnonymizeContext with a background context.
 func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
+	return AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext runs greedy k-member clustering over t. The context is
+// polled once per grown cluster — the algorithm's natural unit of work — so
+// a canceled or timed-out run returns ctx.Err() after at most one cluster
+// instead of a result.
+func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Result, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("%w: k = %d", ErrConfig, cfg.K)
 	}
@@ -167,6 +177,9 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 
 	var clusters []*clusterState
 	for len(unassigned) >= cfg.K {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("kmember: %w", err)
+		}
 		// Seed selection follows Byun et al.: the record farthest (largest
 		// loss) from the previous cluster starts the next one; the first
 		// cluster starts from the lowest unassigned index.
@@ -201,6 +214,9 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 		clusters = append(clusters, cs)
 	}
 	// Residual records join the cluster whose loss increases least.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("kmember: %w", err)
+	}
 	for r := range unassigned {
 		bestIdx, bestLoss := -1, 0.0
 		for i, cs := range clusters {

@@ -1,11 +1,13 @@
 package kmember
 
 import (
+	"context"
 	"errors"
 	"testing"
 
 	"github.com/ppdp/ppdp/internal/privacy"
 	"github.com/ppdp/ppdp/internal/synth"
+	"github.com/ppdp/ppdp/internal/testctx"
 )
 
 func TestAnonymizeReachesK(t *testing.T) {
@@ -117,5 +119,30 @@ func TestExplicitQISubset(t *testing.T) {
 		if origZip[i] != gotZip[i] {
 			t.Fatalf("zip changed at row %d", i)
 		}
+	}
+}
+
+// TestAnonymizeContextCancellation checks the context gate at the
+// algorithm's natural unit of work (one grown cluster): a canceled run
+// returns ctx.Err() and no partial result, deterministically via a
+// poll-counting context.
+func TestAnonymizeContextCancellation(t *testing.T) {
+	tbl := synth.Hospital(300, 1)
+	cfg := Config{K: 5}
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := AnonymizeContext(pre, tbl, cfg)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("pre-canceled: res=%v err=%v, want nil + context.Canceled", res, err)
+	}
+	for _, n := range []int{1, 4} {
+		res, err := AnonymizeContext(testctx.CancelAfter(n), tbl, cfg)
+		if !errors.Is(err, context.Canceled) || res != nil {
+			t.Fatalf("cancel after %d polls: res=%v err=%v, want nil + context.Canceled", n, res, err)
+		}
+	}
+	if _, err := AnonymizeContext(context.Background(), tbl, cfg); err != nil {
+		t.Fatalf("live context: %v", err)
 	}
 }

@@ -189,13 +189,11 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 
 // minRow returns the smallest row index of a non-empty group.
 func minRow(rows []int) int {
-	min := rows[0]
+	lo := rows[0]
 	for _, r := range rows[1:] {
-		if r < min {
-			min = r
-		}
+		lo = min(lo, r)
 	}
-	return min
+	return lo
 }
 
 // groupsByMin sorts groups by their precomputed smallest member row index.

@@ -6,6 +6,7 @@
 package samarati
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -54,8 +55,18 @@ type Result struct {
 	NodesEvaluated int
 }
 
-// Anonymize runs Samarati's binary lattice search over t.
+// Anonymize runs Samarati's binary lattice search over t with no
+// cancellation; it is shorthand for AnonymizeContext with a background
+// context.
 func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
+	return AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext runs Samarati's binary lattice search over t. The context
+// is polled once per evaluated lattice node — the search's natural unit of
+// work — so a canceled or timed-out run returns ctx.Err() after at most one
+// node's recoding instead of a release.
+func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Result, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("%w: k = %d", ErrConfig, cfg.K)
 	}
@@ -88,6 +99,9 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 		var best lattice.Node
 		bestSuppress := -1
 		for _, node := range lat.NodesAtHeight(h) {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, fmt.Errorf("samarati: %w", err)
+			}
 			evaluated++
 			suppress, err := violations(t, qi, cfg.Hierarchies, node, cfg.K)
 			if err != nil {

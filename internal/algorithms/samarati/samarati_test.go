@@ -1,11 +1,13 @@
 package samarati
 
 import (
+	"context"
 	"errors"
 	"testing"
 
 	"github.com/ppdp/ppdp/internal/privacy"
 	"github.com/ppdp/ppdp/internal/synth"
+	"github.com/ppdp/ppdp/internal/testctx"
 )
 
 func TestAnonymizeReachesK(t *testing.T) {
@@ -102,5 +104,30 @@ func TestHigherKNeverLowersHeight(t *testing.T) {
 			t.Errorf("height decreased from %d to %d as k grew to %d", prevHeight, res.Height, k)
 		}
 		prevHeight = res.Height
+	}
+}
+
+// TestAnonymizeContextCancellation checks the context gate at the
+// algorithm's natural unit of work (one lattice node): a canceled run
+// returns ctx.Err() and no partial result, deterministically via a
+// poll-counting context.
+func TestAnonymizeContextCancellation(t *testing.T) {
+	tbl := synth.Hospital(600, 1)
+	cfg := Config{K: 5, Hierarchies: synth.HospitalHierarchies(), MaxSuppression: 0.05}
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := AnonymizeContext(pre, tbl, cfg)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("pre-canceled: res=%v err=%v, want nil + context.Canceled", res, err)
+	}
+	for _, n := range []int{1, 3} {
+		res, err := AnonymizeContext(testctx.CancelAfter(n), tbl, cfg)
+		if !errors.Is(err, context.Canceled) || res != nil {
+			t.Fatalf("cancel after %d polls: res=%v err=%v, want nil + context.Canceled", n, res, err)
+		}
+	}
+	if _, err := AnonymizeContext(context.Background(), tbl, cfg); err != nil {
+		t.Fatalf("live context: %v", err)
 	}
 }

@@ -7,16 +7,25 @@
 // classes, the walk can stop at the first level where every further
 // specialization violates the criteria, yielding a minimally generalized
 // full-domain release.
+// Candidate specializations of one step are independent of each other, so
+// they are evaluated by a bounded worker pool (Config.Workers); the chosen
+// specialization is identical for every worker count because scoring and the
+// tie-breaking fold happen sequentially after the pool joins. Runs are
+// cancelable: AnonymizeContext polls the context once per evaluated
+// candidate and returns ctx.Err() without publishing a partial result.
 package topdown
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/generalize"
 	"github.com/ppdp/ppdp/internal/hierarchy"
 	"github.com/ppdp/ppdp/internal/lattice"
+	"github.com/ppdp/ppdp/internal/parallel"
 	"github.com/ppdp/ppdp/internal/privacy"
 )
 
@@ -46,8 +55,15 @@ type Config struct {
 	Extra []privacy.Criterion
 	// Score ranks candidate specializations; when nil the number of
 	// equivalence classes is used (more classes = finer data = more
-	// information for classification workloads).
+	// information for classification workloads). It is always called from a
+	// single goroutine, after each step's candidate pool joins, so it may
+	// close over shared state.
 	Score Score
+	// Workers bounds the pool that evaluates one step's candidate
+	// specializations concurrently. Zero uses runtime.GOMAXPROCS(0); 1
+	// forces a sequential run. The released node is identical for every
+	// count.
+	Workers int
 }
 
 // Result describes the outcome of a run.
@@ -62,10 +78,22 @@ type Result struct {
 	Specializations int
 }
 
-// Anonymize runs top-down specialization over t.
+// Anonymize runs top-down specialization over t with no cancellation; it is
+// shorthand for AnonymizeContext with a background context.
 func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
+	return AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext runs top-down specialization over t. The context is
+// polled once per evaluated candidate specialization, so a canceled or
+// timed-out run returns ctx.Err() after at most one candidate's recoding
+// instead of a result.
+func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Result, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("%w: k = %d", ErrConfig, cfg.K)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: workers = %d", ErrConfig, cfg.Workers)
 	}
 	if cfg.Hierarchies == nil {
 		return nil, fmt.Errorf("%w: nil hierarchy set", ErrConfig)
@@ -92,8 +120,15 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 		}
 	}
 	criteria := append([]privacy.Criterion{privacy.KAnonymity{K: cfg.K}}, cfg.Extra...)
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	evaluate := func(node lattice.Node) (bool, *dataset.Table, []dataset.EquivalenceClass, error) {
+		if err := ctx.Err(); err != nil {
+			return false, nil, nil, fmt.Errorf("topdown: %w", err)
+		}
 		recoded, err := generalize.FullDomain(t, qi, cfg.Hierarchies, node)
 		if err != nil {
 			return false, nil, nil, err
@@ -124,20 +159,29 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		outcomes, err := parallel.Map(len(preds), workers, func(i int) (outcome, error) {
+			ok, table, classes, err := evaluate(preds[i])
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{ok: ok, table: table, classes: classes}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Score and tie-break sequentially, in candidate order, so the walk
+		// is identical for every worker count (first best wins, as in the
+		// sequential reference).
 		bestIdx := -1
 		bestScore := 0.0
 		var bestTable *dataset.Table
-		for i, p := range preds {
-			ok, recoded, classes, err := evaluate(p)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
+		for i, out := range outcomes {
+			if !out.ok {
 				continue
 			}
-			s := score(recoded, classes)
+			s := score(out.table, out.classes)
 			if bestIdx == -1 || s > bestScore {
-				bestIdx, bestScore, bestTable = i, s, recoded
+				bestIdx, bestScore, bestTable = i, s, out.table
 			}
 		}
 		if bestIdx == -1 {
@@ -153,4 +197,11 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 		QuasiIdentifiers: append([]string(nil), qi...),
 		Specializations:  steps,
 	}, nil
+}
+
+// outcome is the evaluation result of one candidate specialization.
+type outcome struct {
+	ok      bool
+	table   *dataset.Table
+	classes []dataset.EquivalenceClass
 }

@@ -7,11 +7,17 @@
 // survey's methodology is built in.
 //
 // Long-running callers use AnonymizeContext: the context bounds the run
-// (request deadlines, client disconnects) and is threaded into the
-// context-aware algorithms — Mondrian's worker pool polls it per subtree —
-// while Config.Workers bounds that pool so a server can share the machine
-// across concurrent requests. The HTTP service in internal/server is the
-// primary such caller.
+// (request deadlines, client disconnects) and is threaded into every
+// algorithm, which polls it at its natural unit of work — Mondrian's worker
+// pool per subtree, the lattice searches per node, Datafly per
+// generalization round, and so on — while Config.Workers bounds internal
+// parallelism so a server can share the machine across concurrent requests.
+// The HTTP service in internal/server is the primary such caller.
+//
+// Algorithm dispatch is registry-driven: every algorithm is an engine
+// adapter (see internal/engine) and core resolves names, validation and
+// execution through the registry, so adding an algorithm package adds it to
+// the whole pipeline.
 package core
 
 import (
@@ -20,13 +26,9 @@ import (
 	"fmt"
 
 	"github.com/ppdp/ppdp/internal/algorithms/anatomy"
-	"github.com/ppdp/ppdp/internal/algorithms/datafly"
-	"github.com/ppdp/ppdp/internal/algorithms/incognito"
-	"github.com/ppdp/ppdp/internal/algorithms/kmember"
-	"github.com/ppdp/ppdp/internal/algorithms/mondrian"
-	"github.com/ppdp/ppdp/internal/algorithms/samarati"
-	"github.com/ppdp/ppdp/internal/algorithms/topdown"
 	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/engine"
+	_ "github.com/ppdp/ppdp/internal/engine/all" // register the built-in algorithms
 	"github.com/ppdp/ppdp/internal/hierarchy"
 	"github.com/ppdp/ppdp/internal/lattice"
 	"github.com/ppdp/ppdp/internal/metrics"
@@ -36,7 +38,8 @@ import (
 // Algorithm selects the anonymization algorithm of a release.
 type Algorithm string
 
-// Supported algorithms.
+// Names of the built-in algorithms. The authoritative list is the engine
+// registry (see Algorithms); these constants are mnemonics for callers.
 const (
 	// Mondrian is multidimensional greedy partitioning (default).
 	Mondrian Algorithm = "mondrian"
@@ -54,21 +57,25 @@ const (
 	Anatomy Algorithm = "anatomy"
 )
 
-// ParseAlgorithm converts a string (CLI flag, config file) to an Algorithm.
+// ParseAlgorithm converts a string (CLI flag, config file) to an Algorithm
+// via the engine registry; the empty string resolves to the default
+// algorithm (Mondrian).
 func ParseAlgorithm(s string) (Algorithm, error) {
-	switch Algorithm(s) {
-	case Mondrian, Datafly, Incognito, Samarati, TopDown, KMember, Anatomy:
-		return Algorithm(s), nil
-	case "":
-		return Mondrian, nil
-	default:
+	alg, err := engine.Lookup(s)
+	if err != nil {
 		return "", fmt.Errorf("core: unknown algorithm %q", s)
 	}
+	return Algorithm(alg.Name()), nil
 }
 
-// Algorithms lists every supported algorithm name.
+// Algorithms lists every registered algorithm name, default first.
 func Algorithms() []Algorithm {
-	return []Algorithm{Mondrian, Datafly, Incognito, Samarati, TopDown, KMember, Anatomy}
+	names := engine.Names()
+	out := make([]Algorithm, len(names))
+	for i, n := range names {
+		out[i] = Algorithm(n)
+	}
+	return out
 }
 
 // DiversityMode selects which member of the l-diversity family to enforce.
@@ -164,23 +171,19 @@ type Release struct {
 // Anonymizer runs a configured release pipeline.
 type Anonymizer struct {
 	cfg Config
+	alg engine.Algorithm
 }
 
-// New validates the configuration and returns an Anonymizer.
+// New validates the configuration and returns an Anonymizer. Cross-algorithm
+// parameter ranges are checked here; everything algorithm-specific (required
+// parameters, hierarchies) is delegated to the algorithm's own engine
+// adapter, so core carries no per-algorithm knowledge.
 func New(cfg Config) (*Anonymizer, error) {
-	if cfg.Algorithm == "" {
-		cfg.Algorithm = Mondrian
+	alg, err := engine.Lookup(string(cfg.Algorithm))
+	if err != nil {
+		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrConfig, cfg.Algorithm)
 	}
-	if _, err := ParseAlgorithm(string(cfg.Algorithm)); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
-	}
-	if cfg.Algorithm == Anatomy {
-		if cfg.L < 2 {
-			return nil, fmt.Errorf("%w: anatomy requires L >= 2", ErrConfig)
-		}
-	} else if cfg.K < 1 {
-		return nil, fmt.Errorf("%w: K must be at least 1", ErrConfig)
-	}
+	cfg.Algorithm = Algorithm(alg.Name())
 	if cfg.L < 0 || cfg.T < 0 || cfg.T > 1 {
 		return nil, fmt.Errorf("%w: L=%d T=%v", ErrConfig, cfg.L, cfg.T)
 	}
@@ -196,13 +199,28 @@ func New(cfg Config) (*Anonymizer, error) {
 	if cfg.DiversityMode == RecursiveDiversity && cfg.C <= 0 {
 		cfg.C = 3
 	}
-	switch cfg.Algorithm {
-	case Datafly, Samarati, Incognito, TopDown:
-		if cfg.Hierarchies == nil {
-			return nil, fmt.Errorf("%w: algorithm %s requires hierarchies", ErrConfig, cfg.Algorithm)
-		}
+	a := &Anonymizer{cfg: cfg, alg: alg}
+	if err := alg.Validate(a.spec("", nil)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
-	return &Anonymizer{cfg: cfg}, nil
+	return a, nil
+}
+
+// spec maps the configuration onto the engine's algorithm-agnostic run
+// specification. The sensitive attribute and the extra criteria are resolved
+// per table at Anonymize time and empty during New-time validation.
+func (a *Anonymizer) spec(sensitive string, extra []privacy.Criterion) engine.Spec {
+	return engine.Spec{
+		K:                a.cfg.K,
+		L:                a.cfg.L,
+		Sensitive:        sensitive,
+		QuasiIdentifiers: a.cfg.QuasiIdentifiers,
+		Hierarchies:      a.cfg.Hierarchies,
+		MaxSuppression:   a.cfg.MaxSuppression,
+		Strict:           a.cfg.StrictMondrian,
+		Workers:          a.cfg.Workers,
+		Extra:            extra,
+	}
 }
 
 // Config returns a copy of the anonymizer's configuration.
@@ -258,10 +276,10 @@ func (a *Anonymizer) Anonymize(t *dataset.Table) (*Release, error) {
 }
 
 // AnonymizeContext runs the configured pipeline on t: direct identifiers are
-// dropped, the algorithm is applied, and the release is measured. The context
-// bounds the run: Mondrian threads it through every partition worker, and the
-// other algorithms are gated between their major phases, so a canceled or
-// timed-out request returns ctx.Err() instead of a release.
+// dropped, the algorithm's engine adapter is run, and the release is
+// measured. The context bounds the run: every algorithm polls it at its
+// natural unit of work (see internal/engine), so a canceled or timed-out
+// request returns ctx.Err() instead of a release.
 func (a *Anonymizer) AnonymizeContext(ctx context.Context, t *dataset.Table) (*Release, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -275,84 +293,25 @@ func (a *Anonymizer) AnonymizeContext(ctx context.Context, t *dataset.Table) (*R
 	if err != nil {
 		return nil, err
 	}
-	qi := a.cfg.QuasiIdentifiers
-	release := &Release{Algorithm: a.cfg.Algorithm}
-
-	switch a.cfg.Algorithm {
-	case Mondrian, "":
-		res, err := mondrian.AnonymizeContext(ctx, input, mondrian.Config{
-			K: a.cfg.K, QuasiIdentifiers: qi, Hierarchies: a.cfg.Hierarchies,
-			Strict: a.cfg.StrictMondrian, Extra: extra, Workers: a.cfg.Workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		release.Table = res.Table
-	case Datafly:
-		res, err := datafly.Anonymize(input, datafly.Config{
-			K: a.cfg.K, QuasiIdentifiers: qi, Hierarchies: a.cfg.Hierarchies,
-			MaxSuppression: a.cfg.MaxSuppression,
-		})
-		if err != nil {
-			return nil, err
-		}
-		release.Table = res.Table
-		release.Node = res.Node
-		release.Measured.SuppressedRows = res.SuppressedRows
-	case Samarati:
-		res, err := samarati.Anonymize(input, samarati.Config{
-			K: a.cfg.K, QuasiIdentifiers: qi, Hierarchies: a.cfg.Hierarchies,
-			MaxSuppression: a.cfg.MaxSuppression,
-		})
-		if err != nil {
-			return nil, err
-		}
-		release.Table = res.Table
-		release.Node = res.Node
-		release.Measured.SuppressedRows = res.SuppressedRows
-	case Incognito:
-		res, err := incognito.Anonymize(input, incognito.Config{
-			K: a.cfg.K, QuasiIdentifiers: qi, Hierarchies: a.cfg.Hierarchies, Extra: extra,
-		})
-		if err != nil {
-			return nil, err
-		}
-		release.Table = res.Table
-		release.Node = res.Node
-	case TopDown:
-		res, err := topdown.Anonymize(input, topdown.Config{
-			K: a.cfg.K, QuasiIdentifiers: qi, Hierarchies: a.cfg.Hierarchies, Extra: extra,
-		})
-		if err != nil {
-			return nil, err
-		}
-		release.Table = res.Table
-		release.Node = res.Node
-	case KMember:
-		res, err := kmember.Anonymize(input, kmember.Config{
-			K: a.cfg.K, QuasiIdentifiers: qi, Hierarchies: a.cfg.Hierarchies,
-		})
-		if err != nil {
-			return nil, err
-		}
-		release.Table = res.Table
-	case Anatomy:
-		res, err := anatomy.Anonymize(input, anatomy.Config{
-			L: a.cfg.L, Sensitive: sensitive, QuasiIdentifiers: qi,
-		})
-		if err != nil {
-			return nil, err
-		}
-		release.QIT = res.QIT
-		release.ST = res.ST
-		release.Anatomy = res
-	default:
-		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrConfig, a.cfg.Algorithm)
+	res, err := a.alg.Run(ctx, input, a.spec(sensitive, extra))
+	if err != nil {
+		return nil, err
 	}
 
-	// The non-Mondrian algorithms do not poll the context internally; gate
-	// between the algorithm and the measurement phase so a canceled request
-	// at least skips the grouping and metric passes.
+	release := &Release{
+		Algorithm: a.cfg.Algorithm,
+		Table:     res.Table,
+		QIT:       res.QIT,
+		ST:        res.ST,
+		Node:      res.Node,
+	}
+	release.Measured.SuppressedRows = res.SuppressedRows
+	if anat, ok := res.Extra.(*anatomy.Result); ok {
+		release.Anatomy = anat
+	}
+
+	// Gate between the algorithm and the measurement phase so a request
+	// canceled right at the boundary skips the grouping and metric passes.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -391,14 +350,19 @@ func (a *Anonymizer) measure(original, released *dataset.Table, sensitive string
 		}
 		m.MaxEMD = emd
 	}
+	// Metric failures are real failures: a release whose utility cannot be
+	// measured must not report a perfect 0.0, so the errors propagate instead
+	// of being dropped.
 	ncp, err := metrics.NCP(original, released, a.cfg.Hierarchies)
-	if err == nil {
-		m.NCP = ncp
+	if err != nil {
+		return nil, fmt.Errorf("core: NCP: %w", err)
 	}
+	m.NCP = ncp
 	dm, err := metrics.Discernibility(released, original.Len())
-	if err == nil {
-		m.Discernibility = dm
+	if err != nil {
+		return nil, fmt.Errorf("core: discernibility: %w", err)
 	}
+	m.Discernibility = dm
 	// Prosecutor risk over the same quasi-identifier the release was built
 	// for (the schema may contain further QI columns the caller chose not to
 	// anonymize; risk.MeasureReidentification covers that stricter view).
@@ -425,15 +389,8 @@ func (a *Anonymizer) Verify(released *dataset.Table) (bool, string, error) {
 	if err != nil {
 		return false, "", err
 	}
-	criteria := append([]privacy.Criterion{privacy.KAnonymity{K: maxInt(a.cfg.K, 1)}}, extra...)
+	criteria := append([]privacy.Criterion{privacy.KAnonymity{K: max(a.cfg.K, 1)}}, extra...)
 	return privacy.CheckAll(released, classes, criteria...)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // FullDomainPrecision is a convenience that computes Sweeney's precision for

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"github.com/ppdp/ppdp/internal/metrics"
 	"github.com/ppdp/ppdp/internal/synth"
 )
 
@@ -275,6 +276,29 @@ func TestAnonymizeContext(t *testing.T) {
 	}
 	if _, err := a.Anonymize(tbl); err != nil {
 		t.Fatalf("Anonymize: %v", err)
+	}
+}
+
+// TestMeasureErrorsPropagate locks in that a failing utility metric is a
+// failing measurement: NCP and discernibility errors must surface instead of
+// silently reading as a perfect 0.0.
+func TestMeasureErrorsPropagate(t *testing.T) {
+	released, err := synth.Hospital(80, 6).DropIdentifiers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An "original" missing one of the release's quasi-identifier columns
+	// makes NCP's domain lookups fail with ErrMismatchedTables.
+	original, err := released.Project("age", "zip", "sex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.measure(original, released, ""); !errors.Is(err, metrics.ErrMismatchedTables) {
+		t.Fatalf("measure error = %v, want ErrMismatchedTables to propagate", err)
 	}
 }
 

@@ -1,0 +1,18 @@
+// Package all registers every built-in algorithm adapter with the engine
+// registry. Import it (blank) from any binary or test that needs the full
+// algorithm set; internal/core does, so every caller of the release pipeline
+// gets the seven built-ins for free.
+//
+// Adding an eighth algorithm is one new package with an engine adapter plus
+// one import line here.
+package all
+
+import (
+	_ "github.com/ppdp/ppdp/internal/algorithms/anatomy"
+	_ "github.com/ppdp/ppdp/internal/algorithms/datafly"
+	_ "github.com/ppdp/ppdp/internal/algorithms/incognito"
+	_ "github.com/ppdp/ppdp/internal/algorithms/kmember"
+	_ "github.com/ppdp/ppdp/internal/algorithms/mondrian"
+	_ "github.com/ppdp/ppdp/internal/algorithms/samarati"
+	_ "github.com/ppdp/ppdp/internal/algorithms/topdown"
+)

@@ -1,0 +1,293 @@
+// Package engine is the pluggable algorithm layer of the release pipeline:
+// every anonymization algorithm is an Algorithm implementation registered in
+// a process-wide registry, and every caller that needs to know "what
+// algorithms exist, what parameters do they take, how do I run one" asks the
+// registry instead of maintaining its own list.
+//
+// The registry is the single source of truth that used to be duplicated by
+// hand across four layers (core's dispatch switch, core.New's per-algorithm
+// validation, the server's /v1/algorithms list and the CLI usage text). An
+// adapter lives next to each algorithm package (see
+// internal/algorithms/*/engine.go) and self-registers in init; the blank
+// imports in internal/engine/all pull every built-in adapter into a binary.
+// Adding an eighth algorithm is one new package plus one import line — core,
+// server, CLI and experiments pick it up from the registry metadata with no
+// further edits.
+//
+// Execution is uniform: Run takes a context.Context that every algorithm
+// polls at its natural unit of work (lattice node, generalization round,
+// specialization step, cluster, bucket round, partition subtree), and a Spec
+// whose Workers field bounds internal parallelism for the algorithms that
+// can use it (see Info.Parallel).
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/privacy"
+)
+
+// Spec is the algorithm-agnostic run specification. Each algorithm reads the
+// subset of fields its Describe metadata declares and ignores the rest; the
+// caller (internal/core) resolves defaults — the sensitive attribute and the
+// extra privacy criteria — before handing the Spec to Run.
+type Spec struct {
+	// K is the k-anonymity parameter.
+	K int
+	// L is the l-diversity parameter (Anatomy's bucket size).
+	L int
+	// Sensitive is the resolved sensitive attribute ("" when none).
+	Sensitive string
+	// QuasiIdentifiers restricts the quasi-identifier; empty means the
+	// schema's quasi-identifier columns.
+	QuasiIdentifiers []string
+	// Hierarchies supplies generalization hierarchies.
+	Hierarchies *hierarchy.Set
+	// MaxSuppression bounds record suppression as a fraction of the table.
+	MaxSuppression float64
+	// Strict selects strict (never split ties) partitioning where the
+	// algorithm distinguishes it.
+	Strict bool
+	// Workers bounds internal parallelism: 0 means GOMAXPROCS, 1 forces a
+	// sequential run. Ignored by algorithms whose Info.Parallel is false.
+	Workers int
+	// Extra lists additional privacy criteria (l-diversity, t-closeness, ...)
+	// for algorithms that gate their search on arbitrary criteria.
+	Extra []privacy.Criterion
+}
+
+// Result is the uniform outcome of a Run: a single microdata table, or a
+// QIT/ST pair for bucketizing algorithms, plus the release metadata the
+// pipeline reports.
+type Result struct {
+	// Table is the released microdata table (nil for bucketizing algorithms).
+	Table *dataset.Table
+	// QIT and ST are the bucketized releases (nil for microdata algorithms).
+	QIT *dataset.Table
+	ST  *dataset.Table
+	// Node is the full-domain generalization node when the algorithm
+	// searches a lattice, in quasi-identifier order.
+	Node []int
+	// SuppressedRows is the number of records the algorithm removed.
+	SuppressedRows int
+	// Extra carries an algorithm-specific payload (e.g. *anatomy.Result for
+	// query estimation); callers type-assert what they understand.
+	Extra any
+}
+
+// ReleaseKind classifies what a Run publishes.
+type ReleaseKind string
+
+// Release kinds.
+const (
+	// Microdata algorithms release one generalized table.
+	Microdata ReleaseKind = "microdata"
+	// Bucketized algorithms release a QIT/ST pair.
+	Bucketized ReleaseKind = "bucketized"
+)
+
+// Param describes one parameter an algorithm reads, named as in the HTTP API
+// (underscored). The CLI derives its flag name from Flag when set, otherwise
+// from Name with underscores turned into dashes.
+type Param struct {
+	// Name is the wire name of the parameter (e.g. "max_suppression").
+	Name string `json:"name"`
+	// Flag overrides the derived CLI flag name (e.g. "strict" for the wire
+	// name "strict_mondrian"). It is a CLI-only concern and stays out of the
+	// HTTP listing, whose wire contract is the underscored Name.
+	Flag string `json:"-"`
+	// Type is the parameter's type: "int", "float", "bool", "string" or
+	// "[]string".
+	Type string `json:"type"`
+	// Required marks parameters without a usable zero default.
+	Required bool `json:"required"`
+	// Description is a one-line human summary.
+	Description string `json:"description"`
+}
+
+// Info is the machine-readable capability card of an algorithm. The server
+// serves it verbatim from GET /v1/algorithms and the CLI renders its usage
+// listing from it.
+type Info struct {
+	// Name is the registry key (lowercase, exact-match).
+	Name string `json:"name"`
+	// Description is a one-line human summary.
+	Description string `json:"description"`
+	// Kind reports what a run releases.
+	Kind ReleaseKind `json:"kind"`
+	// FullDomain marks algorithms whose release carries a lattice node.
+	FullDomain bool `json:"full_domain,omitempty"`
+	// RequiresHierarchies marks algorithms that cannot run without a
+	// generalization hierarchy per quasi-identifier.
+	RequiresHierarchies bool `json:"requires_hierarchies,omitempty"`
+	// Parallel marks algorithms that honor Spec.Workers internally.
+	Parallel bool `json:"parallel,omitempty"`
+	// CostExponent is the rough polynomial degree of the algorithm's running
+	// time in the number of records (1 ≈ near-linear, 2 = quadratic);
+	// schedulers and experiments use it to cap expensive algorithms.
+	CostExponent float64 `json:"cost_exponent,omitempty"`
+	// Default marks the algorithm Lookup("") resolves to.
+	Default bool `json:"default,omitempty"`
+	// Parameters lists every Spec field the algorithm reads.
+	Parameters []Param `json:"parameters"`
+}
+
+// Param returns the named parameter declaration, if the algorithm reads it.
+func (i Info) Param(name string) (Param, bool) {
+	for _, p := range i.Parameters {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// Algorithm is one pluggable anonymization algorithm.
+type Algorithm interface {
+	// Name returns the registry key.
+	Name() string
+	// Describe returns the machine-readable capability/parameter metadata.
+	Describe() Info
+	// Validate checks the table-independent parts of a Spec. Errors are
+	// reported to the caller before any data is touched.
+	Validate(Spec) error
+	// Run executes the algorithm. Implementations poll ctx at their natural
+	// unit of work and return ctx.Err() (wrapped) on cancellation without
+	// publishing partial state.
+	Run(ctx context.Context, t *dataset.Table, spec Spec) (*Result, error)
+}
+
+// Error classes. Adapters wrap their package's sentinel errors with
+// ConfigError/UnsatisfiableError so callers (the HTTP service) can map any
+// algorithm's failure onto a status code without naming algorithm packages.
+var (
+	// ErrUnknownAlgorithm is returned by Lookup for unregistered names.
+	ErrUnknownAlgorithm = errors.New("engine: unknown algorithm")
+	// ErrConfig classifies invalid-configuration failures.
+	ErrConfig = errors.New("engine: invalid algorithm configuration")
+	// ErrUnsatisfiable classifies runs whose privacy criteria no release can
+	// meet.
+	ErrUnsatisfiable = errors.New("engine: privacy criteria unsatisfiable")
+)
+
+// classified attaches an error class to err: errors.Is matches both the
+// class sentinel and everything in err's own chain.
+type classified struct {
+	err   error
+	class error
+}
+
+func (c *classified) Error() string        { return c.err.Error() }
+func (c *classified) Unwrap() error        { return c.err }
+func (c *classified) Is(target error) bool { return target == c.class }
+
+// ConfigError marks err as an invalid-configuration failure.
+func ConfigError(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: ErrConfig}
+}
+
+// UnsatisfiableError marks err as an unsatisfiable-criteria failure.
+func UnsatisfiableError(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: ErrUnsatisfiable}
+}
+
+// registry is the process-wide algorithm registry. Registration happens in
+// package init functions (see internal/engine/all); lookups are read-only
+// after that, but the mutex keeps concurrent test registration safe.
+var (
+	regMu       sync.RWMutex
+	algorithms  = make(map[string]Algorithm)
+	defaultName string
+)
+
+// Register adds an algorithm to the process-wide registry. It panics on a
+// nil algorithm, an empty name, or a duplicate — all programmer errors at
+// init time.
+func Register(a Algorithm) {
+	if a == nil {
+		panic("engine: Register(nil)")
+	}
+	name := a.Name()
+	if name == "" {
+		panic("engine: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := algorithms[name]; ok {
+		panic(fmt.Sprintf("engine: algorithm %q registered twice", name))
+	}
+	algorithms[name] = a
+	if a.Describe().Default {
+		if defaultName != "" && defaultName != name {
+			panic(fmt.Sprintf("engine: both %q and %q claim to be the default algorithm", defaultName, name))
+		}
+		defaultName = name
+	}
+}
+
+// Lookup resolves a name (exact match, no folding or trimming) to its
+// registered algorithm. The empty name resolves to the default algorithm.
+func Lookup(name string) (Algorithm, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if name == "" {
+		name = defaultName
+	}
+	a, ok := algorithms[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAlgorithm, name)
+	}
+	return a, nil
+}
+
+// Registered returns every registered algorithm in listing order: the
+// default first, the rest alphabetically.
+func Registered() []Algorithm {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Algorithm, 0, len(algorithms))
+	for _, a := range algorithms {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ni, nj := out[i].Name(), out[j].Name()
+		if (ni == defaultName) != (nj == defaultName) {
+			return ni == defaultName
+		}
+		return ni < nj
+	})
+	return out
+}
+
+// Names returns every registered algorithm name in listing order.
+func Names() []string {
+	regs := Registered()
+	out := make([]string, len(regs))
+	for i, a := range regs {
+		out[i] = a.Name()
+	}
+	return out
+}
+
+// Infos returns every registered algorithm's capability card in listing
+// order — the payload of GET /v1/algorithms and the CLI listing.
+func Infos() []Info {
+	regs := Registered()
+	out := make([]Info, len(regs))
+	for i, a := range regs {
+		out[i] = a.Describe()
+	}
+	return out
+}

@@ -1,16 +1,18 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"github.com/ppdp/ppdp/internal/algorithms/datafly"
 	"github.com/ppdp/ppdp/internal/algorithms/incognito"
-	"github.com/ppdp/ppdp/internal/algorithms/kmember"
 	"github.com/ppdp/ppdp/internal/algorithms/mondrian"
 	"github.com/ppdp/ppdp/internal/classify"
 	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/engine"
 	"github.com/ppdp/ppdp/internal/hierarchy"
 	"github.com/ppdp/ppdp/internal/metrics"
 	"github.com/ppdp/ppdp/internal/synth"
@@ -120,8 +122,11 @@ func E1InfoLossVsK(opt Options) (*Report, error) {
 	return rep, nil
 }
 
-// E2RuntimeVsN regenerates the runtime-scaling comparison: wall-clock time of
-// each algorithm as the table grows, at fixed k.
+// E2RuntimeVsN regenerates the runtime-scaling comparison: wall-clock time
+// of every registered algorithm as the table grows, at fixed k. The
+// algorithm set, the parameter each one needs (k or l) and the quadratic
+// cap are all read from the engine registry's metadata, so a newly
+// registered algorithm joins the comparison with no edit here.
 func E2RuntimeVsN(opt Options) (*Report, error) {
 	sizes := []int{1000, 2000, 5000, 10000, 20000}
 	if opt.Quick {
@@ -137,55 +142,45 @@ func E2RuntimeVsN(opt Options) (*Report, error) {
 		Title:  fmt.Sprintf("Runtime vs dataset size (census, k=%d)", k),
 		Header: []string{"N", "algorithm", "seconds"},
 	}
-	kmemberCap := 5000
+	// Algorithms whose registry metadata declares superlinear cost are
+	// capped: their quadratic running time would dominate the sweep.
+	quadraticCap := 5000
 	if opt.Quick {
-		kmemberCap = 1200
+		quadraticCap = 1200
 	}
 	var mondrianTimes []float64
 	for _, n := range sizes {
 		tbl := synth.Census(n, opt.seed())
-		timeIt := func(name string, run func() error) error {
-			start := time.Now()
-			if err := run(); err != nil {
-				return fmt.Errorf("%s N=%d: %w", name, n, err)
+		for _, alg := range engine.Registered() {
+			info := alg.Describe()
+			if info.CostExponent >= 2 && n > quadraticCap {
+				rep.AddRow(i(n), info.Name, fmt.Sprintf("skipped (O(n^%.0f))", info.CostExponent))
+				continue
 			}
+			spec := engine.Spec{K: k, QuasiIdentifiers: censusQI, Hierarchies: hs, MaxSuppression: 0.02}
+			if _, hasK := info.Param("k"); !hasK {
+				// Bucketizing algorithms are keyed on l instead of k.
+				spec.L = 2
+			}
+			start := time.Now()
+			_, err := alg.Run(context.Background(), tbl, spec)
 			secs := time.Since(start).Seconds()
-			rep.AddRow(i(n), name, f(secs))
-			if name == "mondrian" {
+			if errors.Is(err, engine.ErrUnsatisfiable) {
+				// E.g. Anatomy when the sensitive distribution fails
+				// l-eligibility on this draw; record it rather than fail.
+				rep.AddRow(i(n), info.Name, "infeasible")
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s N=%d: %w", info.Name, n, err)
+			}
+			rep.AddRow(i(n), info.Name, f(secs))
+			if info.Name == "mondrian" {
 				mondrianTimes = append(mondrianTimes, secs)
 			}
-			return nil
-		}
-		if err := timeIt("mondrian", func() error {
-			_, err := mondrian.Anonymize(tbl, mondrian.Config{K: k, QuasiIdentifiers: censusQI, Hierarchies: hs})
-			return err
-		}); err != nil {
-			return nil, err
-		}
-		if err := timeIt("datafly", func() error {
-			_, err := datafly.Anonymize(tbl, datafly.Config{K: k, QuasiIdentifiers: censusQI, Hierarchies: hs, MaxSuppression: 0.02})
-			return err
-		}); err != nil {
-			return nil, err
-		}
-		if err := timeIt("incognito", func() error {
-			_, err := incognito.Anonymize(tbl, incognito.Config{K: k, QuasiIdentifiers: censusQI, Hierarchies: hs})
-			return err
-		}); err != nil {
-			return nil, err
-		}
-		if n <= kmemberCap {
-			if err := timeIt("kmember", func() error {
-				_, err := kmember.Anonymize(tbl, kmember.Config{K: k, QuasiIdentifiers: censusQI, Hierarchies: hs})
-				return err
-			}); err != nil {
-				return nil, err
-			}
-		} else {
-			rep.AddRow(i(n), "kmember", "skipped (O(n^2))")
 		}
 	}
-	rep.AddNote("k-member clustering is the slowest competitor and is capped at N=%d because of its quadratic cost", kmemberCap)
+	rep.AddNote("quadratic-cost algorithms (per registry metadata) are capped at N=%d", quadraticCap)
 	if len(mondrianTimes) >= 2 {
 		rep.AddNote("Mondrian scales near-linearithmically: %.3fs at N=%d vs %.3fs at N=%d",
 			mondrianTimes[0], sizes[0], mondrianTimes[len(mondrianTimes)-1], sizes[len(sizes)-1])

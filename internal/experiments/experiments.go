@@ -10,6 +10,10 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	// The runtime comparison (E2) sweeps every algorithm in the engine
+	// registry; make sure all built-ins are registered.
+	_ "github.com/ppdp/ppdp/internal/engine/all"
 )
 
 // Options tunes an experiment run.

@@ -1,0 +1,62 @@
+// Package parallel provides the bounded, deterministic fork-join helper
+// shared by the algorithms that evaluate independent candidates concurrently
+// (Incognito's lattice layers, TopDown's specialization candidates). The
+// result is indexed like the input and the first error in index order wins,
+// so callers behave identically for every worker count.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Map computes f(0..n-1) on a pool of at most workers goroutines and returns
+// the results in index order. workers <= 1 runs sequentially on the calling
+// goroutine (stopping at the first error); the parallel path stops claiming
+// new indices after a failure and returns the failed index's error with the
+// smallest position, keeping error reporting deterministic. f must be safe
+// for concurrent calls when workers > 1.
+func Map[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	workers = min(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := f(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := f(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		out, err := Map(50, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: len=%d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(0, 4, func(int) (string, error) { return "", errors.New("never called") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map = %v, %v", out, err)
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(20, workers, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errA
+			case 7:
+				return 0, errB
+			}
+			return i, nil
+		})
+		// Index 3 fails; in the sequential path index 7 is never reached, and
+		// in the parallel path the smallest failed index is reported.
+		if !errors.Is(err, errA) && !(workers > 1 && errors.Is(err, errB)) {
+			t.Fatalf("workers=%d: err=%v", workers, err)
+		}
+		if err == nil {
+			t.Fatalf("workers=%d: error swallowed", workers)
+		}
+	}
+}
+
+func TestMapStopsClaimingAfterFailure(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(10_000, 4, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := calls.Load(); n == 10_000 {
+		t.Error("pool kept claiming work after a failure")
+	}
+}

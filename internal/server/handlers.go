@@ -11,6 +11,7 @@ import (
 
 	"github.com/ppdp/ppdp/internal/core"
 	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/engine"
 	"github.com/ppdp/ppdp/internal/metrics"
 	"github.com/ppdp/ppdp/internal/risk"
 	"github.com/ppdp/ppdp/internal/synth"
@@ -186,23 +187,12 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 
 // ---- algorithms ----
 
-// algorithmInfo documents one algorithm for GET /v1/algorithms.
-type algorithmInfo struct {
-	Name        string `json:"name"`
-	Description string `json:"description"`
-	Parameters  string `json:"parameters"`
-}
-
+// handleAlgorithms serves the engine registry's capability cards verbatim:
+// name, description, release kind, capability flags and the machine-readable
+// parameter list of every registered algorithm. The response is generated —
+// an algorithm registered with the engine appears here with no server edit.
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"algorithms": []algorithmInfo{
-		{"mondrian", "multidimensional greedy partitioning (default)", "k; optional l, t, strict_mondrian, quasi_identifiers"},
-		{"datafly", "greedy full-domain generalization with suppression", "k; optional max_suppression"},
-		{"incognito", "optimal full-domain lattice search", "k; optional l, t"},
-		{"samarati", "binary lattice-height search with suppression", "k; optional max_suppression"},
-		{"topdown", "top-down specialization from full generalization", "k; optional l, t"},
-		{"kmember", "greedy clustering anonymization", "k"},
-		{"anatomy", "l-diverse bucketization into QIT/ST (no generalization)", "l >= 2; optional sensitive"},
-	}})
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": engine.Infos()})
 }
 
 // ---- anonymize ----
@@ -285,12 +275,15 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "%v", err)
 		return
 	}
-	alg, err := core.ParseAlgorithm(req.Algorithm)
+	engineAlg, err := engine.Lookup(req.Algorithm)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	if req.K == 0 && alg != core.Anatomy {
+	alg := core.Algorithm(engineAlg.Name())
+	// Default k from the registry metadata: only algorithms that declare a k
+	// parameter get one (bucketizing algorithms are keyed on l instead).
+	if _, hasK := engineAlg.Describe().Param("k"); hasK && req.K == 0 {
 		req.K = 10
 	}
 	maxSuppression := 0.02

@@ -14,8 +14,10 @@
 // caches in the dataset package are themselves mutex-built). Each anonymize
 // request runs under a context derived from the HTTP request and bounded by
 // Config.RequestTimeout; cancellation propagates through
-// core.AnonymizeContext into the Mondrian partition pool, whose width is
-// bounded per process by Config.Workers so concurrent requests share the
+// core.AnonymizeContext into every algorithm's engine adapter — each polls
+// the context at its natural unit of work — and Config.Workers bounds the
+// internal worker pools (Mondrian's partition recursion, Incognito's lattice
+// layers, TopDown's candidate evaluation) so concurrent requests share the
 // machine fairly.
 //
 // Every error response is a JSON envelope {"error":{"code":...,
@@ -34,14 +36,8 @@ import (
 	"runtime"
 	"time"
 
-	"github.com/ppdp/ppdp/internal/algorithms/anatomy"
-	"github.com/ppdp/ppdp/internal/algorithms/datafly"
-	"github.com/ppdp/ppdp/internal/algorithms/incognito"
-	"github.com/ppdp/ppdp/internal/algorithms/kmember"
-	"github.com/ppdp/ppdp/internal/algorithms/mondrian"
-	"github.com/ppdp/ppdp/internal/algorithms/samarati"
-	"github.com/ppdp/ppdp/internal/algorithms/topdown"
 	"github.com/ppdp/ppdp/internal/core"
+	"github.com/ppdp/ppdp/internal/engine"
 )
 
 // Config tunes a Server. The zero value is usable: it listens on :8080,
@@ -56,10 +52,10 @@ type Config struct {
 	Workers int
 	// RequestTimeout sets the deadline of one anonymize request (60s when
 	// zero). Clients may ask for less via timeout_ms but never for more.
-	// Mondrian observes the deadline mid-run (its workers poll the context
-	// per subtree); the other algorithms observe it only between their
-	// major phases, so a pathological non-Mondrian run can overshoot the
-	// deadline before its 504 is written.
+	// Every algorithm observes the deadline mid-run — each polls the context
+	// at its natural unit of work (Mondrian per partition subtree, the
+	// lattice searches per node, clustering per cluster, ...), so a timed-out
+	// run stops within one unit of work of the deadline.
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps request bodies, notably CSV uploads (32 MiB when
 	// zero).
@@ -255,29 +251,18 @@ const StatusClientClosedRequest = 499
 // writeAnonymizeError maps pipeline errors onto HTTP statuses and envelope
 // codes: configuration problems are the client's fault (400), privacy
 // parameters no algorithm run can meet are 422, timeouts are 504, abandoned
-// requests are 499, anything else is a 500.
+// requests are 499, anything else is a 500. Algorithm failures arrive
+// pre-classified by their engine adapters (engine.ErrConfig /
+// engine.ErrUnsatisfiable), so the mapping needs no per-algorithm knowledge.
 func writeAnonymizeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "timeout", "anonymization exceeded the request deadline: %v", err)
 	case errors.Is(err, context.Canceled):
 		writeError(w, StatusClientClosedRequest, "canceled", "request canceled: %v", err)
-	case errors.Is(err, core.ErrConfig),
-		errors.Is(err, mondrian.ErrConfig),
-		errors.Is(err, datafly.ErrConfig),
-		errors.Is(err, incognito.ErrConfig),
-		errors.Is(err, samarati.ErrConfig),
-		errors.Is(err, topdown.ErrConfig),
-		errors.Is(err, kmember.ErrConfig),
-		errors.Is(err, anatomy.ErrConfig):
+	case errors.Is(err, core.ErrConfig), errors.Is(err, engine.ErrConfig):
 		writeError(w, http.StatusBadRequest, "bad_config", "%v", err)
-	case errors.Is(err, mondrian.ErrUnsatisfiable),
-		errors.Is(err, datafly.ErrUnsatisfiable),
-		errors.Is(err, incognito.ErrUnsatisfiable),
-		errors.Is(err, samarati.ErrUnsatisfiable),
-		errors.Is(err, topdown.ErrUnsatisfiable),
-		errors.Is(err, kmember.ErrTooFewRecords),
-		errors.Is(err, anatomy.ErrEligibility):
+	case errors.Is(err, engine.ErrUnsatisfiable):
 		writeError(w, http.StatusUnprocessableEntity, "unsatisfiable", "%v", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "internal", "%v", err)

@@ -102,6 +102,20 @@ func TestAlgorithmsEndpoint(t *testing.T) {
 	if !ok || len(algs) != 7 {
 		t.Fatalf("algorithms = %v", body)
 	}
+	// The listing is generated from the engine registry: the default
+	// algorithm leads and every card carries a machine-readable parameter
+	// list.
+	first, ok := algs[0].(map[string]any)
+	if !ok || first["name"] != "mondrian" || first["default"] != true {
+		t.Errorf("first algorithm = %v, want the default (mondrian)", algs[0])
+	}
+	for _, a := range algs {
+		card := a.(map[string]any)
+		params, ok := card["parameters"].([]any)
+		if !ok || len(params) == 0 {
+			t.Errorf("algorithm %v has no parameter metadata", card["name"])
+		}
+	}
 }
 
 func TestDatasetLifecycle(t *testing.T) {

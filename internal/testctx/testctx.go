@@ -1,0 +1,45 @@
+// Package testctx provides deterministic cancellation contexts for testing
+// context-aware code without sleeps or wall-clock races: the context trips
+// after a fixed number of Err() polls, so a "mid-run cancel" lands on an
+// exact unit of work every time, under -race included.
+package testctx
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// pollLimited is a context that reports context.Canceled after its Err
+// method has been polled a fixed number of times. Concurrent pollers are
+// fine: the countdown is atomic, and once tripped it stays tripped.
+type pollLimited struct {
+	remaining atomic.Int64
+	done      chan struct{}
+	once      sync.Once
+}
+
+// CancelAfter returns a context whose Err() returns nil for the first n
+// polls and context.Canceled from poll n+1 on; Done() is closed at the same
+// moment. Code that polls the context once per unit of work therefore
+// observes a cancellation exactly n units into the run.
+func CancelAfter(n int) context.Context {
+	c := &pollLimited{done: make(chan struct{})}
+	c.remaining.Store(int64(n))
+	return c
+}
+
+func (c *pollLimited) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func (c *pollLimited) Done() <-chan struct{} { return c.done }
+
+func (c *pollLimited) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		c.once.Do(func() { close(c.done) })
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *pollLimited) Value(any) any { return nil }
