@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fmt-check linkcheck serve bench bench-quick bench-full ci
+.PHONY: all build test vet race fmt-check linkcheck serve bench bench-compare bench-quick bench-full ci
 
 all: build
 
@@ -34,15 +34,22 @@ race:
 
 # Hot-path benchmarks with memory stats, recorded as JSON so the perf
 # trajectory is tracked per PR (see the non-gating CI bench job). The file
-# name carries the PR number that introduced the recording.
-BENCH_OUT ?= BENCH_PR3.json
+# name carries the PR number that introduced the recording; bench-compare
+# diffs the fresh numbers against the previous PR's committed baseline.
+BENCH_OUT ?= BENCH_PR4.json
+BENCH_BASELINE ?= BENCH_PR3.json
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkGroupBy|BenchmarkMondrian|BenchmarkIncognito|BenchmarkTopDown|BenchmarkLaplace|BenchmarkServeAnonymize' \
+	$(GO) test -run '^$$' -bench 'BenchmarkGroupBy|BenchmarkMondrian|BenchmarkIncognito|BenchmarkTopDown|BenchmarkLaplace|BenchmarkServeAnonymize|BenchmarkJobThroughput' \
 		-benchmem ./... > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
 	cat bench.out
 	$(GO) run ./cmd/benchjson < bench.out > $(BENCH_OUT)
 	@rm -f bench.out
 	@echo "wrote $(BENCH_OUT)"
+
+# Per-benchmark ns/op and allocs/op deltas against the previous PR's
+# baseline; exits non-zero on a >10% regression (CI keeps this non-gating).
+bench-compare:
+	$(GO) run ./cmd/benchjson compare $(BENCH_BASELINE) $(BENCH_OUT)
 
 # Micro-benchmarks for the hot paths (quick mode, ~1 minute).
 bench-quick:

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// comparedMetrics are the units the compare subcommand diffs; both are
+// smaller-is-better, so a positive delta is a regression.
+var comparedMetrics = []string{"ns/op", "allocs/op"}
+
+// runCompare implements `benchjson compare [-threshold F] OLD.json NEW.json`.
+// It prints one line per benchmark/metric pair present in both files and
+// returns exit code 1 when any delta exceeds the threshold fraction (0 on a
+// clean comparison; hard errors surface as error).
+func runCompare(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchjson compare", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.10,
+		"regression threshold as a fraction (0.10 flags metrics more than 10% worse)")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if fs.NArg() != 2 {
+		return 0, fmt.Errorf("compare: want OLD.json NEW.json, got %d arguments", fs.NArg())
+	}
+	if *threshold < 0 {
+		return 0, fmt.Errorf("compare: threshold %v must be non-negative", *threshold)
+	}
+	oldRep, err := readReport(fs.Arg(0))
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := readReport(fs.Arg(1))
+	if err != nil {
+		return 0, err
+	}
+	regressions := compareReports(oldRep, newRep, *threshold, w)
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d metric(s) regressed beyond %+.0f%%\n", regressions, *threshold*100)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// readReport loads one benchjson output file.
+func readReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareReports prints the delta table for the benchmarks present in both
+// reports (in the new report's order) and returns how many metrics regressed
+// beyond the threshold. Benchmarks present on only one side are announced
+// but never counted as regressions — a renamed or added benchmark must not
+// fail the comparison.
+func compareReports(oldRep, newRep *Report, threshold float64, w io.Writer) int {
+	oldBy := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+	regressions := 0
+	for _, nb := range newRep.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s new benchmark (no baseline)\n", nb.Name)
+			continue
+		}
+		for _, metric := range comparedMetrics {
+			oldV, okOld := ob.Metrics[metric]
+			newV, okNew := nb.Metrics[metric]
+			if !okOld || !okNew || oldV == 0 {
+				continue
+			}
+			delta := (newV - oldV) / oldV
+			mark := ""
+			if delta > threshold {
+				mark = "  << regression"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-40s %-10s %14.1f -> %14.1f  %+7.1f%%%s\n",
+				nb.Name, metric, oldV, newV, delta*100, mark)
+		}
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%-40s removed (present only in baseline)\n", ob.Name)
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep *Report) string {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{
+		Name:       name,
+		Iterations: 100,
+		Metrics:    map[string]float64{"ns/op": ns, "allocs/op": allocs},
+	}
+}
+
+func TestCompareReportsDeltas(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkStable-4", 1000, 50),
+		bench("BenchmarkFaster-4", 2000, 80),
+		bench("BenchmarkRemoved-4", 10, 1),
+	}})
+	newPath := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkStable-4", 1040, 50), // +4%: inside the default threshold
+		bench("BenchmarkFaster-4", 1000, 40), // improvement
+		bench("BenchmarkAdded-4", 5, 2),      // no baseline
+	}})
+
+	var out strings.Builder
+	code, err := runCompare([]string{oldPath, newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 (no regression beyond 10%%):\n%s", code, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"BenchmarkStable-4", "+4.0%",
+		"BenchmarkFaster-4", "-50.0%",
+		"new benchmark (no baseline)",
+		"removed (present only in baseline)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compare output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompareFlagsRegressionBeyondThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkHot-4", 1000, 100),
+	}})
+	newPath := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkHot-4", 1300, 100), // +30% ns/op
+	}})
+
+	var out strings.Builder
+	code, err := runCompare([]string{oldPath, newPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "<< regression") {
+		t.Errorf("output does not flag the regression:\n%s", out.String())
+	}
+
+	// A looser threshold accepts the same delta.
+	out.Reset()
+	code, err = runCompare([]string{"-threshold", "0.5", oldPath, newPath}, &out)
+	if err != nil || code != 0 {
+		t.Errorf("threshold 0.5: code = %d, err = %v:\n%s", code, err, out.String())
+	}
+}
+
+func TestCompareArgumentErrors(t *testing.T) {
+	var out strings.Builder
+	if _, err := runCompare([]string{"only-one.json"}, &out); err == nil {
+		t.Error("missing file argument not rejected")
+	}
+	if _, err := runCompare([]string{"-threshold", "-1", "a.json", "b.json"}, &out); err == nil {
+		t.Error("negative threshold not rejected")
+	}
+	if _, err := runCompare([]string{"/does/not/exist.json", "/nor/this.json"}, &out); err == nil {
+		t.Error("unreadable files not rejected")
+	}
+}

@@ -1,15 +1,23 @@
 // Command benchjson converts `go test -bench` text output into a JSON
-// record. `make bench` pipes the repository benchmarks through it to write
-// BENCH_PR*.json files, so the performance trajectory of the hot paths is
-// recorded per PR in a machine-readable form.
+// record, and diffs two such records. `make bench` pipes the repository
+// benchmarks through it to write BENCH_PR*.json files, so the performance
+// trajectory of the hot paths is recorded per PR in a machine-readable form;
+// the CI bench job then reports regressions with compare (non-gating).
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH.json
+//	benchjson compare [-threshold 0.10] OLD.json NEW.json
 //
 // Non-benchmark lines (package headers, PASS/ok) are ignored; every metric
 // pair a benchmark reports (ns/op, B/op, allocs/op, custom b.ReportMetric
 // units) is preserved under its unit name.
+//
+// compare prints the per-benchmark ns/op and allocs/op deltas of the
+// benchmarks present in both files and exits with status 1 when any metric
+// regressed by more than the threshold (a fraction: 0.10 = +10%), so a CI
+// job can surface regressions while staying non-gating via
+// continue-on-error.
 package main
 
 import (
@@ -45,6 +53,14 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		code, err := runCompare(os.Args[2:], os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -8,20 +8,25 @@
 // Usage:
 //
 //	ppdp generate  -dataset census|hospital -rows N -seed S -out file.csv
-//	ppdp anonymize -dataset census|hospital -in file.csv -algorithm A [flags] -out out.csv
+//	ppdp anonymize -dataset census|hospital -in file.csv -algorithm A [-progress] [flags] -out out.csv
 //	ppdp algorithms
 //	ppdp risk      -dataset census|hospital -in file.csv [-threshold 0.2]
 //	ppdp utility   -dataset census|hospital -original orig.csv -released rel.csv [-k 10]
 //	ppdp experiment -id E1 [-quick] [-rows N] | -all [-quick]
-//	ppdp serve     [-addr :8080] [-workers N] [-timeout 60s] [-preload census=5000]
+//	ppdp serve     [-addr :8080] [-workers N] [-job-workers N] [-queue-depth N]
+//	               [-job-ttl 15m] [-timeout 60s] [-preload census=5000]
 //
 // The anonymize subcommand accepts any registered algorithm; `ppdp
-// algorithms` prints the registry's listing — name, description and the
-// flags each algorithm reads — generated from the same engine metadata the
-// HTTP service serves on GET /v1/algorithms.
+// algorithms` prints the registry's listing — name, description, the flags
+// each algorithm reads and their defaults — generated from the same engine
+// metadata the HTTP service serves on GET /v1/algorithms. -progress streams
+// a live progress line on stderr, fed by the same engine sink the HTTP jobs
+// report through.
 //
-// `ppdp serve` exposes the same pipeline over HTTP — see internal/server and
-// docs/ARCHITECTURE.md for the endpoint reference.
+// `ppdp serve` exposes the same pipeline over HTTP, synchronously and as
+// background jobs behind one bounded executor (-job-workers running,
+// -queue-depth waiting) — see internal/server and docs/ARCHITECTURE.md for
+// the endpoint reference.
 package main
 
 import (
@@ -104,6 +109,20 @@ func flagOf(p engine.Param) string {
 	return strings.ReplaceAll(p.Name, "_", "-")
 }
 
+// defaultInt and defaultFloat resolve a shared flag default from the engine
+// registry metadata (falling back only if no algorithm declares one), so the
+// CLI, the server and GET /v1/algorithms all advertise the same values. The
+// coercion goes through Param's own helpers, so a default the server would
+// resolve (e.g. a float parameter declared with an int literal) resolves
+// identically here.
+func defaultInt(param string, fallback int) int {
+	return engine.Param{Default: engine.ParamDefault(param)}.IntDefault(fallback)
+}
+
+func defaultFloat(param string, fallback float64) float64 {
+	return engine.Param{Default: engine.ParamDefault(param)}.FloatDefault(fallback)
+}
+
 // writeAlgorithmListing renders the registry's algorithms as the usage
 // block: one line of flags (required first, optional bracketed) and one line
 // of description per algorithm. Both the CLI usage and `ppdp algorithms`
@@ -162,7 +181,11 @@ func cmdAlgorithms(args []string) error {
 			if p.Name == "quasi_identifiers" {
 				flagName = "(schema)"
 			}
-			fmt.Printf("  %-18s %-8s %-8s %s\n", flagName, p.Type, req, p.Description)
+			desc := p.Description
+			if p.Default != nil {
+				desc += fmt.Sprintf(" (default %v)", p.Default)
+			}
+			fmt.Printf("  %-18s %-8s %-8s %s\n", flagName, p.Type, req, desc)
 		}
 	}
 	return nil
@@ -213,7 +236,10 @@ func cmdAnonymize(args []string) error {
 	in := fs.String("in", "", "input CSV path (required)")
 	out := fs.String("out", "", "output CSV path (stdout when empty)")
 	algorithm := fs.String("algorithm", "mondrian", strings.Join(engine.Names(), "|"))
-	k := fs.Int("k", 10, "k-anonymity parameter")
+	// Shared parameter defaults come from the engine registry's metadata —
+	// the same source GET /v1/algorithms serves and the server resolves — so
+	// the CLI cannot drift from the service.
+	k := fs.Int("k", defaultInt("k", 10), "k-anonymity parameter")
 	l := fs.Int("l", 0, "l-diversity parameter (0 disables; anatomy requires >= 2)")
 	t := fs.Float64("t", 0, "t-closeness parameter (0 disables)")
 	diversity := fs.String("diversity", "", "l-diversity variant: distinct|entropy|recursive (distinct when empty)")
@@ -221,7 +247,9 @@ func cmdAnonymize(args []string) error {
 	sensitive := fs.String("sensitive", "", "sensitive attribute (defaults to the schema's first sensitive column)")
 	strict := fs.Bool("strict", false, "strict Mondrian partitioning (never separate equal values)")
 	workers := fs.Int("workers", 0, "worker pool bound for parallel algorithms (0 = GOMAXPROCS)")
-	suppress := fs.Float64("max-suppression", 0.02, "maximum fraction of suppressed records (datafly/samarati)")
+	suppress := fs.Float64("max-suppression", defaultFloat("max_suppression", 0.02),
+		"maximum fraction of suppressed records (datafly/samarati)")
+	progress := fs.Bool("progress", false, "report run progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -238,7 +266,7 @@ func cmdAnonymize(args []string) error {
 	if err != nil {
 		return err
 	}
-	anon, err := core.New(core.Config{
+	cfg := core.Config{
 		Algorithm:      alg,
 		K:              *k,
 		L:              *l,
@@ -250,11 +278,27 @@ func cmdAnonymize(args []string) error {
 		Workers:        *workers,
 		Hierarchies:    hs,
 		MaxSuppression: *suppress,
-	})
+	}
+	if *progress {
+		// The same engine sink the HTTP jobs feed on: events arrive
+		// serialized and strictly increasing (see engine.Monotone), so a
+		// plain carriage-return line needs no locking.
+		cfg.Progress = func(done, total int) {
+			percent := 100.0
+			if total > 0 {
+				percent = 100 * float64(done) / float64(total)
+			}
+			fmt.Fprintf(os.Stderr, "\rprogress: %d/%d units (%3.0f%%)", done, total, percent)
+		}
+	}
+	anon, err := core.New(cfg)
 	if err != nil {
 		return err
 	}
 	rel, err := anon.Anonymize(tbl)
+	if *progress {
+		fmt.Fprintln(os.Stderr) // finish the carriage-return progress line
+	}
 	if err != nil {
 		return err
 	}

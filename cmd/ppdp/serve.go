@@ -20,8 +20,11 @@ import (
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", server.DefaultAddr, "listen address")
-	workers := fs.Int("workers", 0, "Mondrian worker pool bound per request (0 = GOMAXPROCS)")
-	timeout := fs.Duration("timeout", server.DefaultRequestTimeout, "per-request anonymization timeout")
+	workers := fs.Int("workers", 0, "per-run worker pool bound for parallel algorithms (0 = GOMAXPROCS)")
+	jobWorkers := fs.Int("job-workers", 0, "anonymization runs executing concurrently on the shared sync/async executor (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", server.DefaultQueueDepth, "runs waiting for a free worker before both paths answer 429")
+	jobTTL := fs.Duration("job-ttl", server.DefaultJobTTL, "how long finished jobs stay pollable on GET /v1/jobs/{id}")
+	timeout := fs.Duration("timeout", server.DefaultRequestTimeout, "per-run anonymization timeout")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
 	preload := fs.String("preload", "", "preload a synthetic dataset, e.g. census=5000 or hospital=10000")
 	quiet := fs.Bool("quiet", false, "disable request logging")
@@ -31,6 +34,9 @@ func cmdServe(args []string) error {
 	cfg := server.Config{
 		Addr:           *addr,
 		Workers:        *workers,
+		JobWorkers:     *jobWorkers,
+		QueueDepth:     *queueDepth,
+		JobTTL:         *jobTTL,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 	}

@@ -1,7 +1,9 @@
 // Command http-service drives the ppdp HTTP anonymization service end to
 // end, the way an operator would with curl: start a server, check liveness,
 // upload a CSV dataset, anonymize it twice (Mondrian with l-diversity, then
-// Anatomy), and fetch the stored release's risk and utility reports.
+// Anatomy), fetch the stored release's risk and utility reports, and run the
+// background-job flow — submit, poll state and progress, fetch the published
+// release, cancel.
 //
 // The server runs in-process on a loopback port, but every interaction goes
 // through real HTTP — the same requests work against `ppdp serve`.
@@ -136,7 +138,63 @@ func main() {
 	fmt.Printf("anatomy release %s: %d rows (download QIT/ST via /v1/releases/%s/data?table=qit|st)\n",
 		anat.ReleaseID, anat.Rows, anat.ReleaseID)
 
-	// 9. Graceful shutdown, as SIGTERM would trigger under `ppdp serve`.
+	// 9. Background job: the same request body as /v1/anonymize, submitted
+	// asynchronously through the same executor. Poll for state and live
+	// progress, then use the published release like any other.
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	postJSON(base+"/v1/jobs", map[string]any{
+		"dataset": "clinic", "algorithm": "mondrian", "k": 10,
+	}, &job)
+	fmt.Printf("job %s submitted (state %s)\n", job.ID, job.State)
+	var snap struct {
+		State     string `json:"state"`
+		ReleaseID string `json:"release_id"`
+		Progress  struct {
+			Done    int     `json:"done"`
+			Total   int     `json:"total"`
+			Percent float64 `json:"percent"`
+		} `json:"progress"`
+	}
+	for {
+		getJSON(base+"/v1/jobs/"+job.ID, &snap)
+		if snap.State == "succeeded" || snap.State == "failed" || snap.State == "canceled" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("job %s: %s at %d/%d units, published release %s\n",
+		job.ID, snap.State, snap.Progress.Done, snap.Progress.Total, snap.ReleaseID)
+
+	// 10. Cancellation: submit the slow quadratic clustering, then ask it to
+	// stop. The algorithm observes the cancel at its next unit of work and a
+	// canceled job never publishes a release (a job that already finished
+	// answers 409 instead).
+	postJSON(base+"/v1/jobs", map[string]any{
+		"dataset": "people", "algorithm": "kmember", "k": 5,
+	}, &job)
+	cancelReq, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+job.ID, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cancelResp, err := http.DefaultClient.Do(cancelReq)
+	if err != nil {
+		log.Fatalf("DELETE /v1/jobs/%s: %v", job.ID, err)
+	}
+	io.Copy(io.Discard, cancelResp.Body)
+	cancelResp.Body.Close()
+	for {
+		getJSON(base+"/v1/jobs/"+job.ID, &snap)
+		if snap.State == "succeeded" || snap.State == "failed" || snap.State == "canceled" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("cancel job %s: HTTP %d, settled state %q\n\n", job.ID, cancelResp.StatusCode, snap.State)
+
+	// 11. Graceful shutdown, as SIGTERM would trigger under `ppdp serve`.
 	stop()
 	if err := <-done; err != nil {
 		log.Fatalf("shutdown: %v", err)

@@ -39,6 +39,12 @@ type Config struct {
 	// QuasiIdentifiers lists the columns published in the QIT; when empty
 	// the schema's quasi-identifier columns are used.
 	QuasiIdentifiers []string
+	// Progress, when non-nil, receives (done, total) after every bucket
+	// round of the group-creation phase — the same unit of work the context
+	// is polled at. Done counts the records bucketized so far and total is
+	// the table size; a successful run ends with a (total, total) event once
+	// the residual records are placed.
+	Progress func(done, total int)
 }
 
 // Group is one anatomized bucket.
@@ -121,6 +127,12 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		byValue[row[sensCol]] = append(byValue[row[sensCol]], r)
 	}
 
+	report := cfg.Progress
+	if report == nil {
+		report = func(int, int) {}
+	}
+	bucketized := 0
+
 	// Group-creation phase: while at least L non-empty hash groups remain,
 	// form a group with one record from each of the L largest groups.
 	var groups []Group
@@ -128,6 +140,7 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("anatomy: %w", err)
 		}
+		report(bucketized, t.Len())
 		order := valuesByRemaining(byValue)
 		if len(order) < cfg.L {
 			break
@@ -145,6 +158,7 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 			g.Counts[v]++
 		}
 		groups = append(groups, g)
+		bucketized += cfg.L
 	}
 	// Residual-assignment phase: each leftover record joins a group that does
 	// not yet contain its sensitive value.
@@ -169,6 +183,7 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	report(t.Len(), t.Len())
 	return &Result{
 		QIT:              qit,
 		ST:               st,

@@ -42,6 +42,7 @@ func (adapter) Run(ctx context.Context, t *dataset.Table, spec engine.Spec) (*en
 		L:                spec.L,
 		Sensitive:        spec.Sensitive,
 		QuasiIdentifiers: spec.QuasiIdentifiers,
+		Progress:         engine.Monotone(spec.Progress),
 	})
 	if err != nil {
 		return nil, classify(err)

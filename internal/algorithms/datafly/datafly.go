@@ -38,6 +38,12 @@ type Config struct {
 	// allows suppressing up to k records; expressing the budget as a
 	// fraction matches how the experiments sweep it.
 	MaxSuppression float64
+	// Progress, when non-nil, receives (done, total) after every
+	// generalization round — the same unit of work the context is polled at.
+	// Total is the worst-case round count (one per hierarchy level across the
+	// quasi-identifier, plus the final check); a successful run ends with a
+	// (total, total) event.
+	Progress func(done, total int)
 }
 
 // Result describes the outcome of a Datafly run.
@@ -87,6 +93,16 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		return nil, err
 	}
 	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	report := cfg.Progress
+	if report == nil {
+		report = func(int, int) {}
+	}
+	// Worst case the heuristic generalizes one attribute level per round
+	// until every attribute tops out, then runs one final check round.
+	totalRounds := 1
+	for _, m := range maxLevels {
+		totalRounds += m
+	}
 
 	node := make(lattice.Node, len(qi))
 	current := t.Clone()
@@ -95,6 +111,7 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("datafly: %w", err)
 		}
+		report(iterations, totalRounds)
 		classes, err := current.GroupBy(qi...)
 		if err != nil {
 			return nil, err
@@ -105,6 +122,7 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 			if err != nil {
 				return nil, err
 			}
+			report(totalRounds, totalRounds)
 			return &Result{
 				Table:            released,
 				Node:             node,

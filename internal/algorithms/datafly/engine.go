@@ -25,9 +25,9 @@ func (adapter) Describe() engine.Info {
 		RequiresHierarchies: true,
 		CostExponent:        1,
 		Parameters: []engine.Param{
-			{Name: "k", Type: "int", Required: true, Description: "minimum equivalence-class size"},
+			{Name: "k", Type: "int", Required: true, Default: 10, Description: "minimum equivalence-class size"},
 			{Name: "quasi_identifiers", Type: "[]string", Description: "attributes to generalize (schema QI columns when empty)"},
-			{Name: "max_suppression", Type: "float", Description: "maximum fraction of suppressed records"},
+			{Name: "max_suppression", Type: "float", Default: 0.02, Description: "maximum fraction of suppressed records"},
 		},
 	}
 }
@@ -48,6 +48,7 @@ func (adapter) Run(ctx context.Context, t *dataset.Table, spec engine.Spec) (*en
 		QuasiIdentifiers: spec.QuasiIdentifiers,
 		Hierarchies:      spec.Hierarchies,
 		MaxSuppression:   spec.MaxSuppression,
+		Progress:         engine.Monotone(spec.Progress),
 	})
 	if err != nil {
 		return nil, classify(err)

@@ -26,7 +26,7 @@ func (adapter) Describe() engine.Info {
 		Parallel:            true,
 		CostExponent:        1,
 		Parameters: []engine.Param{
-			{Name: "k", Type: "int", Required: true, Description: "minimum equivalence-class size"},
+			{Name: "k", Type: "int", Required: true, Default: 10, Description: "minimum equivalence-class size"},
 			{Name: "quasi_identifiers", Type: "[]string", Description: "attributes to generalize (schema QI columns when empty)"},
 			{Name: "l", Type: "int", Description: "l-diversity parameter (0 disables)"},
 			{Name: "diversity_mode", Flag: "diversity", Type: "string", Description: "l-diversity variant: distinct|entropy|recursive"},
@@ -55,6 +55,7 @@ func (adapter) Run(ctx context.Context, t *dataset.Table, spec engine.Spec) (*en
 		Hierarchies:      spec.Hierarchies,
 		Extra:            spec.Extra,
 		Workers:          spec.Workers,
+		Progress:         engine.Monotone(spec.Progress),
 	})
 	if err != nil {
 		return nil, classify(err)

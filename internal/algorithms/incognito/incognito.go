@@ -66,6 +66,14 @@ type Config struct {
 	// lattice layer concurrently. Zero uses runtime.GOMAXPROCS(0); 1 forces
 	// a sequential search. The released node is identical for every count.
 	Workers int
+	// Progress, when non-nil, receives (done, total) after every evaluated
+	// lattice node — the same unit of work the context is polled at. Total is
+	// the lattice size (an upper bound: pruning skips dominated nodes); a
+	// successful run ends with a (total, total) event. Pool workers report
+	// concurrently and may interleave out of order; callers that need a
+	// monotone stream wrap the sink (see engine.Monotone, which the engine
+	// adapter applies).
+	Progress func(done, total int)
 }
 
 // Result describes the outcome of an Incognito run.
@@ -123,12 +131,20 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	report := cfg.Progress
+	if report == nil {
+		report = func(int, int) {}
+	}
+	totalNodes := lat.Size()
+
 	var evaluated atomic.Int64
 	satisfies := func(node lattice.Node) (bool, *dataset.Table, []dataset.EquivalenceClass, error) {
 		if err := ctx.Err(); err != nil {
 			return false, nil, nil, fmt.Errorf("incognito: %w", err)
 		}
-		evaluated.Add(1)
+		// The subset pre-check can revisit nodes the breadth-first phase also
+		// materializes, so cap the reported count at the lattice size.
+		report(min(int(evaluated.Add(1)), totalNodes), totalNodes)
 		recoded, err := generalize.FullDomain(t, qi, cfg.Hierarchies, node)
 		if err != nil {
 			return false, nil, nil, err
@@ -245,6 +261,7 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 			best, bestScore = i, s
 		}
 	}
+	report(totalNodes, totalNodes)
 	return &Result{
 		Table:            all[best].table,
 		Node:             all[best].node,

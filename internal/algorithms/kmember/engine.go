@@ -24,7 +24,7 @@ func (adapter) Describe() engine.Info {
 		Kind:         engine.Microdata,
 		CostExponent: 2,
 		Parameters: []engine.Param{
-			{Name: "k", Type: "int", Required: true, Description: "minimum cluster size"},
+			{Name: "k", Type: "int", Required: true, Default: 10, Description: "minimum cluster size"},
 			{Name: "quasi_identifiers", Type: "[]string", Description: "attributes for distance and recoding (schema QI columns when empty)"},
 		},
 	}
@@ -42,6 +42,7 @@ func (adapter) Run(ctx context.Context, t *dataset.Table, spec engine.Spec) (*en
 		K:                spec.K,
 		QuasiIdentifiers: spec.QuasiIdentifiers,
 		Hierarchies:      spec.Hierarchies,
+		Progress:         engine.Monotone(spec.Progress),
 	})
 	if err != nil {
 		return nil, classify(err)

@@ -36,6 +36,12 @@ type Config struct {
 	// recoding of the final clusters; the clustering loss itself uses
 	// distinct-value ratios.
 	Hierarchies *hierarchy.Set
+	// Progress, when non-nil, receives (done, total) after every grown
+	// cluster — the same unit of work the context is polled at. Done counts
+	// the records placed into clusters so far and total is the table size; a
+	// successful run ends with a (total, total) event once the residual
+	// records are assigned.
+	Progress func(done, total int)
 }
 
 // Result describes the outcome of a run.
@@ -175,6 +181,12 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		return total, nil
 	}
 
+	report := cfg.Progress
+	if report == nil {
+		report = func(int, int) {}
+	}
+	placed := 0
+
 	var clusters []*clusterState
 	for len(unassigned) >= cfg.K {
 		if err := ctx.Err(); err != nil {
@@ -212,6 +224,8 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 			}
 		}
 		clusters = append(clusters, cs)
+		placed += len(cs.rows)
+		report(placed, t.Len())
 	}
 	// Residual records join the cluster whose loss increases least.
 	if err := ctx.Err(); err != nil {
@@ -235,6 +249,8 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 			return nil, err
 		}
 	}
+
+	report(t.Len(), t.Len())
 
 	groups := make([][]int, len(clusters))
 	for i, cs := range clusters {

@@ -27,7 +27,7 @@ func (adapter) Describe() engine.Info {
 		CostExponent: 1,
 		Default:      true,
 		Parameters: []engine.Param{
-			{Name: "k", Type: "int", Required: true, Description: "minimum partition size"},
+			{Name: "k", Type: "int", Required: true, Default: 10, Description: "minimum partition size"},
 			{Name: "quasi_identifiers", Type: "[]string", Description: "attributes to partition on (schema QI columns when empty)"},
 			{Name: "l", Type: "int", Description: "l-diversity parameter (0 disables)"},
 			{Name: "diversity_mode", Flag: "diversity", Type: "string", Description: "l-diversity variant: distinct|entropy|recursive"},
@@ -55,6 +55,7 @@ func (adapter) Run(ctx context.Context, t *dataset.Table, spec engine.Spec) (*en
 		Strict:           spec.Strict,
 		Extra:            spec.Extra,
 		Workers:          spec.Workers,
+		Progress:         engine.Monotone(spec.Progress),
 	})
 	if err != nil {
 		return nil, classify(err)

@@ -78,6 +78,13 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 forces a fully sequential run. The released
 	// table, groups and summaries are identical for every worker count.
 	Workers int
+	// Progress, when non-nil, receives (done, total) every time a partition
+	// subtree is finalized — the same unit of work the context is polled at.
+	// Done counts the rows whose final partition is settled and total is the
+	// table size; a successful run ends with a (total, total) event. Calls
+	// are made under the runner's group mutex, so the stream is serialized
+	// and monotone for every worker count.
+	Progress func(done, total int)
 }
 
 // Result describes the outcome of a Mondrian run.
@@ -118,10 +125,15 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 	if len(qi) == 0 {
 		return nil, fmt.Errorf("%w: no quasi-identifier attributes", ErrConfig)
 	}
+	report := cfg.Progress
+	if report == nil {
+		report = func(int, int) {}
+	}
 	run := &runner{
 		ctx:        ctx,
 		t:          t,
 		cfg:        cfg,
+		report:     report,
 		qi:         qi,
 		cols:       make([]int, len(qi)),
 		numeric:    make([]bool, len(qi)),
@@ -179,6 +191,7 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	report(t.Len(), t.Len())
 	return &Result{
 		Table:     released,
 		Groups:    run.groups,
@@ -232,8 +245,11 @@ type runner struct {
 	wg     sync.WaitGroup
 	splits atomic.Int64
 
-	mu     sync.Mutex
-	groups [][]int
+	report func(done, total int)
+
+	mu       sync.Mutex
+	groups   [][]int
+	rowsDone int
 }
 
 // buildColumns materializes the columnar views and global domain spans. The
@@ -348,6 +364,8 @@ func (r *runner) partition(rows []int) {
 	}
 	r.mu.Lock()
 	r.groups = append(r.groups, rows)
+	r.rowsDone += len(rows)
+	r.report(r.rowsDone, r.t.Len())
 	r.mu.Unlock()
 }
 

@@ -37,6 +37,11 @@ type Config struct {
 	// MaxSuppression is the maximum fraction of records (0..1) that may be
 	// suppressed.
 	MaxSuppression float64
+	// Progress, when non-nil, receives (done, total) after every evaluated
+	// lattice node — the same unit of work the context is polled at. Total is
+	// the lattice size (an upper bound: the binary search visits a subset);
+	// a successful run ends with a (total, total) event.
+	Progress func(done, total int)
 }
 
 // Result describes the outcome of a Samarati run.
@@ -92,6 +97,11 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		return nil, err
 	}
 	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	report := cfg.Progress
+	if report == nil {
+		report = func(int, int) {}
+	}
+	totalNodes := lat.Size()
 
 	evaluated := 0
 	// bestAtHeight returns the best satisfying node at height h, or nil.
@@ -103,6 +113,9 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 				return nil, 0, fmt.Errorf("samarati: %w", err)
 			}
 			evaluated++
+			// The verification walk below the binary search can revisit a
+			// height, so cap the reported count at the lattice size.
+			report(min(evaluated, totalNodes), totalNodes)
 			suppress, err := violations(t, qi, cfg.Hierarchies, node, cfg.K)
 			if err != nil {
 				return nil, 0, err
@@ -157,6 +170,7 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	report(totalNodes, totalNodes)
 	return &Result{
 		Table:            released,
 		Node:             found,

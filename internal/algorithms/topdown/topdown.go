@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/generalize"
@@ -64,6 +65,14 @@ type Config struct {
 	// forces a sequential run. The released node is identical for every
 	// count.
 	Workers int
+	// Progress, when non-nil, receives (done, total) after every evaluated
+	// candidate specialization — the same unit of work the context is polled
+	// at. Total is the lattice size (an upper bound: the walk evaluates the
+	// top node plus each step's predecessors); a successful run ends with a
+	// (total, total) event. Pool workers report concurrently and may
+	// interleave out of order; callers that need a monotone stream wrap the
+	// sink (see engine.Monotone, which the engine adapter applies).
+	Progress func(done, total int)
 }
 
 // Result describes the outcome of a run.
@@ -125,10 +134,18 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	report := cfg.Progress
+	if report == nil {
+		report = func(int, int) {}
+	}
+	totalNodes := lat.Size()
+
+	var evaluated atomic.Int64
 	evaluate := func(node lattice.Node) (bool, *dataset.Table, []dataset.EquivalenceClass, error) {
 		if err := ctx.Err(); err != nil {
 			return false, nil, nil, fmt.Errorf("topdown: %w", err)
 		}
+		report(min(int(evaluated.Add(1)), totalNodes), totalNodes)
 		recoded, err := generalize.FullDomain(t, qi, cfg.Hierarchies, node)
 		if err != nil {
 			return false, nil, nil, err
@@ -191,6 +208,7 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		currentTable = bestTable
 		steps++
 	}
+	report(totalNodes, totalNodes)
 	return &Result{
 		Table:            currentTable,
 		Node:             current,

@@ -126,6 +126,13 @@ type Config struct {
 	// service) set this once per process so concurrent requests share the
 	// machine fairly.
 	Workers int
+	// Progress, when non-nil, receives (done, total) events as a run
+	// advances, reported by the algorithm at the same per-unit sites where
+	// it polls the context (see internal/engine). The delivered stream is
+	// serialized and strictly increasing in done, so a plain closure — the
+	// CLI's stderr progress line, a job manager's snapshot — needs no
+	// locking. Per-run sinks are usually attached with WithProgress instead.
+	Progress func(done, total int)
 }
 
 // ErrConfig is returned for invalid top-level configurations.
@@ -220,7 +227,18 @@ func (a *Anonymizer) spec(sensitive string, extra []privacy.Criterion) engine.Sp
 		Strict:           a.cfg.StrictMondrian,
 		Workers:          a.cfg.Workers,
 		Extra:            extra,
+		Progress:         a.cfg.Progress,
 	}
+}
+
+// WithProgress returns a copy of the anonymizer whose runs report progress to
+// sink; the receiver is unchanged. Executors that validate a configuration
+// once and then attach a per-run sink (the jobs layer of the HTTP service)
+// use this instead of rebuilding the Anonymizer.
+func (a *Anonymizer) WithProgress(sink func(done, total int)) *Anonymizer {
+	b := *a
+	b.cfg.Progress = sink
+	return &b
 }
 
 // Config returns a copy of the anonymizer's configuration.

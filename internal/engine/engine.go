@@ -18,7 +18,11 @@
 // polls at its natural unit of work (lattice node, generalization round,
 // specialization step, cluster, bucket round, partition subtree), and a Spec
 // whose Workers field bounds internal parallelism for the algorithms that
-// can use it (see Info.Parallel).
+// can use it (see Info.Parallel). The same per-unit sites double as progress
+// reporting points: a Spec.Progress sink receives (done, total) events as the
+// run advances, and every adapter routes its algorithm's raw counter through
+// Monotone so the delivered stream is strictly increasing and race-safe even
+// under internal worker pools.
 package engine
 
 import (
@@ -32,6 +36,38 @@ import (
 	"github.com/ppdp/ppdp/internal/hierarchy"
 	"github.com/ppdp/ppdp/internal/privacy"
 )
+
+// Progress is a sink for engine-level progress reporting. A run calls it
+// with the number of completed units of work and the run's total (total is
+// fixed for the whole run; it may be an upper bound for algorithms whose
+// exact unit count is unknown up front, in which case a successful run emits
+// a final (total, total) event). Events delivered through Monotone are
+// serialized and strictly increasing in done, so sinks need no locking of
+// their own.
+type Progress func(done, total int)
+
+// Monotone wraps sink so the delivered stream is race-safe and strictly
+// increasing in done: concurrent reporters (worker pools) may publish counter
+// values out of order, and the wrapper drops every event that does not
+// advance past the last delivered one. Calls to the underlying sink are
+// serialized. A nil sink wraps to nil, so algorithms can keep a cheap
+// "progress disabled" fast path.
+func Monotone(sink Progress) Progress {
+	if sink == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	last := -1
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if done <= last {
+			return
+		}
+		last = done
+		sink(done, total)
+	}
+}
 
 // Spec is the algorithm-agnostic run specification. Each algorithm reads the
 // subset of fields its Describe metadata declares and ignores the rest; the
@@ -60,6 +96,11 @@ type Spec struct {
 	// Extra lists additional privacy criteria (l-diversity, t-closeness, ...)
 	// for algorithms that gate their search on arbitrary criteria.
 	Extra []privacy.Criterion
+	// Progress receives (done, total) events as the run advances, reported at
+	// the same per-unit sites where the algorithm polls its context. Nil
+	// disables reporting. Adapters wrap the sink with Monotone, so callers may
+	// pass plain closures without worrying about worker-pool interleaving.
+	Progress Progress
 }
 
 // Result is the uniform outcome of a Run: a single microdata table, or a
@@ -107,8 +148,35 @@ type Param struct {
 	Type string `json:"type"`
 	// Required marks parameters without a usable zero default.
 	Required bool `json:"required"`
+	// Default is the value the pipeline substitutes when the caller omits the
+	// parameter (nil when the zero value simply disables the feature). It is
+	// declared once, here, so the HTTP service, the CLI usage text and the
+	// server-side resolution can never drift apart. Use int for "int"
+	// parameters and float64 for "float" ones.
+	Default any `json:"default,omitempty"`
 	// Description is a one-line human summary.
 	Description string `json:"description"`
+}
+
+// IntDefault returns the parameter's declared integer default, or fallback
+// when none is declared.
+func (p Param) IntDefault(fallback int) int {
+	if v, ok := p.Default.(int); ok {
+		return v
+	}
+	return fallback
+}
+
+// FloatDefault returns the parameter's declared float default, or fallback
+// when none is declared.
+func (p Param) FloatDefault(fallback float64) float64 {
+	switch v := p.Default.(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	}
+	return fallback
 }
 
 // Info is the machine-readable capability card of an algorithm. The server
@@ -290,4 +358,19 @@ func Infos() []Info {
 		out[i] = a.Describe()
 	}
 	return out
+}
+
+// ParamDefault returns the declared default for a wire parameter name: the
+// first non-nil Default among registered algorithms in listing order, or nil
+// when no algorithm declares one. Algorithms that declare the same parameter
+// must agree on its default (enforced by the engine tests), so callers that
+// need one cross-algorithm value — the CLI's shared flag defaults — can use
+// this without picking an algorithm first.
+func ParamDefault(name string) any {
+	for _, info := range Infos() {
+		if p, ok := info.Param(name); ok && p.Default != nil {
+			return p.Default
+		}
+	}
+	return nil
 }

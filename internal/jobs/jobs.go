@@ -1,0 +1,535 @@
+// Package jobs is the asynchronous execution layer of the anonymization
+// service: a job manager that runs arbitrary work on a bounded worker pool
+// behind a FIFO admission queue, with job lifecycle states, live progress
+// snapshots, per-job cancellation and TTL-based garbage collection of
+// finished jobs.
+//
+// The manager is the single executor both request paths of the HTTP service
+// share: POST /v1/jobs submits and returns immediately, while the synchronous
+// /v1/anonymize submits and waits — so one admission queue governs both, and
+// a saturated service rejects with ErrQueueFull instead of accepting
+// unbounded concurrent work.
+//
+// Lifecycle: a submitted job is queued until a worker picks it up, running
+// while its Runner executes, and ends succeeded, failed or canceled. Queued
+// jobs report their 1-based queue position; running jobs report the (done,
+// total) progress their Runner publishes (the engine's per-algorithm sinks,
+// for the anonymization service). Finished jobs are retained for Config.TTL
+// so clients can poll the outcome, then evicted lazily by the next manager
+// operation.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Lifecycle states: queued → running → succeeded | failed | canceled.
+const (
+	Queued    State = "queued"
+	Running   State = "running"
+	Succeeded State = "succeeded"
+	Failed    State = "failed"
+	Canceled  State = "canceled"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
+	return s == Succeeded || s == Failed || s == Canceled
+}
+
+// Runner is one job's unit of work. It receives the job's context — canceled
+// by Cancel, Close, or the job's run timeout — and a progress sink that feeds
+// the job's live snapshot; both may be ignored by trivial work. The returned
+// value is retained in the job's snapshot until the job is garbage-collected.
+type Runner func(ctx context.Context, progress func(done, total int)) (any, error)
+
+// Manager errors.
+var (
+	// ErrQueueFull rejects a submission when the admission queue is at
+	// capacity. Callers translate it into backpressure (HTTP 429).
+	ErrQueueFull = errors.New("jobs: admission queue is full")
+	// ErrNotFound is returned for unknown (or already evicted) job ids.
+	ErrNotFound = errors.New("jobs: job not found")
+	// ErrFinished rejects cancellation of a job that already reached a
+	// terminal state.
+	ErrFinished = errors.New("jobs: job already finished")
+	// ErrClosed rejects submissions to a closed manager.
+	ErrClosed = errors.New("jobs: manager is closed")
+)
+
+// Config tunes a Manager. The zero value is usable: GOMAXPROCS workers, a
+// 64-deep queue and a 15-minute retention of finished jobs.
+type Config struct {
+	// Workers is the number of jobs that run concurrently (GOMAXPROCS when
+	// zero). Each worker runs one job at a time, so Workers is the service's
+	// admission-controlled concurrency bound.
+	Workers int
+	// QueueDepth bounds the jobs waiting for a worker (64 when zero; the
+	// total admitted work is therefore Workers running + QueueDepth queued).
+	// A full queue rejects submissions with ErrQueueFull.
+	QueueDepth int
+	// TTL is how long finished jobs stay queryable (15 minutes when zero).
+	// Eviction is lazy: every manager operation prunes expired jobs first.
+	TTL time.Duration
+	// MaxFinished caps how many finished jobs are retained inside the TTL
+	// window (1024 when zero): results can be large (a job retains its full
+	// response payload), so a burst of submissions must not pin unbounded
+	// memory until the TTL expires. The oldest finished jobs are evicted
+	// first.
+	MaxFinished int
+	// RunTimeout, when positive, bounds the running phase of every job: the
+	// job's context gets the deadline when a worker picks it up, not while it
+	// waits in the queue.
+	RunTimeout time.Duration
+	// Now is the clock (time.Now when nil); tests inject a deterministic one
+	// to exercise TTL eviction without sleeping.
+	Now func() time.Time
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultQueueDepth  = 64
+	DefaultTTL         = 15 * time.Minute
+	DefaultMaxFinished = 1024
+)
+
+// Progress is a point-in-time view of a job's reported progress.
+type Progress struct {
+	// Done and Total are the last (done, total) event the job's Runner
+	// published; both zero before the first event.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Snapshot is a point-in-time view of one job.
+type Snapshot struct {
+	// ID is the manager-assigned job id ("j1", "j2", ...).
+	ID string
+	// State is the lifecycle state at snapshot time.
+	State State
+	// Meta echoes the Options.Meta the job was submitted with.
+	Meta any
+	// Progress is the job's live progress (zero until the Runner reports).
+	Progress Progress
+	// QueuePos is the job's 1-based position in the admission queue (0 when
+	// not queued).
+	QueuePos int
+	// Created, Started and Finished are the lifecycle timestamps (zero when
+	// the phase has not been reached).
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	// Result is the Runner's return value (nil unless State is Succeeded).
+	Result any
+	// Err is the Runner's error (nil unless State is Failed or Canceled).
+	Err error
+}
+
+// job is the manager-internal record. The manager mutex guards state and the
+// timestamps; progress is atomic so high-frequency reporting never contends
+// with snapshotting.
+type job struct {
+	id      string
+	meta    any
+	run     Runner
+	timeout time.Duration
+
+	cancel    context.CancelFunc
+	ctx       context.Context
+	done      chan struct{} // closed on reaching a terminal state
+	canceling bool          // Cancel was requested while running
+
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   any
+	err      error
+
+	progressDone  atomic.Int64
+	progressTotal atomic.Int64
+}
+
+// Manager runs jobs on a bounded worker pool behind a FIFO admission queue.
+// Create one with New; it is safe for concurrent use.
+type Manager struct {
+	cfg  Config
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	jobs     map[string]*job
+	queue    []*job // FIFO of queued jobs
+	finished []*job // terminal jobs in finish order, for TTL eviction
+	seq      int
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New builds a Manager and starts its worker pool.
+func New(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.MaxFinished <= 0 {
+		cfg.MaxFinished = DefaultMaxFinished
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	m := &Manager{cfg: cfg, jobs: make(map[string]*job)}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Options tunes one submission.
+type Options struct {
+	// Meta is an arbitrary caller payload echoed in every Snapshot (the HTTP
+	// service stores the request summary here for job listings).
+	Meta any
+	// Timeout overrides Config.RunTimeout for this job (0 keeps the config).
+	Timeout time.Duration
+}
+
+// Submit admits a job into the queue and returns its initial snapshot. It
+// fails with ErrQueueFull when the admission queue is at capacity and
+// ErrClosed after Close.
+func (m *Manager) Submit(run Runner, opts Options) (Snapshot, error) {
+	if run == nil {
+		return Snapshot{}, errors.New("jobs: nil Runner")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Snapshot{}, ErrClosed
+	}
+	m.evictExpiredLocked()
+	if len(m.queue) >= m.cfg.QueueDepth {
+		return Snapshot{}, fmt.Errorf("%w: %d jobs waiting (limit %d)", ErrQueueFull, len(m.queue), m.cfg.QueueDepth)
+	}
+	m.seq++
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = m.cfg.RunTimeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:      fmt.Sprintf("j%d", m.seq),
+		meta:    opts.Meta,
+		run:     run,
+		timeout: timeout,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   Queued,
+		created: m.cfg.Now(),
+	}
+	m.jobs[j.id] = j
+	m.queue = append(m.queue, j)
+	m.cond.Signal()
+	return m.snapshotLocked(j), nil
+}
+
+// worker pulls queued jobs in FIFO order and runs them until Close.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.queue) == 0 && m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := m.queue[0]
+		m.queue = m.queue[1:]
+		j.state = Running
+		j.started = m.cfg.Now()
+		ctx, timeoutCancel := j.ctx, context.CancelFunc(func() {})
+		if j.timeout > 0 {
+			ctx, timeoutCancel = context.WithTimeout(j.ctx, j.timeout)
+		}
+		m.mu.Unlock()
+
+		result, err := runRecovered(j, ctx)
+		timeoutCancel()
+
+		m.mu.Lock()
+		j.finished = m.cfg.Now()
+		switch {
+		case err == nil:
+			j.state = Succeeded
+			j.result = result
+		case j.canceling && errors.Is(err, context.Canceled):
+			j.state = Canceled
+			j.err = err
+		default:
+			j.state = Failed
+			j.err = err
+		}
+		m.finished = append(m.finished, j)
+		close(j.done)
+		m.mu.Unlock()
+	}
+}
+
+// runRecovered executes one job's Runner, converting a panic into a failed
+// job. Requests used to run on net/http handler goroutines, where a panicking
+// algorithm killed only its own connection; a worker goroutine has no such
+// net, and one poisonous request must not take the whole service down.
+func runRecovered(j *job, ctx context.Context) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result = nil
+			err = fmt.Errorf("jobs: runner panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return j.run(ctx, j.report)
+}
+
+// report is the progress sink handed to every Runner. Total tracks the last
+// event; done only ever advances, so a racy reporter cannot make a snapshot
+// move backwards.
+func (j *job) report(done, total int) {
+	j.progressTotal.Store(int64(total))
+	for {
+		cur := j.progressDone.Load()
+		if int64(done) <= cur || j.progressDone.CompareAndSwap(cur, int64(done)) {
+			return
+		}
+	}
+}
+
+// Get returns the snapshot of one job.
+func (m *Manager) Get(id string) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictExpiredLocked()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return m.snapshotLocked(j), nil
+}
+
+// List returns a snapshot of every retained job in submission order.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictExpiredLocked()
+	out := make([]Snapshot, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, m.snapshotLocked(j))
+	}
+	// Submission order: ids are a counter, so creation time break ties by id
+	// length then lexicographic ("j2" < "j10").
+	sortSnapshots(out)
+	return out
+}
+
+// Cancel requests cancellation of a queued or running job. A queued job
+// becomes canceled immediately and never runs; a running job has its context
+// canceled and reaches the canceled state when its Runner returns. Canceling
+// a finished job fails with ErrFinished.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictExpiredLocked()
+	j, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	switch j.state {
+	case Queued:
+		for i, q := range m.queue {
+			if q == j {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		j.cancel()
+		j.state = Canceled
+		j.err = context.Canceled
+		j.finished = m.cfg.Now()
+		m.finished = append(m.finished, j)
+		close(j.done)
+		return nil
+	case Running:
+		j.canceling = true
+		j.cancel()
+		return nil
+	default:
+		return fmt.Errorf("%w: %s is %s", ErrFinished, id, j.state)
+	}
+}
+
+// Wait blocks until the job reaches a terminal state (returning its final
+// snapshot) or ctx is done (returning ctx's error). It does not cancel the
+// job on ctx expiry — that is the caller's decision.
+func (m *Manager) Wait(ctx context.Context, id string) (Snapshot, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Snapshot{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	select {
+	case <-j.done:
+		// Snapshot the job directly rather than via Get: a terminal job is
+		// immutable, and Get could already have TTL-evicted it.
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.snapshotLocked(j), nil
+	case <-ctx.Done():
+		return Snapshot{}, ctx.Err()
+	}
+}
+
+// Forget drops a terminal job immediately instead of waiting for the TTL.
+// Callers that consumed the result synchronously (the service's
+// submit-and-wait path) use it so waited-for responses do not pin memory for
+// the retention window. Forgetting a job that is still queued or running
+// fails — Cancel is the way to stop live work.
+func (m *Manager) Forget(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if !j.state.Terminal() {
+		return fmt.Errorf("jobs: job %s is %s, not terminal", id, j.state)
+	}
+	delete(m.jobs, id)
+	for i, f := range m.finished {
+		if f == j {
+			m.finished = append(m.finished[:i], m.finished[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Counts reports queue occupancy: jobs waiting, running, and retained in a
+// terminal state.
+func (m *Manager) Counts() (queued, running, finished int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictExpiredLocked()
+	for _, j := range m.jobs {
+		switch j.state {
+		case Queued:
+			queued++
+		case Running:
+			running++
+		default:
+			finished++
+		}
+	}
+	return
+}
+
+// Close stops the manager: queued jobs are canceled, running jobs have their
+// contexts canceled, and Close returns once every worker has drained. Further
+// submissions fail with ErrClosed.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	for _, j := range m.queue {
+		j.cancel()
+		j.state = Canceled
+		j.err = context.Canceled
+		j.finished = m.cfg.Now()
+		m.finished = append(m.finished, j)
+		close(j.done)
+	}
+	m.queue = nil
+	for _, j := range m.jobs {
+		if j.state == Running {
+			j.canceling = true
+			j.cancel()
+		}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// snapshotLocked builds a Snapshot; the manager mutex must be held.
+func (m *Manager) snapshotLocked(j *job) Snapshot {
+	s := Snapshot{
+		ID:       j.id,
+		State:    j.state,
+		Meta:     j.meta,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Result:   j.result,
+		Err:      j.err,
+		Progress: Progress{
+			Done:  int(j.progressDone.Load()),
+			Total: int(j.progressTotal.Load()),
+		},
+	}
+	if j.state == Queued {
+		for i, q := range m.queue {
+			if q == j {
+				s.QueuePos = i + 1
+				break
+			}
+		}
+	}
+	return s
+}
+
+// evictExpiredLocked drops finished jobs whose TTL has passed, and the
+// oldest ones beyond the MaxFinished cap; the manager mutex must be held.
+// The finished list is in finish order, so TTL eviction stops at the first
+// unexpired entry.
+func (m *Manager) evictExpiredLocked() {
+	cutoff := m.cfg.Now().Add(-m.cfg.TTL)
+	for len(m.finished) > 0 &&
+		(len(m.finished) > m.cfg.MaxFinished || !m.finished[0].finished.After(cutoff)) {
+		delete(m.jobs, m.finished[0].id)
+		m.finished = m.finished[1:]
+	}
+}
+
+// sortSnapshots orders by job id's numeric suffix (submission order): ids
+// compare by length first ("j9" < "j10"), which is exactly the counter
+// order.
+func sortSnapshots(s []Snapshot) {
+	sort.Slice(s, func(i, j int) bool {
+		a, b := s[i].ID, s[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/ppdp/ppdp/internal/core"
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/engine"
+	"github.com/ppdp/ppdp/internal/jobs"
 	"github.com/ppdp/ppdp/internal/metrics"
 	"github.com/ppdp/ppdp/internal/risk"
 	"github.com/ppdp/ppdp/internal/synth"
@@ -261,108 +262,66 @@ type anonymizeResponse struct {
 	Data         [][]string       `json:"data,omitempty"`
 }
 
+// handleAnonymize is the synchronous path: the request is validated, admitted
+// into the same executor queue as POST /v1/jobs (one admission policy governs
+// both), and the handler waits for the run to finish. A full queue is 429
+// with Retry-After; a wait that outlives the request deadline (or the client)
+// sheds the job through its cancellation path before answering.
 func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 	var req anonymizeRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if req.Dataset == "" {
-		writeError(w, http.StatusBadRequest, "bad_request", "dataset is required")
+	p := s.prepareAnonymize(w, req)
+	if p == nil {
 		return
 	}
-	ds, err := s.reg.getDataset(req.Dataset)
-	if err != nil {
-		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+	snap, ok := s.submit(w, p, req.Store)
+	if !ok {
 		return
 	}
-	engineAlg, err := engine.Lookup(req.Algorithm)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
-		return
-	}
-	alg := core.Algorithm(engineAlg.Name())
-	// Default k from the registry metadata: only algorithms that declare a k
-	// parameter get one (bucketizing algorithms are keyed on l instead).
-	if _, hasK := engineAlg.Describe().Param("k"); hasK && req.K == 0 {
-		req.K = 10
-	}
-	maxSuppression := 0.02
-	if req.MaxSuppression != nil {
-		maxSuppression = *req.MaxSuppression
-	}
-	anon, err := core.New(core.Config{
-		Algorithm:        alg,
-		K:                req.K,
-		L:                req.L,
-		T:                req.T,
-		C:                req.C,
-		DiversityMode:    core.DiversityMode(req.DiversityMode),
-		Sensitive:        req.Sensitive,
-		QuasiIdentifiers: req.QuasiIdentifiers,
-		OrderedSensitive: req.OrderedSensitive,
-		Hierarchies:      ds.hier,
-		MaxSuppression:   maxSuppression,
-		StrictMondrian:   req.StrictMondrian,
-		Workers:          s.cfg.Workers,
-	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_config", "%v", err)
-		return
-	}
-
-	// The request context already covers client disconnects; the timeout
-	// bounds runaway parameter choices. The client may only tighten it.
-	timeout := s.cfg.RequestTimeout
-	if req.TimeoutMS > 0 {
-		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
-			timeout = d
-		}
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	// The deadline covers queue wait plus run; the job's own run timeout
+	// (p.timeout, enforced by the executor) covers the run alone, so whichever
+	// fires first sheds the work.
+	waitCtx, cancel := context.WithTimeout(r.Context(), p.timeout)
 	defer cancel()
-
-	start := time.Now()
-	rel, err := anon.AnonymizeContext(ctx, ds.table)
-	elapsed := time.Since(start)
+	final, err := s.jobs.Wait(waitCtx, snap.ID)
 	if err != nil {
-		writeAnonymizeError(w, err)
-		return
-	}
-
-	resp := anonymizeResponse{
-		Dataset:      req.Dataset,
-		Algorithm:    string(alg),
-		Node:         rel.Node,
-		Measurements: measurementsJSONOf(rel.Measured),
-		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
-	}
-	switch {
-	case rel.Table != nil:
-		resp.Rows = rel.Table.Len()
-		if req.IncludeRows {
-			resp.Header = rel.Table.Schema().Names()
-			resp.Data = rowsOf(rel.Table)
-		}
-	case rel.QIT != nil:
-		resp.Rows = rel.QIT.Len()
-	}
-	if req.Store {
-		id, err := s.reg.putRelease(&storedRelease{
-			dataset:   req.Dataset,
-			origin:    ds,
-			algorithm: alg,
-			params:    req,
-			release:   rel,
-			elapsed:   elapsed,
-			created:   time.Now(),
-		})
-		if err != nil {
-			writeRegistryError(w, err)
+		// The job keeps running without a waiter otherwise — cancel it, then
+		// report why the wait ended: client gone (499) or deadline (504).
+		// Except when the run beat the cancellation to the finish line: its
+		// release (under store) is already published, so serve the real
+		// outcome rather than a spurious error that invites a duplicating
+		// retry.
+		settled, ok := s.settleAbandonedWait(snap.ID)
+		if !ok {
+			if r.Context().Err() != nil {
+				writeError(w, StatusClientClosedRequest, "canceled", "request canceled: %v", r.Context().Err())
+				return
+			}
+			writeError(w, http.StatusGatewayTimeout, "timeout",
+				"anonymization exceeded the request deadline: %v", err)
 			return
 		}
-		resp.ReleaseID = id
+		final = settled
 	}
-	writeJSON(w, http.StatusOK, resp)
+	// The response is about to be delivered; drop the job record so the
+	// synchronous path never pins result payloads for the job TTL the way
+	// pollable background jobs must.
+	_ = s.jobs.Forget(final.ID)
+	switch final.State {
+	case jobs.Succeeded:
+		out, ok := final.Result.(*anonymizeOutcome)
+		if !ok {
+			writeError(w, http.StatusInternalServerError, "internal", "job %s returned no outcome", final.ID)
+			return
+		}
+		writeJSON(w, http.StatusOK, out.resp)
+	case jobs.Canceled:
+		writeError(w, StatusClientClosedRequest, "canceled", "request canceled: %v", final.Err)
+	default:
+		writeAnonymizeError(w, final.Err)
+	}
 }
 
 // rowsOf flattens a table into JSON-friendly rows.

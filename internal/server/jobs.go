@@ -1,0 +1,343 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"github.com/ppdp/ppdp/internal/core"
+	"github.com/ppdp/ppdp/internal/engine"
+	"github.com/ppdp/ppdp/internal/jobs"
+)
+
+// This file is the shared execution path of the service: one validated
+// anonymization request becomes one executor job, whether the client asked
+// for a synchronous response (POST /v1/anonymize submits and waits) or a
+// background one (POST /v1/jobs submits and returns 202). Admission control,
+// progress reporting, cancellation and release publication therefore behave
+// identically on both paths.
+
+// jobMeta is the request summary a job carries for listings.
+type jobMeta struct {
+	dataset   string
+	algorithm string
+}
+
+// preparedRun is a fully validated anonymization ready for the executor: the
+// dataset snapshot, the resolved algorithm, the configured pipeline and the
+// run deadline.
+type preparedRun struct {
+	req     anonymizeRequest
+	ds      *storedDataset
+	alg     core.Algorithm
+	anon    *core.Anonymizer
+	timeout time.Duration
+}
+
+// prepareAnonymize resolves and validates an anonymize request for either
+// path. It writes the error envelope itself and returns nil when the request
+// cannot run. Parameter defaults come from the engine registry's metadata
+// (Param.Default), so the server, GET /v1/algorithms and the CLI usage text
+// resolve the same values by construction.
+func (s *Server) prepareAnonymize(w http.ResponseWriter, req anonymizeRequest) *preparedRun {
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "dataset is required")
+		return nil
+	}
+	ds, err := s.reg.getDataset(req.Dataset)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+		return nil
+	}
+	engineAlg, err := engine.Lookup(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return nil
+	}
+	alg := core.Algorithm(engineAlg.Name())
+	info := engineAlg.Describe()
+	// Defaults from the registry metadata: only algorithms that declare a
+	// parameter get its default (bucketizing algorithms are keyed on l and
+	// never receive a k; suppression stays zero where it is meaningless).
+	if p, ok := info.Param("k"); ok && req.K == 0 {
+		req.K = p.IntDefault(0)
+	}
+	maxSuppression := 0.0
+	if p, ok := info.Param("max_suppression"); ok {
+		maxSuppression = p.FloatDefault(0)
+	}
+	if req.MaxSuppression != nil {
+		maxSuppression = *req.MaxSuppression
+	}
+	anon, err := core.New(core.Config{
+		Algorithm:        alg,
+		K:                req.K,
+		L:                req.L,
+		T:                req.T,
+		C:                req.C,
+		DiversityMode:    core.DiversityMode(req.DiversityMode),
+		Sensitive:        req.Sensitive,
+		QuasiIdentifiers: req.QuasiIdentifiers,
+		OrderedSensitive: req.OrderedSensitive,
+		Hierarchies:      ds.hier,
+		MaxSuppression:   maxSuppression,
+		StrictMondrian:   req.StrictMondrian,
+		Workers:          s.cfg.Workers,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_config", "%v", err)
+		return nil
+	}
+	// The run deadline bounds runaway parameter choices; the client may only
+	// tighten it.
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	return &preparedRun{req: req, ds: ds, alg: alg, anon: anon, timeout: timeout}
+}
+
+// anonymizeOutcome is a successful run's payload in the executor: the full
+// synchronous response body, including the release id when one was stored.
+type anonymizeOutcome struct {
+	resp anonymizeResponse
+}
+
+// anonymizeRunner builds the executor unit both request paths share. The
+// runner threads the job's progress sink into the pipeline, and publishes the
+// release into the registry only after re-checking the context — a canceled
+// job never publishes.
+func (s *Server) anonymizeRunner(p *preparedRun, storeRelease bool) jobs.Runner {
+	return func(ctx context.Context, progress func(done, total int)) (any, error) {
+		if s.runGate != nil {
+			s.runGate(ctx)
+		}
+		start := time.Now()
+		rel, err := p.anon.WithProgress(progress).AnonymizeContext(ctx, p.ds.table)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		resp := anonymizeResponse{
+			Dataset:      p.req.Dataset,
+			Algorithm:    string(p.alg),
+			Node:         rel.Node,
+			Measurements: measurementsJSONOf(rel.Measured),
+			ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+		}
+		switch {
+		case rel.Table != nil:
+			resp.Rows = rel.Table.Len()
+			if p.req.IncludeRows {
+				resp.Header = rel.Table.Schema().Names()
+				resp.Data = rowsOf(rel.Table)
+			}
+		case rel.QIT != nil:
+			resp.Rows = rel.QIT.Len()
+		}
+		if storeRelease {
+			// The cancellation gate before publication: a job canceled during
+			// the run (or right at this boundary) must not leave a release
+			// behind for a client that asked it to stop.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			id, err := s.reg.putRelease(&storedRelease{
+				dataset:   p.req.Dataset,
+				origin:    p.ds,
+				algorithm: p.alg,
+				params:    p.req,
+				release:   rel,
+				elapsed:   elapsed,
+				created:   time.Now(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			resp.ReleaseID = id
+		}
+		return &anonymizeOutcome{resp: resp}, nil
+	}
+}
+
+// submit admits a prepared run into the shared queue, mapping a full queue to
+// 429 with a Retry-After hint. It writes the error itself and reports ok.
+func (s *Server) submit(w http.ResponseWriter, p *preparedRun, storeRelease bool) (jobs.Snapshot, bool) {
+	snap, err := s.jobs.Submit(s.anonymizeRunner(p, storeRelease), jobs.Options{
+		Meta:    jobMeta{dataset: p.req.Dataset, algorithm: string(p.alg)},
+		Timeout: p.timeout,
+	})
+	if err != nil {
+		if errors.Is(err, jobs.ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "queue_full", "%v", err)
+		} else {
+			writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		}
+		return jobs.Snapshot{}, false
+	}
+	return snap, true
+}
+
+// settleAbandonedWait resolves the race where a synchronous waiter's context
+// expired just as its run completed: cancel the job, and when cancellation
+// reports the job already finished, return the final snapshot so the handler
+// serves the completed outcome. Reports false when the job was still live
+// (now canceled) — the caller answers with its timeout/disconnect error.
+func (s *Server) settleAbandonedWait(id string) (jobs.Snapshot, bool) {
+	if err := s.jobs.Cancel(id); !errors.Is(err, jobs.ErrFinished) {
+		return jobs.Snapshot{}, false
+	}
+	snap, err := s.jobs.Get(id)
+	return snap, err == nil
+}
+
+// ---- job views ----
+
+// progressJSON is the JSON view of a job's live progress.
+type progressJSON struct {
+	Done    int     `json:"done"`
+	Total   int     `json:"total"`
+	Percent float64 `json:"percent"`
+}
+
+// jobInfo is the JSON view of one job.
+type jobInfo struct {
+	ID            string       `json:"id"`
+	State         string       `json:"state"`
+	Dataset       string       `json:"dataset,omitempty"`
+	Algorithm     string       `json:"algorithm,omitempty"`
+	Progress      progressJSON `json:"progress"`
+	QueuePosition int          `json:"queue_position,omitempty"`
+	ReleaseID     string       `json:"release_id,omitempty"`
+	Created       time.Time    `json:"created"`
+	Started       *time.Time   `json:"started,omitempty"`
+	Finished      *time.Time   `json:"finished,omitempty"`
+	ElapsedMS     float64      `json:"elapsed_ms,omitempty"`
+	// Result is the full anonymize response of a succeeded job — the same
+	// body the synchronous path returns.
+	Result *anonymizeResponse `json:"result,omitempty"`
+	// Error carries the failure (or cancellation) in the envelope's
+	// code/message shape for failed and canceled jobs.
+	Error *apiError `json:"error,omitempty"`
+}
+
+func jobJSON(snap jobs.Snapshot) jobInfo {
+	info := jobInfo{
+		ID:            snap.ID,
+		State:         string(snap.State),
+		QueuePosition: snap.QueuePos,
+		Created:       snap.Created,
+		Progress: progressJSON{
+			Done:  snap.Progress.Done,
+			Total: snap.Progress.Total,
+		},
+	}
+	if snap.Progress.Total > 0 {
+		info.Progress.Percent = 100 * float64(snap.Progress.Done) / float64(snap.Progress.Total)
+	}
+	if m, ok := snap.Meta.(jobMeta); ok {
+		info.Dataset = m.dataset
+		info.Algorithm = m.algorithm
+	}
+	if !snap.Started.IsZero() {
+		t := snap.Started
+		info.Started = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		info.Finished = &t
+		if !snap.Started.IsZero() {
+			info.ElapsedMS = float64(snap.Finished.Sub(snap.Started).Microseconds()) / 1000
+		}
+	}
+	switch snap.State {
+	case jobs.Succeeded:
+		if out, ok := snap.Result.(*anonymizeOutcome); ok {
+			info.ReleaseID = out.resp.ReleaseID
+			resp := out.resp
+			info.Result = &resp
+		}
+	case jobs.Failed:
+		_, code := classifyAnonymizeError(snap.Err)
+		info.Error = &apiError{Code: code, Message: snap.Err.Error()}
+	case jobs.Canceled:
+		info.Error = &apiError{Code: "canceled", Message: "job canceled"}
+	}
+	return info
+}
+
+// ---- job handlers ----
+
+// handleSubmitJob admits a background anonymization: 202 with the job id and
+// a Location header to poll. Background jobs always publish their release
+// into the registry on success — the release is the job's durable result, so
+// the request's store flag is implied.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req anonymizeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	p := s.prepareAnonymize(w, req)
+	if p == nil {
+		return
+	}
+	snap, ok := s.submit(w, p, true)
+	if !ok {
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
+	writeJSON(w, http.StatusAccepted, jobJSON(snap))
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	snaps := s.jobs.List()
+	out := make([]jobInfo, len(snaps))
+	for i, snap := range snaps {
+		out[i] = jobJSON(snap)
+		// The listing stays a summary: result payloads (potentially full row
+		// data under include_rows) are served only by GET /v1/jobs/{id}.
+		out[i].Result = nil
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobJSON(snap))
+}
+
+// handleCancelJob cancels a queued or running job. Cancellation of a running
+// job is asynchronous — the algorithm observes it at its next unit of work —
+// so the endpoint answers 202 with the current snapshot; polling the job
+// shows the canceled state once the run drains.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	err := s.jobs.Cancel(id)
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+		return
+	case errors.Is(err, jobs.ErrFinished):
+		writeError(w, http.StatusConflict, "conflict", "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	snap, err := s.jobs.Get(id)
+	if err != nil {
+		// Canceled and already evicted between the two calls; report the
+		// terminal state without a snapshot.
+		writeJSON(w, http.StatusAccepted, jobInfo{ID: id, State: string(jobs.Canceled)})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobJSON(snap))
+}

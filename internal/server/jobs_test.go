@@ -1,0 +1,444 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ppdp/ppdp/internal/jobs"
+)
+
+// seedDataset generates a named synthetic dataset on the server under test.
+func seedDataset(t testing.TB, ts *httptest.Server, name, family string, rows int) {
+	t.Helper()
+	status, body := doJSON(t, "POST", ts.URL+"/v1/datasets",
+		map[string]any{"name": name, "family": family, "rows": rows, "seed": 9})
+	if status != http.StatusCreated {
+		t.Fatalf("seed dataset: %d %v", status, body)
+	}
+}
+
+// pollJob polls GET /v1/jobs/{id} until the job reaches a terminal state.
+func pollJob(t testing.TB, ts *httptest.Server, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, body := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id, nil)
+		if status != http.StatusOK {
+			t.Fatalf("poll job %s: %d %v", id, status, body)
+		}
+		switch body["state"] {
+		case "succeeded", "failed", "canceled":
+			return body
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish: %v", id, body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// fetchCSV downloads a stored release's data.
+func fetchCSV(t testing.TB, ts *httptest.Server, releaseID string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/releases/" + releaseID + "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch release %s: %d %s", releaseID, resp.StatusCode, raw)
+	}
+	return raw
+}
+
+func TestJobLifecycleHTTP(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	seedDataset(t, ts, "census", "census", 500)
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs",
+		strings.NewReader(`{"dataset":"census","algorithm":"mondrian","k":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit job = %d: %s", resp.StatusCode, raw)
+	}
+	var accepted struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(raw, &accepted); err != nil {
+		t.Fatalf("decode 202 body: %v (%s)", err, raw)
+	}
+	if accepted.ID == "" || (accepted.State != "queued" && accepted.State != "running") {
+		t.Fatalf("202 body = %s", raw)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+accepted.ID {
+		t.Errorf("Location = %q, want /v1/jobs/%s", loc, accepted.ID)
+	}
+
+	final := pollJob(t, ts, accepted.ID)
+	if final["state"] != "succeeded" {
+		t.Fatalf("final job state: %v", final)
+	}
+	releaseID, _ := final["release_id"].(string)
+	if releaseID == "" {
+		t.Fatalf("succeeded job has no release_id: %v", final)
+	}
+	progress, _ := final["progress"].(map[string]any)
+	if progress == nil || progress["done"] != progress["total"] || progress["done"] == float64(0) {
+		t.Errorf("final progress = %v, want done == total > 0", progress)
+	}
+	result, _ := final["result"].(map[string]any)
+	if result == nil || result["rows"] == float64(0) {
+		t.Errorf("succeeded job has no result rows: %v", final)
+	}
+
+	// The published release is a first-class registry citizen.
+	if status, body := doJSON(t, "GET", ts.URL+"/v1/releases/"+releaseID, nil); status != http.StatusOK {
+		t.Fatalf("fetch published release: %d %v", status, body)
+	}
+	// The job shows up in the listing.
+	status, body := doJSON(t, "GET", ts.URL+"/v1/jobs", nil)
+	if status != http.StatusOK {
+		t.Fatalf("list jobs: %d %v", status, body)
+	}
+	list, _ := body["jobs"].([]any)
+	found := false
+	for _, j := range list {
+		if m, ok := j.(map[string]any); ok && m["id"] == accepted.ID {
+			found = true
+			if m["dataset"] != "census" || m["algorithm"] != "mondrian" {
+				t.Errorf("listed job metadata = %v", m)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("job %s missing from listing: %v", accepted.ID, body)
+	}
+	// Unknown job is a 404.
+	if status, _ := doJSON(t, "GET", ts.URL+"/v1/jobs/j999999", nil); status != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", status)
+	}
+}
+
+// TestJobSyncGoldenEquivalence is the shared-executor guarantee: a release
+// produced by a background job is byte-identical to the release the
+// synchronous path produces for the same spec, for a deterministic algorithm
+// on the same dataset snapshot.
+func TestJobSyncGoldenEquivalence(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	seedDataset(t, ts, "census", "census", 500)
+
+	specs := []map[string]any{
+		{"dataset": "census", "algorithm": "mondrian", "k": 5, "store": true},
+		{"dataset": "census", "algorithm": "datafly", "k": 5, "store": true,
+			"quasi_identifiers": []string{"age", "sex", "education", "marital-status", "race"}},
+		{"dataset": "census", "algorithm": "kmember", "k": 5, "store": true,
+			"quasi_identifiers": []string{"age", "sex", "education"}},
+	}
+	for _, spec := range specs {
+		t.Run(spec["algorithm"].(string), func(t *testing.T) {
+			status, body := doJSON(t, "POST", ts.URL+"/v1/anonymize", spec)
+			if status != http.StatusOK {
+				t.Fatalf("sync anonymize: %d %v", status, body)
+			}
+			syncRelease, _ := body["release_id"].(string)
+			if syncRelease == "" {
+				t.Fatalf("sync response has no release_id: %v", body)
+			}
+
+			status, body = doJSON(t, "POST", ts.URL+"/v1/jobs", spec)
+			if status != http.StatusAccepted {
+				t.Fatalf("submit job: %d %v", status, body)
+			}
+			final := pollJob(t, ts, body["id"].(string))
+			if final["state"] != "succeeded" {
+				t.Fatalf("job did not succeed: %v", final)
+			}
+			jobRelease, _ := final["release_id"].(string)
+			if jobRelease == "" {
+				t.Fatalf("job has no release_id: %v", final)
+			}
+
+			if !bytes.Equal(fetchCSV(t, ts, syncRelease), fetchCSV(t, ts, jobRelease)) {
+				t.Errorf("job release %s differs from synchronous release %s", jobRelease, syncRelease)
+			}
+		})
+	}
+}
+
+// TestQueueFullRejectsBothPaths saturates the shared executor (one gated
+// worker, one queue slot) and checks both request paths answer 429 with the
+// queue_full envelope and a Retry-After header.
+func TestQueueFullRejectsBothPaths(t *testing.T) {
+	ts, srv := newTestServer(t, Config{JobWorkers: 1, QueueDepth: 1})
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	defer close(release)
+	srv.runGate = func(ctx context.Context) {
+		entered <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	seedDataset(t, ts, "census", "census", 200)
+
+	submit := func() (int, http.Header, map[string]any) {
+		req, err := http.NewRequest("POST", ts.URL+"/v1/jobs",
+			strings.NewReader(`{"dataset":"census","k":5}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		out := map[string]any{}
+		_ = json.Unmarshal(raw, &out)
+		return resp.StatusCode, resp.Header, out
+	}
+
+	// One running (held at the gate), one queued: the executor is full.
+	status, _, body := submit()
+	if status != http.StatusAccepted {
+		t.Fatalf("first submit: %d %v", status, body)
+	}
+	<-entered
+	status, _, queuedBody := submit()
+	if status != http.StatusAccepted {
+		t.Fatalf("second submit: %d %v", status, queuedBody)
+	}
+	queuedID, _ := queuedBody["id"].(string)
+	if pos, _ := queuedBody["queue_position"].(float64); pos != 1 {
+		t.Errorf("queued job position = %v, want 1", queuedBody["queue_position"])
+	}
+
+	// Third job: 429 with Retry-After, on the async path...
+	status, header, body := submit()
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %d %v", status, body)
+	}
+	if code := errorCode(t, body); code != "queue_full" {
+		t.Errorf("overflow code = %q, want queue_full", code)
+	}
+	if header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	// ...and on the synchronous path, which shares the same queue.
+	status, body = doJSON(t, "POST", ts.URL+"/v1/anonymize", map[string]any{"dataset": "census", "k": 5})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("sync overflow: %d %v", status, body)
+	}
+	if code := errorCode(t, body); code != "queue_full" {
+		t.Errorf("sync overflow code = %q, want queue_full", code)
+	}
+
+	// Canceling the queued job frees its slot without it ever running.
+	if status, body := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+queuedID, nil); status != http.StatusAccepted {
+		t.Fatalf("cancel queued job: %d %v", status, body)
+	}
+	final := pollJob(t, ts, queuedID)
+	if final["state"] != "canceled" {
+		t.Errorf("canceled queued job state = %v", final["state"])
+	}
+	status, _, body = submit()
+	if status != http.StatusAccepted {
+		t.Errorf("submit after freeing the queue: %d %v", status, body)
+	}
+}
+
+// TestCancelRunningJobNeverPublishes pins a job in the running state, cancels
+// it over HTTP, and checks it reaches the canceled state without publishing a
+// release — the run's context is canceled before the algorithm finishes, and
+// the runner re-checks it before touching the registry.
+func TestCancelRunningJobNeverPublishes(t *testing.T) {
+	ts, srv := newTestServer(t, Config{JobWorkers: 1})
+	entered := make(chan struct{}, 1)
+	srv.runGate = func(ctx context.Context) {
+		entered <- struct{}{}
+		<-ctx.Done() // hold the run until the cancellation arrives
+	}
+	seedDataset(t, ts, "census", "census", 200)
+
+	status, body := doJSON(t, "POST", ts.URL+"/v1/jobs", map[string]any{"dataset": "census", "k": 5})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", status, body)
+	}
+	id := body["id"].(string)
+	<-entered // the job is now running, held at the gate
+
+	status, body = doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+id, nil)
+	if status != http.StatusAccepted {
+		t.Fatalf("cancel: %d %v", status, body)
+	}
+	final := pollJob(t, ts, id)
+	if final["state"] != "canceled" {
+		t.Fatalf("final state = %v, want canceled", final["state"])
+	}
+	if errInfo, _ := final["error"].(map[string]any); errInfo == nil || errInfo["code"] != "canceled" {
+		t.Errorf("canceled job error = %v", final["error"])
+	}
+	if rid, _ := final["release_id"].(string); rid != "" {
+		t.Errorf("canceled job published release %q", rid)
+	}
+	status, body = doJSON(t, "GET", ts.URL+"/v1/releases", nil)
+	if status != http.StatusOK {
+		t.Fatalf("list releases: %d %v", status, body)
+	}
+	if releases, _ := body["releases"].([]any); len(releases) != 0 {
+		t.Errorf("canceled job left releases behind: %v", body)
+	}
+	// Cancelling a finished job is a conflict.
+	if status, _ := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+id, nil); status != http.StatusConflict {
+		t.Errorf("re-cancel status = %d, want 409", status)
+	}
+}
+
+// TestSettleAbandonedWait pins the race where a synchronous waiter's context
+// expires right as its run completes: cancellation then reports the job
+// finished, and the handler must serve the completed outcome instead of a
+// spurious timeout. The interleaving is exercised deterministically at the
+// seam the handler uses.
+func TestSettleAbandonedWait(t *testing.T) {
+	_, srv := newTestServer(t, Config{JobWorkers: 1})
+	t.Cleanup(srv.Close)
+
+	// A job that already finished settles to its final snapshot.
+	finished, err := srv.jobs.Submit(func(context.Context, func(int, int)) (any, error) {
+		return &anonymizeOutcome{}, nil
+	}, jobs.Options{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := srv.jobs.Wait(context.Background(), finished.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	snap, ok := srv.settleAbandonedWait(finished.ID)
+	if !ok || snap.State != jobs.Succeeded {
+		t.Fatalf("settle finished job = %+v, %v; want succeeded snapshot", snap, ok)
+	}
+
+	// A job still running is canceled, not settled — the handler reports the
+	// timeout/disconnect as before.
+	entered := make(chan struct{}, 1)
+	running, err := srv.jobs.Submit(func(ctx context.Context, _ func(int, int)) (any, error) {
+		entered <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, jobs.Options{})
+	if err != nil {
+		t.Fatalf("Submit running: %v", err)
+	}
+	<-entered
+	if _, ok := srv.settleAbandonedWait(running.ID); ok {
+		t.Fatal("settle of a live job claimed a finished outcome")
+	}
+	final, err := srv.jobs.Wait(context.Background(), running.ID)
+	if err != nil || final.State != jobs.Canceled {
+		t.Fatalf("live job after settle = %+v, %v; want canceled", final, err)
+	}
+}
+
+// TestAccessLogIncludesStatus is the logRequests satellite: the access log
+// line carries the response status code.
+func TestAccessLogIncludesStatus(t *testing.T) {
+	var buf bytes.Buffer
+	srv := New(Config{Log: log.New(&buf, "", 0)})
+	t.Cleanup(srv.Close)
+	handler := srv.Handler()
+
+	for _, tc := range []struct {
+		method, path string
+		status       string
+	}{
+		{"GET", "/healthz", " 200 "},
+		{"GET", "/v1/datasets/missing", " 404 "},
+	} {
+		req := httptest.NewRequest(tc.method, tc.path, nil)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if !strings.Contains(buf.String(), tc.status) {
+			t.Errorf("access log for %s %s missing status%q: %q", tc.method, tc.path, tc.status, buf.String())
+		}
+		buf.Reset()
+	}
+}
+
+// TestDefaultsComeFromRegistryMetadata is the defaults satellite: omitting k
+// and max_suppression resolves them from the engine registry's Param
+// metadata (k=10, max_suppression=0.02), identically to what GET
+// /v1/algorithms advertises.
+func TestDefaultsComeFromRegistryMetadata(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1})
+	seedDataset(t, ts, "census", "census", 400)
+
+	// The advertised metadata carries the defaults.
+	status, body := doJSON(t, "GET", ts.URL+"/v1/algorithms", nil)
+	if status != http.StatusOK {
+		t.Fatalf("algorithms: %d %v", status, body)
+	}
+	algs, _ := body["algorithms"].([]any)
+	sawK := false
+	for _, a := range algs {
+		m, _ := a.(map[string]any)
+		params, _ := m["parameters"].([]any)
+		for _, p := range params {
+			pm, _ := p.(map[string]any)
+			if pm["name"] == "k" {
+				sawK = true
+				if pm["default"] != float64(10) {
+					t.Errorf("%v: advertised k default = %v, want 10", m["name"], pm["default"])
+				}
+			}
+			if pm["name"] == "max_suppression" && pm["default"] != 0.02 {
+				t.Errorf("%v: advertised max_suppression default = %v, want 0.02", m["name"], pm["default"])
+			}
+		}
+	}
+	if !sawK {
+		t.Fatal("no algorithm advertises a k parameter")
+	}
+
+	// A request omitting k is anonymized at the advertised default.
+	status, body = doJSON(t, "POST", ts.URL+"/v1/anonymize", map[string]any{"dataset": "census"})
+	if status != http.StatusOK {
+		t.Fatalf("anonymize without k: %d %v", status, body)
+	}
+	meas, _ := body["measurements"].(map[string]any)
+	if k, _ := meas["k"].(float64); k < 10 {
+		t.Errorf("measured k = %v, want >= the metadata default 10", k)
+	}
+	// Datafly without an explicit suppression budget uses the advertised one.
+	status, body = doJSON(t, "POST", ts.URL+"/v1/anonymize", map[string]any{
+		"dataset": "census", "algorithm": "datafly",
+		"quasi_identifiers": []string{"age", "sex", "education", "marital-status", "race"},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("datafly without max_suppression: %d %v", status, body)
+	}
+	if sup, _ := body["measurements"].(map[string]any)["suppressed_rows"].(float64); sup > 0.02*400 {
+		t.Errorf("suppressed rows %v exceed the default budget", sup)
+	}
+}

@@ -4,25 +4,35 @@
 // The service keeps a concurrent in-memory registry of named datasets —
 // uploaded as CSV or generated from the synthetic census/hospital families —
 // and of the releases produced from them. Clients anonymize a dataset with
-// any of the seven algorithms through POST /v1/anonymize, passing per-request
-// privacy parameters (k, l, t, diversity mode, suppression budget), and read
-// risk and utility reports for stored releases through GET endpoints.
+// any of the seven algorithms either synchronously through POST /v1/anonymize
+// or as a background job through POST /v1/jobs, passing per-request privacy
+// parameters (k, l, t, diversity mode, suppression budget), and read risk and
+// utility reports for stored releases through GET endpoints.
+//
+// Execution model: both request paths share one executor — the jobs manager
+// (internal/jobs), a bounded worker pool behind a FIFO admission queue. POST
+// /v1/jobs submits and returns 202 with a job id; clients poll GET
+// /v1/jobs/{id} for state, live progress (the engine's per-algorithm sinks)
+// and queue position, cancel with DELETE, and fetch the published release
+// once the job succeeds. The synchronous /v1/anonymize handler submits to the
+// same queue and waits, so a single admission policy governs the whole
+// service: when the queue is full both paths reject with 429 and a
+// Retry-After header instead of accepting unbounded concurrent work.
 //
 // Concurrency model: the registry is guarded by a single RWMutex and handlers
-// hold it only for lookups and stores, never while an algorithm runs, so
-// requests over the same dataset proceed in parallel (the shared columnar
-// caches in the dataset package are themselves mutex-built). Each anonymize
-// request runs under a context derived from the HTTP request and bounded by
-// Config.RequestTimeout; cancellation propagates through
-// core.AnonymizeContext into every algorithm's engine adapter — each polls
-// the context at its natural unit of work — and Config.Workers bounds the
-// internal worker pools (Mondrian's partition recursion, Incognito's lattice
-// layers, TopDown's candidate evaluation) so concurrent requests share the
-// machine fairly.
+// hold it only for lookups and stores, never while an algorithm runs.
+// Config.JobWorkers bounds how many anonymization runs execute at once and
+// Config.Workers bounds the internal worker pools of one run (Mondrian's
+// partition recursion, Incognito's lattice layers, TopDown's candidate
+// evaluation), so the machine is shared fairly at both levels. Every run's
+// context — derived from the HTTP request on the synchronous path, from the
+// job lifecycle on the asynchronous one — is polled by the algorithm at its
+// natural unit of work, so cancellation and the Config.RequestTimeout
+// deadline shed work promptly without publishing partial releases.
 //
 // Every error response is a JSON envelope {"error":{"code":...,
-// "message":...}} with a machine-readable code; /healthz reports liveness
-// and registry occupancy for load balancers.
+// "message":...}} with a machine-readable code; /healthz reports liveness,
+// registry occupancy and executor load for load balancers.
 package server
 
 import (
@@ -38,6 +48,7 @@ import (
 
 	"github.com/ppdp/ppdp/internal/core"
 	"github.com/ppdp/ppdp/internal/engine"
+	"github.com/ppdp/ppdp/internal/jobs"
 )
 
 // Config tunes a Server. The zero value is usable: it listens on :8080,
@@ -60,6 +71,17 @@ type Config struct {
 	// MaxBodyBytes caps request bodies, notably CSV uploads (32 MiB when
 	// zero).
 	MaxBodyBytes int64
+	// JobWorkers bounds how many anonymization runs execute concurrently on
+	// the shared executor behind /v1/anonymize and /v1/jobs (GOMAXPROCS when
+	// zero). Together with QueueDepth it is the service's admission control.
+	JobWorkers int
+	// QueueDepth bounds the runs waiting for a free worker (64 when zero). A
+	// full queue rejects both request paths with 429 and a Retry-After
+	// header.
+	QueueDepth int
+	// JobTTL is how long finished jobs stay pollable on GET /v1/jobs/{id}
+	// (15 minutes when zero). Published releases outlive their job.
+	JobTTL time.Duration
 	// Log receives one line per request; nil disables request logging.
 	Log *log.Logger
 }
@@ -69,18 +91,29 @@ const (
 	DefaultAddr           = ":8080"
 	DefaultRequestTimeout = 60 * time.Second
 	DefaultMaxBodyBytes   = 32 << 20
+	DefaultQueueDepth     = jobs.DefaultQueueDepth
+	DefaultJobTTL         = jobs.DefaultTTL
 )
 
 // Server is the ppdp anonymization service. Create one with New; it is ready
-// to serve via Handler (for tests and embedding) or ListenAndServe.
+// to serve via Handler (for tests and embedding) or ListenAndServe. Close
+// releases the executor when the server is used without Serve.
 type Server struct {
 	cfg     Config
 	reg     *registry
+	jobs    *jobs.Manager
 	mux     *http.ServeMux
 	started time.Time
+
+	// runGate, when non-nil, is called at the start of every executor run
+	// with the run's context. It exists for the tests, which use it to pin a
+	// job in the running state deterministically (the internal/testctx
+	// spirit: no sleeps, no wall-clock races); production servers never set
+	// it.
+	runGate func(ctx context.Context)
 }
 
-// New builds a Server with an empty registry.
+// New builds a Server with an empty registry and starts its executor pool.
 func New(cfg Config) *Server {
 	if cfg.Addr == "" {
 		cfg.Addr = DefaultAddr
@@ -95,10 +128,21 @@ func New(cfg Config) *Server {
 		cfg.Workers = 0
 	}
 	s := &Server{cfg: cfg, reg: newRegistry(), started: time.Now()}
+	s.jobs = jobs.New(jobs.Config{
+		Workers:    cfg.JobWorkers,
+		QueueDepth: cfg.QueueDepth,
+		TTL:        cfg.JobTTL,
+	})
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
 }
+
+// Close stops the shared executor: queued jobs are canceled, running jobs
+// have their contexts canceled, and Close returns once the pool drains.
+// Serve calls it on shutdown; embedders that only use Handler call it
+// themselves.
+func (s *Server) Close() { s.jobs.Close() }
 
 // routes wires every endpoint. Method-qualified patterns (Go 1.22 ServeMux)
 // give free 405s for wrong methods.
@@ -111,6 +155,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
 	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
 	s.mux.HandleFunc("POST /v1/anonymize", s.handleAnonymize)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/releases", s.handleListReleases)
 	s.mux.HandleFunc("GET /v1/releases/{id}", s.handleGetRelease)
 	s.mux.HandleFunc("DELETE /v1/releases/{id}", s.handleDeleteRelease)
@@ -150,6 +198,9 @@ const (
 
 // Serve runs the service on an existing listener until ctx is canceled.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	// The executor outlives every request but not the server: once HTTP
+	// shutdown completes (or serving fails), cancel whatever still runs.
+	defer s.Close()
 	// Request contexts derive from baseCtx, not from ctx directly: shutdown
 	// must first let in-flight work drain, and only cancel it after the
 	// grace period — deriving from ctx would kill every request the moment
@@ -188,32 +239,66 @@ func (s *Server) limitBody(next http.Handler) http.Handler {
 	})
 }
 
-// logRequests writes one line per request to Config.Log.
+// statusRecorder captures the response status code for the access log. The
+// zero status means the handler never called WriteHeader, which net/http
+// commits as an implicit 200 on the first Write.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// logRequests writes one line per request — method, path, status, duration —
+// to Config.Log.
 func (s *Server) logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		next.ServeHTTP(w, r)
-		s.cfg.Log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		status := rec.status
+		if status == 0 {
+			// Handler wrote nothing at all; net/http sends an implicit 200.
+			status = http.StatusOK
+		}
+		s.cfg.Log.Printf("%s %s %d %s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond))
 	})
 }
 
 // healthResponse is the /healthz body.
 type healthResponse struct {
-	Status    string `json:"status"`
-	Datasets  int    `json:"datasets"`
-	Releases  int    `json:"releases"`
-	UptimeSec int64  `json:"uptime_seconds"`
-	Go        string `json:"go"`
+	Status      string `json:"status"`
+	Datasets    int    `json:"datasets"`
+	Releases    int    `json:"releases"`
+	JobsQueued  int    `json:"jobs_queued"`
+	JobsRunning int    `json:"jobs_running"`
+	UptimeSec   int64  `json:"uptime_seconds"`
+	Go          string `json:"go"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	d, rel := s.reg.counts()
+	queued, running, _ := s.jobs.Counts()
 	writeJSON(w, http.StatusOK, healthResponse{
-		Status:    "ok",
-		Datasets:  d,
-		Releases:  rel,
-		UptimeSec: int64(time.Since(s.started).Seconds()),
-		Go:        runtime.Version(),
+		Status:      "ok",
+		Datasets:    d,
+		Releases:    rel,
+		JobsQueued:  queued,
+		JobsRunning: running,
+		UptimeSec:   int64(time.Since(s.started).Seconds()),
+		Go:          runtime.Version(),
 	})
 }
 
@@ -248,23 +333,33 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 // away before the anonymization finished.
 const StatusClientClosedRequest = 499
 
-// writeAnonymizeError maps pipeline errors onto HTTP statuses and envelope
-// codes: configuration problems are the client's fault (400), privacy
+// classifyAnonymizeError maps a pipeline error onto an HTTP status and
+// envelope code: configuration problems are the client's fault (400), privacy
 // parameters no algorithm run can meet are 422, timeouts are 504, abandoned
-// requests are 499, anything else is a 500. Algorithm failures arrive
-// pre-classified by their engine adapters (engine.ErrConfig /
-// engine.ErrUnsatisfiable), so the mapping needs no per-algorithm knowledge.
-func writeAnonymizeError(w http.ResponseWriter, err error) {
+// or canceled runs are 499, a full release registry at publish time is 507,
+// anything else is a 500. Algorithm failures arrive pre-classified by their
+// engine adapters (engine.ErrConfig / engine.ErrUnsatisfiable), so the
+// mapping needs no per-algorithm knowledge. Both the synchronous response
+// path and the job-state rendering use this one table.
+func classifyAnonymizeError(err error) (status int, code string) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "timeout", "anonymization exceeded the request deadline: %v", err)
+		return http.StatusGatewayTimeout, "timeout"
 	case errors.Is(err, context.Canceled):
-		writeError(w, StatusClientClosedRequest, "canceled", "request canceled: %v", err)
+		return StatusClientClosedRequest, "canceled"
 	case errors.Is(err, core.ErrConfig), errors.Is(err, engine.ErrConfig):
-		writeError(w, http.StatusBadRequest, "bad_config", "%v", err)
+		return http.StatusBadRequest, "bad_config"
 	case errors.Is(err, engine.ErrUnsatisfiable):
-		writeError(w, http.StatusUnprocessableEntity, "unsatisfiable", "%v", err)
+		return http.StatusUnprocessableEntity, "unsatisfiable"
+	case errors.Is(err, errRegistryFull):
+		return http.StatusInsufficientStorage, "registry_full"
 	default:
-		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return http.StatusInternalServerError, "internal"
 	}
+}
+
+// writeAnonymizeError renders a pipeline error as its envelope.
+func writeAnonymizeError(w http.ResponseWriter, err error) {
+	status, code := classifyAnonymizeError(err)
+	writeError(w, status, code, "%v", err)
 }
