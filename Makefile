@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fmt-check linkcheck serve bench bench-compare bench-quick bench-full ci
+.PHONY: all build test vet race fmt-check linkcheck api-docs api-docs-check serve bench bench-compare bench-quick bench-full ci
 
 all: build
 
@@ -24,6 +24,17 @@ fmt-check:
 linkcheck:
 	$(GO) run ./cmd/mdlinkcheck README.md CHANGES.md ROADMAP.md docs
 
+# Regenerate docs/API.md from the route table, the policy schema and the
+# engine registry (see cmd/apidocs).
+api-docs:
+	$(GO) run ./cmd/apidocs > docs/API.md
+
+# Fail when docs/API.md is stale (mirrors the CI step and the in-tree
+# TestAPIDocsCurrent).
+api-docs-check:
+	@$(GO) run ./cmd/apidocs | diff -u docs/API.md - \
+		|| { echo "docs/API.md is stale: run 'make api-docs' and commit the result" >&2; exit 1; }
+
 # Run the HTTP anonymization service with a preloaded census table.
 serve:
 	$(GO) run ./cmd/ppdp serve -preload census=5000
@@ -36,8 +47,8 @@ race:
 # trajectory is tracked per PR (see the non-gating CI bench job). The file
 # name carries the PR number that introduced the recording; bench-compare
 # diffs the fresh numbers against the previous PR's committed baseline.
-BENCH_OUT ?= BENCH_PR4.json
-BENCH_BASELINE ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR4.json
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkGroupBy|BenchmarkMondrian|BenchmarkIncognito|BenchmarkTopDown|BenchmarkLaplace|BenchmarkServeAnonymize|BenchmarkJobThroughput' \
 		-benchmem ./... > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
@@ -59,4 +70,4 @@ bench-quick:
 bench-full:
 	$(GO) test -run '^$$' -bench . -benchmem -ppdp.full .
 
-ci: build fmt-check vet linkcheck test race
+ci: build fmt-check vet linkcheck api-docs-check test race

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestAPIDocsCurrent is the in-tree staleness gate: the committed
+// docs/API.md must be byte-identical to what the generator produces, the
+// same check `make api-docs-check` runs in CI.
+func TestAPIDocsCurrent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := generate(&buf); err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("read docs/API.md: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), committed) {
+		t.Error("docs/API.md is stale: run `make api-docs` and commit the result")
+	}
+}
+
+// TestGeneratorDeterministic guards the byte-for-byte diff the staleness
+// gate relies on.
+func TestGeneratorDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := generate(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := generate(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("generator output is not deterministic")
+	}
+}

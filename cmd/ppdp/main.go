@@ -8,30 +8,42 @@
 // Usage:
 //
 //	ppdp generate  -dataset census|hospital -rows N -seed S -out file.csv
-//	ppdp anonymize -dataset census|hospital -in file.csv -algorithm A [-progress] [flags] -out out.csv
-//	ppdp algorithms
+//	ppdp anonymize -dataset census|hospital -in file.csv -algorithm A [-policy p.json] [-progress] [flags] -out out.csv
+//	ppdp algorithms [-json]
+//	ppdp policy    validate|show file.json | convert [flags] [-out p.json]
 //	ppdp risk      -dataset census|hospital -in file.csv [-threshold 0.2]
 //	ppdp utility   -dataset census|hospital -original orig.csv -released rel.csv [-k 10]
 //	ppdp experiment -id E1 [-quick] [-rows N] | -all [-quick]
 //	ppdp serve     [-addr :8080] [-workers N] [-job-workers N] [-queue-depth N]
-//	               [-job-ttl 15m] [-timeout 60s] [-preload census=5000]
+//	               [-job-ttl 15m] [-timeout 60s] [-preload census=5000] [-policy name=p.json]
 //
 // The anonymize subcommand accepts any registered algorithm; `ppdp
-// algorithms` prints the registry's listing — name, description, the flags
-// each algorithm reads and their defaults — generated from the same engine
-// metadata the HTTP service serves on GET /v1/algorithms. -progress streams
-// a live progress line on stderr, fed by the same engine sink the HTTP jobs
-// report through.
+// algorithms` prints the registry's listing — name, description, supported
+// policy criteria, the flags each algorithm reads and their defaults —
+// generated from the same engine metadata the HTTP service serves on GET
+// /v1/algorithms (-json emits that exact body). -progress streams a live
+// progress line on stderr, fed by the same engine sink the HTTP jobs report
+// through.
+//
+// Privacy criteria are declared either with the flat flags (-k/-l/-t/...)
+// or declaratively with -policy file.json, a versioned JSON document
+// composing criteria (see internal/policy and docs/API.md). `ppdp policy`
+// validates and canonicalizes policy files and converts flat flags into
+// them; either surface runs the same pipeline, and anonymize echoes the
+// canonical policy it enforced on stderr.
 //
 // `ppdp serve` exposes the same pipeline over HTTP, synchronously and as
 // background jobs behind one bounded executor (-job-workers running,
 // -queue-depth waiting) — see internal/server and docs/ARCHITECTURE.md for
-// the endpoint reference.
+// the endpoint reference. -policy preloads a stored policy clients can
+// reference with "policy_ref".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -41,6 +53,7 @@ import (
 	"github.com/ppdp/ppdp/internal/experiments"
 	"github.com/ppdp/ppdp/internal/hierarchy"
 	"github.com/ppdp/ppdp/internal/metrics"
+	"github.com/ppdp/ppdp/internal/policy"
 	"github.com/ppdp/ppdp/internal/risk"
 	"github.com/ppdp/ppdp/internal/synth"
 )
@@ -64,6 +77,8 @@ func run(args []string) error {
 		return cmdAnonymize(args[1:])
 	case "algorithms":
 		return cmdAlgorithms(args[1:])
+	case "policy":
+		return cmdPolicy(args[1:])
 	case "risk":
 		return cmdRisk(args[1:])
 	case "utility":
@@ -87,7 +102,8 @@ func usage() {
 subcommands:
   generate    generate a synthetic census or hospital dataset as CSV
   anonymize   anonymize a CSV dataset with k-anonymity / l-diversity / t-closeness
-  algorithms  list the registered algorithms with their parameters
+  algorithms  list the registered algorithms with their parameters (-json for machine-readable)
+  policy      validate, canonicalize or convert declarative privacy-policy files
   risk        assess re-identification and attribute-disclosure risk of a release
   utility     compare a released table against the original with utility metrics
   experiment  run one or all of the survey-reproduction experiments (E1-E12)
@@ -150,12 +166,27 @@ func writeAlgorithmListing(w *os.File) {
 	}
 }
 
+// writeAlgorithmsJSON renders the registry's capability cards exactly as the
+// HTTP service serves them on GET /v1/algorithms — same struct, same
+// encoder settings — so scripts can consume either source interchangeably
+// (drift-gated by TestAlgorithmsJSONMatchesServer).
+func writeAlgorithmsJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"algorithms": engine.Infos()})
+}
+
 // cmdAlgorithms prints the algorithm registry: the same metadata the HTTP
-// service serves on GET /v1/algorithms, as a flag-oriented text table.
+// service serves on GET /v1/algorithms, as a flag-oriented text table, or
+// verbatim as JSON under -json.
 func cmdAlgorithms(args []string) error {
 	fs := flag.NewFlagSet("algorithms", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the capability cards as JSON (the GET /v1/algorithms body)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut {
+		return writeAlgorithmsJSON(os.Stdout)
 	}
 	for _, info := range engine.Infos() {
 		kind := string(info.Kind)
@@ -172,6 +203,9 @@ func cmdAlgorithms(args []string) error {
 			kind += ", default"
 		}
 		fmt.Printf("%s — %s (%s)\n", info.Name, info.Description, kind)
+		if len(info.Criteria) > 0 {
+			fmt.Printf("  %-18s %s\n", "policy criteria", strings.Join(info.Criteria, ", "))
+		}
 		for _, p := range info.Parameters {
 			req := "optional"
 			if p.Required {
@@ -249,6 +283,8 @@ func cmdAnonymize(args []string) error {
 	workers := fs.Int("workers", 0, "worker pool bound for parallel algorithms (0 = GOMAXPROCS)")
 	suppress := fs.Float64("max-suppression", defaultFloat("max_suppression", 0.02),
 		"maximum fraction of suppressed records (datafly/samarati)")
+	policyPath := fs.String("policy", "",
+		"privacy-policy JSON file declaring the criteria (replaces -k/-l/-t/-diversity/-c/-max-suppression)")
 	progress := fs.Bool("progress", false, "report run progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -262,22 +298,47 @@ func cmdAnonymize(args []string) error {
 	if err != nil {
 		return err
 	}
+	var pol *policy.Policy
+	if *policyPath != "" {
+		// A policy file and explicit flat privacy flags are mutually
+		// exclusive; the flat flags' defaults are simply not applied.
+		flatFlags := map[string]bool{
+			"k": true, "l": true, "t": true, "diversity": true, "c": true, "max-suppression": true,
+		}
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			if flatFlags[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("anonymize: -policy and the flat privacy flags are mutually exclusive (got %s)",
+				strings.Join(conflict, " "))
+		}
+		if pol, err = loadPolicyFile(*policyPath); err != nil {
+			return err
+		}
+	}
 	tbl, hs, err := loadTable(*datasetName, *in)
 	if err != nil {
 		return err
 	}
 	cfg := core.Config{
 		Algorithm:      alg,
-		K:              *k,
-		L:              *l,
-		T:              *t,
-		DiversityMode:  core.DiversityMode(*diversity),
-		C:              *c,
 		Sensitive:      *sensitive,
 		StrictMondrian: *strict,
 		Workers:        *workers,
 		Hierarchies:    hs,
-		MaxSuppression: *suppress,
+	}
+	if pol != nil {
+		cfg.Policy = pol
+	} else {
+		cfg.K = *k
+		cfg.L = *l
+		cfg.T = *t
+		cfg.DiversityMode = core.DiversityMode(*diversity)
+		cfg.C = *c
+		cfg.MaxSuppression = *suppress
 	}
 	if *progress {
 		// The same engine sink the HTTP jobs feed on: events arrive
@@ -294,6 +355,11 @@ func cmdAnonymize(args []string) error {
 	anon, err := core.New(cfg)
 	if err != nil {
 		return err
+	}
+	// Echo the canonical policy the run enforces — for flat flags, their
+	// translation — matching the HTTP service's response echo.
+	if p := anon.Policy(); p != nil {
+		fmt.Fprintf(os.Stderr, "policy: %s\n", p.Describe())
 	}
 	rel, err := anon.Anonymize(tbl)
 	if *progress {

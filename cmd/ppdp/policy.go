@@ -1,0 +1,154 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/ppdp/ppdp/internal/policy"
+)
+
+// cmdPolicy implements the `ppdp policy` subcommand family: working with
+// declarative privacy-policy documents without running an anonymization.
+//
+//	ppdp policy validate file.json   strict-check a policy file
+//	ppdp policy show file.json       print the canonical form
+//	ppdp policy convert [flags]      translate flat flags into a policy file
+func cmdPolicy(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("policy: missing subcommand (validate, show or convert)")
+	}
+	switch args[0] {
+	case "validate":
+		return cmdPolicyValidate(args[1:])
+	case "show":
+		return cmdPolicyShow(args[1:])
+	case "convert":
+		return cmdPolicyConvert(args[1:])
+	default:
+		return fmt.Errorf("policy: unknown subcommand %q (known: validate, show, convert)", args[0])
+	}
+}
+
+// loadPolicyFile strictly parses a policy document from disk and returns its
+// canonical form.
+func loadPolicyFile(path string) (*policy.Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pol, err := policy.ParseReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return pol, nil
+}
+
+func cmdPolicyValidate(args []string) error {
+	fs := flag.NewFlagSet("policy validate", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("policy validate: exactly one policy file is required")
+	}
+	pol, err := loadPolicyFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: valid — %s\n", fs.Arg(0), pol.Describe())
+	return nil
+}
+
+func cmdPolicyShow(args []string) error {
+	fs := flag.NewFlagSet("policy show", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("policy show: exactly one policy file is required")
+	}
+	pol, err := loadPolicyFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	data, err := pol.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+// cmdPolicyConvert translates the deprecated flat parameters into a policy
+// document — the exact translation the pipeline applies to flat requests, so
+// converting a flag set and submitting the file changes nothing about the
+// release. Flags default to zero (disabled) here: the conversion renders
+// what was asked, not the anonymize subcommand's injected defaults.
+func cmdPolicyConvert(args []string) error {
+	fs := flag.NewFlagSet("policy convert", flag.ContinueOnError)
+	k := fs.Int("k", 0, "k-anonymity parameter (0 disables)")
+	l := fs.Int("l", 0, "l-diversity parameter (0 disables)")
+	t := fs.Float64("t", 0, "t-closeness parameter (0 disables)")
+	diversity := fs.String("diversity", "", "l-diversity variant: distinct|entropy|recursive (distinct when empty)")
+	c := fs.Float64("c", 0, "recursive (c,l)-diversity constant (default 3)")
+	sensitive := fs.String("sensitive", "", "sensitive attribute named on the criteria (empty = resolved at run time)")
+	ordered := fs.Bool("ordered", false, "ordered-distance EMD for t-closeness")
+	suppress := fs.Float64("max-suppression", 0, "suppression budget (0 disables)")
+	out := fs.String("out", "", "output policy path (stdout when empty)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("policy convert: unexpected argument %q", fs.Arg(0))
+	}
+	pol, err := policy.FromFlat(policy.Flat{
+		K:                *k,
+		L:                *l,
+		DiversityMode:    *diversity,
+		C:                *c,
+		T:                *t,
+		OrderedSensitive: *ordered,
+		Sensitive:        *sensitive,
+		MaxSuppression:   *suppress,
+	})
+	if err != nil {
+		return err
+	}
+	data, err := pol.Encode()
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s\n", *out, pol.Describe())
+	return nil
+}
+
+// parsePolicyPreload parses a `serve -policy` spec: either "name=file.json"
+// or a bare path, whose base name (extension stripped) becomes the stored
+// policy name.
+func parsePolicyPreload(spec string) (name, path string, err error) {
+	if n, p, ok := strings.Cut(spec, "="); ok {
+		if n == "" || p == "" {
+			return "", "", fmt.Errorf("serve: -policy spec %q must be name=file.json or a file path", spec)
+		}
+		return n, p, nil
+	}
+	base := filepath.Base(spec)
+	if ext := filepath.Ext(base); ext != "" {
+		base = strings.TrimSuffix(base, ext)
+	}
+	if base == "" || base == "." {
+		return "", "", fmt.Errorf("serve: cannot derive a policy name from %q", spec)
+	}
+	return base, spec, nil
+}

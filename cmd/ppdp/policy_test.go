@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/server"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns what
+// it wrote.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	fnErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, readErr := io.ReadAll(r)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if fnErr != nil {
+		t.Fatalf("command failed: %v (output %s)", fnErr, out)
+	}
+	return out
+}
+
+// TestAlgorithmsJSONMatchesServer is the drift gate for `ppdp algorithms
+// -json`: its output must be byte-identical to the GET /v1/algorithms body,
+// because both are documented as the same machine-readable capability cards.
+func TestAlgorithmsJSONMatchesServer(t *testing.T) {
+	cliOut := captureStdout(t, func() error { return run([]string{"algorithms", "-json"}) })
+
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	serverOut, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cliOut, serverOut) {
+		t.Errorf("ppdp algorithms -json drifted from GET /v1/algorithms:\nCLI:    %s\nserver: %s", cliOut, serverOut)
+	}
+	// The cards carry the policy criterion support the redesign added.
+	if !bytes.Contains(cliOut, []byte(`"criteria"`)) {
+		t.Errorf("capability cards carry no criteria: %s", cliOut)
+	}
+}
+
+// TestPolicySubcommand drives validate / show / convert end to end.
+func TestPolicySubcommand(t *testing.T) {
+	dir := t.TempDir()
+	polPath := filepath.Join(dir, "pol.json")
+
+	// convert writes a canonical policy file...
+	if err := run([]string{"policy", "convert", "-k", "5", "-l", "2", "-sensitive", "diagnosis",
+		"-max-suppression", "0.02", "-out", polPath}); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	// ...that validate accepts and show round-trips byte-identically.
+	if err := run([]string{"policy", "validate", polPath}); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	shown := captureStdout(t, func() error { return run([]string{"policy", "show", polPath}) })
+	onDisk, err := os.ReadFile(polPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shown, onDisk) {
+		t.Errorf("show output differs from the canonical file:\nshow: %s\nfile: %s", shown, onDisk)
+	}
+
+	// Invalid documents are rejected with the strict decoder's diagnostics.
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"criteria":[{"type":"k-anonymity","k":5,"t":0.2}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"policy", "validate", badPath}); err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("validate(bad) = %v, want unknown field error", err)
+	}
+
+	// Usage errors.
+	for _, args := range [][]string{
+		{"policy"},
+		{"policy", "bogus"},
+		{"policy", "validate"},
+		{"policy", "validate", "a.json", "b.json"},
+		{"policy", "show", filepath.Join(dir, "missing.json")},
+		{"policy", "convert"}, // no criteria enabled
+		{"policy", "convert", "-k", "5", "stray-arg"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestAnonymizeWithPolicyFile checks -policy on the anonymize subcommand:
+// it runs the policy pipeline and excludes the flat privacy flags.
+func TestAnonymizeWithPolicyFile(t *testing.T) {
+	dir := t.TempDir()
+	hosp := filepath.Join(dir, "hospital.csv")
+	polPath := filepath.Join(dir, "pol.json")
+	out := filepath.Join(dir, "anon.csv")
+	if err := run([]string{"generate", "-dataset", "hospital", "-rows", "300", "-seed", "4", "-out", hosp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"policy", "convert", "-k", "4", "-l", "2", "-sensitive", "diagnosis", "-out", polPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"anonymize", "-dataset", "hospital", "-in", hosp, "-policy", polPath, "-out", out}); err != nil {
+		t.Fatalf("anonymize -policy: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("no output written: %v", err)
+	}
+	// Mixing -policy with explicit flat privacy flags is an error.
+	err := run([]string{"anonymize", "-dataset", "hospital", "-in", hosp, "-policy", polPath, "-k", "5"})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-policy with -k error = %v", err)
+	}
+	// A policy naming a criterion the algorithm cannot enforce fails early.
+	tPol := filepath.Join(dir, "tpol.json")
+	if err := run([]string{"policy", "convert", "-k", "4", "-t", "0.2", "-sensitive", "diagnosis", "-out", tPol}); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"anonymize", "-dataset", "hospital", "-in", hosp, "-algorithm", "kmember", "-policy", tPol})
+	if err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Errorf("unsupported criterion error = %v", err)
+	}
+}
+
+// TestServePolicyPreload checks the -policy preload spec parser and the
+// programmatic AddPolicy path it drives.
+func TestServePolicyPreload(t *testing.T) {
+	dir := t.TempDir()
+	polPath := filepath.Join(dir, "clinical.json")
+	if err := run([]string{"policy", "convert", "-k", "5", "-out", polPath}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		spec, wantName string
+	}{
+		{"clinical=" + polPath, "clinical"},
+		{polPath, "clinical"}, // bare path: base name without extension
+	} {
+		name, path, err := parsePolicyPreload(tc.spec)
+		if err != nil || name != tc.wantName || path != polPath {
+			t.Errorf("parsePolicyPreload(%q) = %q, %q, %v", tc.spec, name, path, err)
+		}
+	}
+	if _, _, err := parsePolicyPreload("=x.json"); err == nil {
+		t.Error("empty name accepted")
+	}
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	pol, err := loadPolicyFile(polPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddPolicy("clinical", pol); err != nil {
+		t.Fatalf("AddPolicy: %v", err)
+	}
+	if err := srv.AddPolicy("clinical", pol); err == nil {
+		t.Error("duplicate AddPolicy succeeded")
+	}
+}

@@ -27,6 +27,8 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", server.DefaultRequestTimeout, "per-run anonymization timeout")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
 	preload := fs.String("preload", "", "preload a synthetic dataset, e.g. census=5000 or hospital=10000")
+	policySpec := fs.String("policy", "",
+		"preload a stored policy from a JSON file, e.g. clinical=policy.json (name defaults to the file base name)")
 	quiet := fs.Bool("quiet", false, "disable request logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +52,22 @@ func cmdServe(args []string) error {
 		}
 		if cfg.Log != nil {
 			cfg.Log.Printf("preloaded dataset %q", *preload)
+		}
+	}
+	if *policySpec != "" {
+		name, path, err := parsePolicyPreload(*policySpec)
+		if err != nil {
+			return err
+		}
+		pol, err := loadPolicyFile(path)
+		if err != nil {
+			return fmt.Errorf("serve: -policy: %w", err)
+		}
+		if err := srv.AddPolicy(name, pol); err != nil {
+			return fmt.Errorf("serve: -policy: %w", err)
+		}
+		if cfg.Log != nil {
+			cfg.Log.Printf("preloaded policy %q: %s", name, pol.Describe())
 		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

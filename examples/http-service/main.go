@@ -1,7 +1,8 @@
 // Command http-service drives the ppdp HTTP anonymization service end to
 // end, the way an operator would with curl: start a server, check liveness,
 // upload a CSV dataset, anonymize it twice (Mondrian with l-diversity, then
-// Anatomy), fetch the stored release's risk and utility reports, and run the
+// Anatomy), store a declarative privacy policy and anonymize by policy_ref,
+// fetch the stored release's risk and utility reports, and run the
 // background-job flow — submit, poll state and progress, fetch the published
 // release, cancel.
 //
@@ -82,6 +83,45 @@ func main() {
 	fmt.Printf("mondrian release %s: %d rows in %.1fms, measured k=%d l=%d NCP=%.3f\n",
 		rel.ReleaseID, rel.Rows, rel.ElapsedMS,
 		rel.Measurements.K, rel.Measurements.DistinctL, rel.Measurements.NCP)
+
+	// 4b. The same criteria as a stored declarative policy: declare once
+	// under a name, then anonymize by policy_ref. The response echoes the
+	// canonical policy and a per-criterion verification; the run pins the
+	// stored document, so deleting the name later never changes what this
+	// release enforced.
+	var storedPol struct {
+		Name    string `json:"name"`
+		Summary string `json:"summary"`
+	}
+	postJSON(base+"/v1/policies", map[string]any{
+		"name": "salary-baseline",
+		"policy": map[string]any{
+			"criteria": []map[string]any{
+				{"type": "k-anonymity", "k": 10},
+				{"type": "distinct-l-diversity", "l": 2, "sensitive": "salary"},
+			},
+		},
+	}, &storedPol)
+	fmt.Printf("stored policy %q: %s\n", storedPol.Name, storedPol.Summary)
+	var polRel struct {
+		ReleaseID    string `json:"release_id"`
+		PolicyRef    string `json:"policy_ref"`
+		Measurements struct {
+			Criteria map[string]struct {
+				Satisfied bool    `json:"satisfied"`
+				Measured  float64 `json:"measured"`
+				Target    float64 `json:"target"`
+			} `json:"criteria"`
+		} `json:"measurements"`
+	}
+	postJSON(base+"/v1/anonymize", map[string]any{
+		"dataset": "people", "policy_ref": "salary-baseline", "store": true,
+	}, &polRel)
+	fmt.Printf("policy_ref release %s (policy %s):\n", polRel.ReleaseID, polRel.PolicyRef)
+	for typ, m := range polRel.Measurements.Criteria {
+		fmt.Printf("  %-22s satisfied=%v measured=%.3g target=%.3g\n", typ, m.Satisfied, m.Measured, m.Target)
+	}
+	fmt.Println()
 
 	// 5. Risk report for the stored release.
 	var risk struct {

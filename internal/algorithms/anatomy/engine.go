@@ -7,6 +7,7 @@ import (
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/engine"
+	"github.com/ppdp/ppdp/internal/policy"
 )
 
 // adapter plugs Anatomy into the engine registry (see package engine).
@@ -22,6 +23,7 @@ func (adapter) Describe() engine.Info {
 		Description:  "l-diverse bucketization into QIT/ST (no generalization)",
 		Kind:         engine.Bucketized,
 		CostExponent: 1,
+		Criteria:     []string{policy.DistinctLDiversity},
 		Parameters: []engine.Param{
 			{Name: "l", Type: "int", Required: true, Description: "distinct sensitive values per bucket (>= 2)"},
 			{Name: "sensitive", Type: "string", Description: "sensitive attribute (schema's first sensitive column when empty)"},
@@ -31,6 +33,9 @@ func (adapter) Describe() engine.Info {
 }
 
 func (adapter) Validate(spec engine.Spec) error {
+	if err := engine.ValidateCriteria(adapter{}.Describe(), spec); err != nil {
+		return err
+	}
 	if spec.L < 2 {
 		return fmt.Errorf("anatomy requires L >= 2 (got %d)", spec.L)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/engine"
+	"github.com/ppdp/ppdp/internal/policy"
 )
 
 // adapter plugs k-member clustering into the engine registry (see package
@@ -23,6 +24,7 @@ func (adapter) Describe() engine.Info {
 		Description:  "greedy clustering anonymization",
 		Kind:         engine.Microdata,
 		CostExponent: 2,
+		Criteria:     []string{policy.KAnonymity},
 		Parameters: []engine.Param{
 			{Name: "k", Type: "int", Required: true, Default: 10, Description: "minimum cluster size"},
 			{Name: "quasi_identifiers", Type: "[]string", Description: "attributes for distance and recoding (schema QI columns when empty)"},
@@ -31,6 +33,9 @@ func (adapter) Describe() engine.Info {
 }
 
 func (adapter) Validate(spec engine.Spec) error {
+	if err := engine.ValidateCriteria(adapter{}.Describe(), spec); err != nil {
+		return err
+	}
 	if spec.K < 1 {
 		return fmt.Errorf("kmember: K must be at least 1 (got %d)", spec.K)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/engine"
+	"github.com/ppdp/ppdp/internal/policy"
 )
 
 // adapter plugs Mondrian into the engine registry (see package engine). It
@@ -26,6 +27,10 @@ func (adapter) Describe() engine.Info {
 		Parallel:     true,
 		CostExponent: 1,
 		Default:      true,
+		Criteria: []string{
+			policy.KAnonymity, policy.AlphaKAnonymity, policy.DistinctLDiversity,
+			policy.EntropyLDiversity, policy.RecursiveCLDiversity, policy.TCloseness,
+		},
 		Parameters: []engine.Param{
 			{Name: "k", Type: "int", Required: true, Default: 10, Description: "minimum partition size"},
 			{Name: "quasi_identifiers", Type: "[]string", Description: "attributes to partition on (schema QI columns when empty)"},
@@ -41,6 +46,9 @@ func (adapter) Describe() engine.Info {
 }
 
 func (adapter) Validate(spec engine.Spec) error {
+	if err := engine.ValidateCriteria(adapter{}.Describe(), spec); err != nil {
+		return err
+	}
 	if spec.K < 1 {
 		return fmt.Errorf("mondrian: K must be at least 1 (got %d)", spec.K)
 	}

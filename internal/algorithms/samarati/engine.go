@@ -7,6 +7,7 @@ import (
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/engine"
+	"github.com/ppdp/ppdp/internal/policy"
 )
 
 // adapter plugs Samarati into the engine registry (see package engine).
@@ -24,6 +25,7 @@ func (adapter) Describe() engine.Info {
 		FullDomain:          true,
 		RequiresHierarchies: true,
 		CostExponent:        1,
+		Criteria:            []string{policy.KAnonymity},
 		Parameters: []engine.Param{
 			{Name: "k", Type: "int", Required: true, Default: 10, Description: "minimum equivalence-class size"},
 			{Name: "quasi_identifiers", Type: "[]string", Description: "attributes to generalize (schema QI columns when empty)"},
@@ -33,6 +35,9 @@ func (adapter) Describe() engine.Info {
 }
 
 func (adapter) Validate(spec engine.Spec) error {
+	if err := engine.ValidateCriteria(adapter{}.Describe(), spec); err != nil {
+		return err
+	}
 	if spec.K < 1 {
 		return fmt.Errorf("samarati: K must be at least 1 (got %d)", spec.K)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/engine"
+	"github.com/ppdp/ppdp/internal/policy"
 )
 
 // adapter plugs top-down specialization into the engine registry (see
@@ -26,6 +27,10 @@ func (adapter) Describe() engine.Info {
 		RequiresHierarchies: true,
 		Parallel:            true,
 		CostExponent:        1,
+		Criteria: []string{
+			policy.KAnonymity, policy.AlphaKAnonymity, policy.DistinctLDiversity,
+			policy.EntropyLDiversity, policy.RecursiveCLDiversity, policy.TCloseness,
+		},
 		Parameters: []engine.Param{
 			{Name: "k", Type: "int", Required: true, Default: 10, Description: "minimum equivalence-class size"},
 			{Name: "quasi_identifiers", Type: "[]string", Description: "attributes to generalize (schema QI columns when empty)"},
@@ -40,6 +45,9 @@ func (adapter) Describe() engine.Info {
 }
 
 func (adapter) Validate(spec engine.Spec) error {
+	if err := engine.ValidateCriteria(adapter{}.Describe(), spec); err != nil {
+		return err
+	}
 	if spec.K < 1 {
 		return fmt.Errorf("topdown: K must be at least 1 (got %d)", spec.K)
 	}

@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/ppdp/ppdp/internal/algorithms/anatomy"
 	"github.com/ppdp/ppdp/internal/dataset"
@@ -32,6 +33,7 @@ import (
 	"github.com/ppdp/ppdp/internal/hierarchy"
 	"github.com/ppdp/ppdp/internal/lattice"
 	"github.com/ppdp/ppdp/internal/metrics"
+	"github.com/ppdp/ppdp/internal/policy"
 	"github.com/ppdp/ppdp/internal/privacy"
 )
 
@@ -92,24 +94,50 @@ const (
 )
 
 // Config describes one release.
+//
+// The privacy criteria are declared either through Policy (the declarative
+// form, preferred) or through the deprecated flat fields K/L/DiversityMode/
+// C/T/OrderedSensitive/MaxSuppression. The two forms are mutually exclusive;
+// flat fields ride through the same policy translator (policy.FromFlat), so
+// either way the pipeline runs on one canonical policy.
 type Config struct {
 	// Algorithm selects the anonymizer; Mondrian when empty.
 	Algorithm Algorithm
+	// Policy declares the privacy criteria of the release as a declarative
+	// policy document. When set, the flat privacy fields below must stay
+	// zero, and the policy is validated strictly: a criterion the selected
+	// algorithm cannot enforce is a configuration error. When nil, the flat
+	// fields are translated into a policy, keeping their legacy semantics
+	// (parameters an algorithm does not read are silently ignored).
+	Policy *policy.Policy
 	// K is the k-anonymity parameter (ignored by Anatomy).
+	//
+	// Deprecated: declare a k-anonymity criterion in Policy instead.
 	K int
 	// L enables l-diversity when positive (required by Anatomy).
+	//
+	// Deprecated: declare an l-diversity criterion in Policy instead.
 	L int
 	// DiversityMode selects the l-diversity variant (distinct when empty).
+	//
+	// Deprecated: the Policy criterion type selects the variant.
 	DiversityMode DiversityMode
 	// C is the recursive (c, l)-diversity constant (default 3 when the
 	// recursive mode is selected).
+	//
+	// Deprecated: declare it on the Policy criterion instead.
 	C float64
 	// T enables t-closeness when positive.
+	//
+	// Deprecated: declare a t-closeness criterion in Policy instead.
 	T float64
 	// OrderedSensitive selects the ordered-distance EMD for t-closeness.
+	//
+	// Deprecated: set "ordered" on the Policy's t-closeness criterion.
 	OrderedSensitive bool
-	// Sensitive names the sensitive attribute for the attribute-linkage
-	// models; defaults to the schema's first sensitive column.
+	// Sensitive names the default sensitive attribute for the
+	// attribute-linkage criteria; criteria that do not name their own fall
+	// back to it, then to the schema's first sensitive column.
 	Sensitive string
 	// QuasiIdentifiers restricts the quasi-identifier; defaults to the
 	// schema's quasi-identifier columns.
@@ -118,6 +146,8 @@ type Config struct {
 	// full-domain algorithms, optional for Mondrian/KMember recoding).
 	Hierarchies *hierarchy.Set
 	// MaxSuppression bounds record suppression for Datafly and Samarati.
+	//
+	// Deprecated: declare a suppression budget in Policy instead.
 	MaxSuppression float64
 	// StrictMondrian selects strict partitioning for Mondrian.
 	StrictMondrian bool
@@ -138,8 +168,32 @@ type Config struct {
 // ErrConfig is returned for invalid top-level configurations.
 var ErrConfig = errors.New("core: invalid configuration")
 
+// CriterionMeasurement reports the verification of one policy criterion
+// against the released table.
+type CriterionMeasurement struct {
+	// Satisfied reports whether the release meets the criterion.
+	Satisfied bool
+	// Measured is the strongest value of the criterion's headline parameter
+	// the release attains: the minimum class size for k-anonymity, the
+	// maximum sensitive-value share for (α,k)-anonymity, the minimum
+	// distinct count (or effective entropy l) for the diversity family, the
+	// smallest satisfiable c for recursive (c,l)-diversity, and the maximum
+	// per-class EMD for t-closeness.
+	Measured float64
+	// Target is the parameter the policy declared.
+	Target float64
+	// Sensitive is the resolved sensitive attribute the criterion was
+	// checked against ("" for k-anonymity).
+	Sensitive string
+}
+
 // Measurements reports the verified privacy level and utility of a release.
 type Measurements struct {
+	// Criteria reports every policy criterion's verification, keyed by
+	// criterion type (e.g. "k-anonymity", "t-closeness"). Criteria whose
+	// sensitive attribute is absent from the released schema are skipped,
+	// mirroring the legacy scalar measurements.
+	Criteria map[string]CriterionMeasurement
 	// K is the smallest equivalence-class size of the release.
 	K int
 	// DistinctL is the smallest number of distinct sensitive values per
@@ -169,6 +223,10 @@ type Release struct {
 	Anatomy *anatomy.Result
 	// Algorithm echoes the algorithm used.
 	Algorithm Algorithm
+	// Policy echoes the canonical privacy policy the release enforced —
+	// translated from the flat parameters when the caller used the
+	// deprecated surface. Treat it as immutable.
+	Policy *policy.Policy
 	// Node is the full-domain generalization node when applicable.
 	Node []int
 	// Measured reports the verified properties of the release.
@@ -179,12 +237,30 @@ type Release struct {
 type Anonymizer struct {
 	cfg Config
 	alg engine.Algorithm
+	// pol is the declared canonical policy: the explicit Config.Policy, or
+	// the full translation of the deprecated flat fields. It drives
+	// everything user-facing — the extra run criteria, the per-criterion
+	// measurements, Verify, and the policy echo — preserving the legacy
+	// "trust but verify" contract that a criterion the user declared is
+	// measured and verified even when the algorithm cannot enforce it.
+	pol *policy.Policy
+	// runPol is the policy the engine spec is built from. For an explicit
+	// Config.Policy it equals pol (strict: the adapter rejects unsupported
+	// criteria); for the flat shim it is pol restricted to the algorithm's
+	// supported criterion types, preserving the legacy contract that flat
+	// parameters an algorithm does not read are silently ignored at run
+	// time. Both may be nil only transiently inside New, for flat
+	// configurations that enable no criterion at all — those never survive
+	// the adapter's validation.
+	runPol *policy.Policy
 }
 
 // New validates the configuration and returns an Anonymizer. Cross-algorithm
-// parameter ranges are checked here; everything algorithm-specific (required
-// parameters, hierarchies) is delegated to the algorithm's own engine
-// adapter, so core carries no per-algorithm knowledge.
+// parameter ranges are checked here, the privacy criteria are resolved into
+// one canonical policy (see Config.Policy), and everything algorithm-specific
+// (required parameters, hierarchies, supported criterion types) is delegated
+// to the algorithm's own engine adapter, so core carries no per-algorithm
+// knowledge.
 func New(cfg Config) (*Anonymizer, error) {
 	alg, err := engine.Lookup(string(cfg.Algorithm))
 	if err != nil {
@@ -206,29 +282,104 @@ func New(cfg Config) (*Anonymizer, error) {
 	if cfg.DiversityMode == RecursiveDiversity && cfg.C <= 0 {
 		cfg.C = 3
 	}
-	a := &Anonymizer{cfg: cfg, alg: alg}
+	declared, enforced, err := resolvePolicy(cfg, alg.Describe())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	a := &Anonymizer{cfg: cfg, alg: alg, pol: declared, runPol: enforced}
 	if err := alg.Validate(a.spec("", nil)); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
 	return a, nil
 }
 
-// spec maps the configuration onto the engine's algorithm-agnostic run
-// specification. The sensitive attribute and the extra criteria are resolved
-// per table at Anonymize time and empty during New-time validation.
+// resolvePolicy turns a configuration into the declared canonical policy
+// (user-facing: measurement, verification, echo) and the enforced one (the
+// engine spec). An explicit Config.Policy is canonicalized strictly and used
+// for both, so criteria the algorithm cannot enforce are rejected by its
+// Validate. The deprecated flat fields translate through policy.FromFlat
+// whole (declared), and the enforced copy is restricted to the algorithm's
+// supported criterion types — the legacy contract that flat parameters an
+// algorithm does not read are silently ignored at run time, while "trust
+// but verify" still measures everything that was asked for.
+func resolvePolicy(cfg Config, info engine.Info) (declared, enforced *policy.Policy, err error) {
+	if cfg.Policy != nil {
+		if cfg.K != 0 || cfg.L != 0 || cfg.C != 0 || cfg.T != 0 || cfg.OrderedSensitive ||
+			cfg.MaxSuppression != 0 || (cfg.DiversityMode != "" && cfg.DiversityMode != DistinctDiversity) {
+			return nil, nil, fmt.Errorf("Policy and the deprecated flat privacy parameters are mutually exclusive")
+		}
+		canon, err := cfg.Policy.Canonical()
+		if err != nil {
+			return nil, nil, err
+		}
+		return canon, canon, nil
+	}
+	pol, err := policy.FromFlat(policy.Flat{
+		K:                cfg.K,
+		L:                cfg.L,
+		DiversityMode:    string(cfg.DiversityMode),
+		C:                cfg.C,
+		T:                cfg.T,
+		OrderedSensitive: cfg.OrderedSensitive,
+		Sensitive:        cfg.Sensitive,
+		MaxSuppression:   cfg.MaxSuppression,
+	})
+	if errors.Is(err, policy.ErrNoCriteria) {
+		// Nothing enabled: let the adapter's validation report its natural
+		// error (K or L missing) instead of a translation error.
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	enforced = pol.Restrict(info.Criteria)
+	// The flat "l" parameter is the bucket size for algorithms that enforce
+	// distinct-l-diversity (Anatomy) no matter which diversity_mode was
+	// selected — the mode has always been an ignored parameter there. When
+	// restriction dropped a non-distinct variant, re-declare the criterion
+	// the algorithm actually enforces so Spec.L keeps carrying cfg.L.
+	if cfg.L > 1 && info.SupportsCriterion(policy.DistinctLDiversity) && !hasDiversity(enforced) {
+		enforced.Criteria = append(enforced.Criteria,
+			policy.Criterion{Type: policy.DistinctLDiversity, L: float64(cfg.L), Sensitive: cfg.Sensitive})
+		if enforced, err = enforced.Canonical(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return pol, enforced, nil
+}
+
+// hasDiversity reports whether the policy carries any l-diversity-family
+// criterion.
+func hasDiversity(p *policy.Policy) bool {
+	for _, c := range p.Criteria {
+		if policy.IsDiversity(c.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// spec maps the resolved policy and the run tuning onto the engine's
+// algorithm-agnostic run specification. The sensitive attribute and the
+// extra criteria are resolved per table at Anonymize time and empty during
+// New-time validation.
 func (a *Anonymizer) spec(sensitive string, extra []privacy.Criterion) engine.Spec {
-	return engine.Spec{
-		K:                a.cfg.K,
-		L:                a.cfg.L,
+	spec := engine.Spec{
 		Sensitive:        sensitive,
 		QuasiIdentifiers: a.cfg.QuasiIdentifiers,
 		Hierarchies:      a.cfg.Hierarchies,
-		MaxSuppression:   a.cfg.MaxSuppression,
 		Strict:           a.cfg.StrictMondrian,
 		Workers:          a.cfg.Workers,
 		Extra:            extra,
+		Policy:           a.runPol,
 		Progress:         a.cfg.Progress,
 	}
+	if a.runPol != nil {
+		spec.K = a.runPol.KAnonymityK()
+		spec.L = a.runPol.BucketL()
+		spec.MaxSuppression = a.runPol.SuppressionBudget()
+	}
+	return spec
 }
 
 // WithProgress returns a copy of the anonymizer whose runs report progress to
@@ -256,36 +407,26 @@ func (a *Anonymizer) sensitiveAttr(t *dataset.Table) string {
 	return ""
 }
 
-// extraCriteria builds the attribute-linkage criteria from the configuration.
+// extraCriteria instantiates the policy's attribute-linkage criteria against
+// the resolved sensitive attribute.
 func (a *Anonymizer) extraCriteria(sensitive string) ([]privacy.Criterion, error) {
-	var out []privacy.Criterion
-	if a.cfg.L > 1 {
-		if sensitive == "" {
-			return nil, fmt.Errorf("%w: l-diversity requires a sensitive attribute", ErrConfig)
-		}
-		switch a.cfg.DiversityMode {
-		case DistinctDiversity, "":
-			out = append(out, privacy.DistinctLDiversity{L: a.cfg.L, Sensitive: sensitive})
-		case EntropyDiversity:
-			out = append(out, privacy.EntropyLDiversity{L: float64(a.cfg.L), Sensitive: sensitive})
-		case RecursiveDiversity:
-			c := a.cfg.C
-			if c <= 0 {
-				c = 3
-			}
-			out = append(out, privacy.RecursiveCLDiversity{C: c, L: a.cfg.L, Sensitive: sensitive})
-		default:
-			return nil, fmt.Errorf("%w: unknown diversity mode %q", ErrConfig, a.cfg.DiversityMode)
-		}
+	if a.pol == nil {
+		return nil, nil
 	}
-	if a.cfg.T > 0 {
-		if sensitive == "" {
-			return nil, fmt.Errorf("%w: t-closeness requires a sensitive attribute", ErrConfig)
-		}
-		out = append(out, privacy.TCloseness{T: a.cfg.T, Sensitive: sensitive, Ordered: a.cfg.OrderedSensitive})
+	out, err := a.pol.AttributeCriteria(sensitive)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
 	return out, nil
 }
+
+// Policy returns the declared canonical privacy policy — the explicit
+// Config.Policy, or the full translation of the deprecated flat parameters.
+// It is what the pipeline measures, verifies and echoes; flat parameters
+// the algorithm does not read stay declared here even though the run
+// ignores them (their measurement entries report whether the release
+// happens to satisfy them). Treat it as immutable.
+func (a *Anonymizer) Policy() *policy.Policy { return a.pol }
 
 // Anonymize runs the configured pipeline on t with no cancellation; it is
 // shorthand for AnonymizeContext with a background context.
@@ -318,6 +459,7 @@ func (a *Anonymizer) AnonymizeContext(ctx context.Context, t *dataset.Table) (*R
 
 	release := &Release{
 		Algorithm: a.cfg.Algorithm,
+		Policy:    a.pol,
 		Table:     res.Table,
 		QIT:       res.QIT,
 		ST:        res.ST,
@@ -356,17 +498,26 @@ func (a *Anonymizer) measure(original, released *dataset.Table, sensitive string
 		return nil, err
 	}
 	m.K = privacy.MeasureK(classes)
+	orderedEMD := a.cfg.OrderedSensitive
+	if a.pol != nil {
+		if tc, ok := a.pol.Find(policy.TCloseness); ok {
+			orderedEMD = tc.Ordered
+		}
+	}
 	if sensitive != "" && released.Schema().Has(sensitive) {
 		l, err := privacy.MeasureDistinctL(released, classes, sensitive)
 		if err != nil {
 			return nil, err
 		}
 		m.DistinctL = l
-		emd, err := privacy.MeasureMaxEMD(released, classes, sensitive, a.cfg.OrderedSensitive)
+		emd, err := privacy.MeasureMaxEMD(released, classes, sensitive, orderedEMD)
 		if err != nil {
 			return nil, err
 		}
 		m.MaxEMD = emd
+	}
+	if err := a.measureCriteria(m, released, classes, sensitive); err != nil {
+		return nil, err
 	}
 	// Metric failures are real failures: a release whose utility cannot be
 	// measured must not report a perfect 0.0, so the errors propagate instead
@@ -390,6 +541,64 @@ func (a *Anonymizer) measure(original, released *dataset.Table, sensitive string
 	return m, nil
 }
 
+// measureCriteria fills Measurements.Criteria with one verification entry
+// per policy criterion, keyed by criterion type. Criteria whose sensitive
+// attribute is not a column of the released table are skipped, mirroring the
+// legacy scalar measurements.
+func (a *Anonymizer) measureCriteria(m *Measurements, released *dataset.Table, classes []dataset.EquivalenceClass, sensitive string) error {
+	if a.pol == nil || len(a.pol.Criteria) == 0 {
+		return nil
+	}
+	m.Criteria = make(map[string]CriterionMeasurement, len(a.pol.Criteria))
+	for _, c := range a.pol.ResolveSensitive(sensitive).Criteria {
+		entry := CriterionMeasurement{Sensitive: c.Sensitive}
+		if c.Type != policy.KAnonymity {
+			if c.Sensitive == "" || !released.Schema().Has(c.Sensitive) {
+				continue
+			}
+		}
+		var err error
+		switch c.Type {
+		case policy.KAnonymity:
+			entry.Target = float64(c.K)
+			entry.Measured = float64(privacy.MeasureK(classes))
+			entry.Satisfied = entry.Measured >= entry.Target
+		case policy.AlphaKAnonymity:
+			entry.Target = c.Alpha
+			entry.Measured, err = privacy.MeasureMaxAlpha(released, classes, c.Sensitive)
+			entry.Satisfied = err == nil && entry.Measured <= c.Alpha && privacy.MeasureK(classes) >= c.K
+		case policy.DistinctLDiversity:
+			entry.Target = c.L
+			var l int
+			l, err = privacy.MeasureDistinctL(released, classes, c.Sensitive)
+			entry.Measured = float64(l)
+			entry.Satisfied = err == nil && entry.Measured >= c.L
+		case policy.EntropyLDiversity:
+			entry.Target = c.L
+			var h float64
+			h, err = privacy.MeasureEntropyL(released, classes, c.Sensitive)
+			// Report the effective l (e^H), directly comparable to the target.
+			entry.Measured = math.Exp(h)
+			entry.Satisfied = err == nil && h >= math.Log(c.L)-1e-12
+		case policy.RecursiveCLDiversity:
+			entry.Target = c.C
+			entry.Measured, err = privacy.MeasureRecursiveC(released, classes, int(c.L), c.Sensitive)
+			entry.Satisfied = err == nil && entry.Measured < c.C
+		case policy.TCloseness:
+			entry.Target = c.T
+			entry.Measured, err = privacy.MeasureMaxEMD(released, classes, c.Sensitive, c.Ordered)
+			entry.Satisfied = err == nil && entry.Measured <= c.T+1e-12
+		default:
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("core: measure %s: %w", c.Type, err)
+		}
+		m.Criteria[c.Type] = entry
+	}
+	return nil
+}
+
 // Verify re-checks the configured privacy criteria against a microdata
 // release and returns the name of the first violated criterion (empty when
 // all hold).
@@ -407,7 +616,11 @@ func (a *Anonymizer) Verify(released *dataset.Table) (bool, string, error) {
 	if err != nil {
 		return false, "", err
 	}
-	criteria := append([]privacy.Criterion{privacy.KAnonymity{K: max(a.cfg.K, 1)}}, extra...)
+	k := 1
+	if a.pol != nil {
+		k = max(a.pol.KAnonymityK(), 1)
+	}
+	criteria := append([]privacy.Criterion{privacy.KAnonymity{K: k}}, extra...)
 	return privacy.CheckAll(released, classes, criteria...)
 }
 

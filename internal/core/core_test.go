@@ -150,12 +150,9 @@ func TestAnonymizeEntropyAndRecursiveModes(t *testing.T) {
 			t.Errorf("%s: measured k = %d", mode, rel.Measured.K)
 		}
 	}
-	// Unknown mode is rejected at Anonymize time via extraCriteria.
-	a, err := New(Config{Algorithm: Mondrian, K: 2, L: 2, DiversityMode: "bogus", Sensitive: "diagnosis"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := a.Anonymize(tbl); !errors.Is(err, ErrConfig) {
+	// Unknown mode is rejected at New time by the policy translation (the
+	// pre-policy pipeline only caught it at Anonymize time).
+	if _, err := New(Config{Algorithm: Mondrian, K: 2, L: 2, DiversityMode: "bogus", Sensitive: "diagnosis"}); !errors.Is(err, ErrConfig) {
 		t.Errorf("bogus diversity mode error = %v", err)
 	}
 }

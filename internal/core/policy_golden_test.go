@@ -1,0 +1,285 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/policy"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+// flatGoldenConfig returns the flat configuration the policy-equivalence
+// golden test runs for one algorithm, exercising the parameters it reads.
+// The test fails for a registered algorithm without a case here, so an
+// eighth algorithm cannot silently skip the equivalence proof.
+func flatGoldenConfig(t *testing.T, alg Algorithm) (Config, *dataset.Table) {
+	t.Helper()
+	census := synth.Census(500, 9)
+	censusQI := []string{"age", "sex", "education", "marital-status", "race"}
+	base := Config{
+		Algorithm:        alg,
+		K:                5,
+		QuasiIdentifiers: censusQI,
+		Hierarchies:      synth.CensusHierarchies(),
+		MaxSuppression:   0.02,
+	}
+	switch alg {
+	case Mondrian:
+		base.L, base.Sensitive = 2, "occupation"
+		return base, census
+	case Datafly, Samarati, KMember:
+		return base, census
+	case Incognito, TopDown:
+		base.T, base.Sensitive = 0.5, "occupation"
+		return base, census
+	case Anatomy:
+		return Config{
+			Algorithm: Anatomy,
+			L:         3,
+			Sensitive: "diagnosis",
+		}, synth.Hospital(600, 9)
+	default:
+		t.Fatalf("no golden flat configuration for algorithm %q — add one to keep the policy equivalence proof exhaustive", alg)
+		return Config{}, nil
+	}
+}
+
+// policyConfigOf translates a flat golden configuration into its explicit
+// policy-document form: the same translation the deprecated shim applies,
+// but submitted through Config.Policy the way a new-style caller would.
+func policyConfigOf(t *testing.T, flat Config) Config {
+	t.Helper()
+	pol, err := policy.FromFlat(policy.Flat{
+		K:                flat.K,
+		L:                flat.L,
+		DiversityMode:    string(flat.DiversityMode),
+		C:                flat.C,
+		T:                flat.T,
+		OrderedSensitive: flat.OrderedSensitive,
+		Sensitive:        flat.Sensitive,
+		MaxSuppression:   flat.MaxSuppression,
+	})
+	if err != nil {
+		t.Fatalf("FromFlat: %v", err)
+	}
+	return Config{
+		Algorithm:        flat.Algorithm,
+		Policy:           pol,
+		Sensitive:        flat.Sensitive,
+		QuasiIdentifiers: flat.QuasiIdentifiers,
+		Hierarchies:      flat.Hierarchies,
+		StrictMondrian:   flat.StrictMondrian,
+		Workers:          flat.Workers,
+	}
+}
+
+// TestPolicyPathGolden proves the policy redesign is a pure refactor of the
+// request surface: for every registered algorithm, a release produced from a
+// flat-parameter configuration is byte-identical (tables, node, suppression
+// accounting, measurements) to one produced from the equivalent policy
+// document.
+func TestPolicyPathGolden(t *testing.T) {
+	for _, alg := range Algorithms() {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			flatCfg, tbl := flatGoldenConfig(t, alg)
+			flatAnon, err := New(flatCfg)
+			if err != nil {
+				t.Fatalf("New(flat): %v", err)
+			}
+			polAnon, err := New(policyConfigOf(t, flatCfg))
+			if err != nil {
+				t.Fatalf("New(policy): %v", err)
+			}
+			// The two configurations resolve to the same canonical policy.
+			if !flatAnon.Policy().Equal(polAnon.Policy()) {
+				t.Fatalf("resolved policies differ:\nflat:   %s\npolicy: %s",
+					flatAnon.Policy().Describe(), polAnon.Policy().Describe())
+			}
+			relFlat, err := flatAnon.Anonymize(tbl)
+			if err != nil {
+				t.Fatalf("Anonymize(flat): %v", err)
+			}
+			relPol, err := polAnon.Anonymize(tbl)
+			if err != nil {
+				t.Fatalf("Anonymize(policy): %v", err)
+			}
+			for _, pair := range []struct {
+				name string
+				a, b *dataset.Table
+			}{
+				{"table", relFlat.Table, relPol.Table},
+				{"qit", relFlat.QIT, relPol.QIT},
+				{"st", relFlat.ST, relPol.ST},
+			} {
+				if (pair.a == nil) != (pair.b == nil) {
+					t.Fatalf("%s: nil mismatch", pair.name)
+				}
+				if pair.a == nil {
+					continue
+				}
+				if !bytes.Equal(csvOf(t, pair.a), csvOf(t, pair.b)) {
+					t.Errorf("%s: released bytes differ between flat and policy paths", pair.name)
+				}
+			}
+			if !reflect.DeepEqual(relFlat.Node, relPol.Node) {
+				t.Errorf("node = %v vs %v", relFlat.Node, relPol.Node)
+			}
+			if !reflect.DeepEqual(relFlat.Measured, relPol.Measured) {
+				t.Errorf("measurements differ:\nflat:   %+v\npolicy: %+v", relFlat.Measured, relPol.Measured)
+			}
+			if !relFlat.Policy.Equal(relPol.Policy) {
+				t.Errorf("release policy echoes differ")
+			}
+		})
+	}
+}
+
+// TestPolicyOnlyCombination exercises a policy the flat surface cannot
+// express — (α,k)-anonymity composed with entropy l-diversity and
+// t-closeness — and checks the per-criterion measurements report every
+// criterion as satisfied with sane values.
+func TestPolicyOnlyCombination(t *testing.T) {
+	pol, err := policy.Parse([]byte(`{
+		"version": 1,
+		"criteria": [
+			{"type": "k-anonymity", "k": 4},
+			{"type": "alpha-k-anonymity", "k": 4, "alpha": 0.9},
+			{"type": "entropy-l-diversity", "l": 1.5},
+			{"type": "t-closeness", "t": 0.6}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{
+		Algorithm:        Mondrian,
+		Policy:           pol,
+		QuasiIdentifiers: []string{"age", "zip", "sex"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := a.Anonymize(synth.Hospital(1000, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rel.Measured.Criteria); got != 4 {
+		t.Fatalf("criteria measurements = %d entries (%v), want 4", got, rel.Measured.Criteria)
+	}
+	for typ, m := range rel.Measured.Criteria {
+		if !m.Satisfied {
+			t.Errorf("%s: not satisfied (measured %v, target %v)", typ, m.Measured, m.Target)
+		}
+	}
+	ka := rel.Measured.Criteria[policy.KAnonymity]
+	if ka.Measured < 4 || ka.Target != 4 {
+		t.Errorf("k-anonymity entry = %+v", ka)
+	}
+	if s := rel.Measured.Criteria[policy.TCloseness].Sensitive; s != "diagnosis" {
+		t.Errorf("t-closeness resolved sensitive = %q, want schema default diagnosis", s)
+	}
+	if ok, failed, err := a.Verify(rel.Table); err != nil || !ok {
+		t.Errorf("Verify = %v, %q, %v", ok, failed, err)
+	}
+}
+
+// TestFlatAnatomyDiversityModes locks in the legacy contract that anatomy
+// reads the flat l as its bucket size whatever diversity_mode says (the
+// mode is a parameter anatomy has never read): the request must keep
+// working through the policy shim.
+func TestFlatAnatomyDiversityModes(t *testing.T) {
+	tbl := synth.Hospital(600, 12)
+	for _, mode := range []DiversityMode{"", DistinctDiversity, EntropyDiversity, RecursiveDiversity} {
+		a, err := New(Config{Algorithm: Anatomy, L: 3, DiversityMode: mode, Sensitive: "diagnosis"})
+		if err != nil {
+			t.Fatalf("mode %q: New: %v", mode, err)
+		}
+		rel, err := a.Anonymize(tbl)
+		if err != nil {
+			t.Fatalf("mode %q: Anonymize: %v", mode, err)
+		}
+		if rel.QIT == nil || rel.QIT.Len() != tbl.Len() {
+			t.Errorf("mode %q: QIT = %v", mode, rel.QIT)
+		}
+	}
+}
+
+// TestFlatUnenforcedCriteriaStillVerified locks in "trust but verify" for
+// the flat shim: a criterion the algorithm cannot enforce (datafly +
+// t-closeness) is still declared, measured and checked by Verify, exactly
+// as the pre-policy pipeline did — only the run itself ignores it.
+func TestFlatUnenforcedCriteriaStillVerified(t *testing.T) {
+	tbl := synth.Census(500, 13)
+	a, err := New(Config{
+		Algorithm:        Datafly,
+		K:                5,
+		T:                0.01, // tight enough that the release violates it
+		Sensitive:        "salary",
+		QuasiIdentifiers: []string{"age", "sex", "education", "marital-status", "race"},
+		Hierarchies:      synth.CensusHierarchies(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Policy().Has(policy.TCloseness) {
+		t.Fatal("declared policy dropped the t-closeness criterion")
+	}
+	rel, err := a.Anonymize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, ok := rel.Measured.Criteria[policy.TCloseness]
+	if !ok {
+		t.Fatalf("no t-closeness measurement: %v", rel.Measured.Criteria)
+	}
+	if tc.Satisfied || tc.Measured <= 0.01 {
+		t.Fatalf("t-closeness measurement = %+v, want a violation of t=0.01", tc)
+	}
+	ok, failed, err := a.Verify(rel.Table)
+	if err != nil || ok || !strings.Contains(failed, "closeness") {
+		t.Errorf("Verify = %v, %q, %v — want the t-closeness violation reported", ok, failed, err)
+	}
+}
+
+// TestPolicyUnsupportedCombination checks that an explicit policy naming a
+// criterion the algorithm cannot enforce fails New as a configuration
+// error, while the deprecated flat surface keeps its legacy silent-ignore
+// semantics for the same parameters.
+func TestPolicyUnsupportedCombination(t *testing.T) {
+	// Flat shim: datafly ignores a flat t at run time just as it always has.
+	if _, err := New(Config{
+		Algorithm:   Datafly,
+		K:           5,
+		T:           0.2,
+		Sensitive:   "occupation",
+		Hierarchies: synth.CensusHierarchies(),
+	}); err != nil {
+		t.Fatalf("flat datafly with t rejected: %v", err)
+	}
+	pol, err := policy.Parse([]byte(`{
+		"criteria": [
+			{"type": "k-anonymity", "k": 5},
+			{"type": "t-closeness", "t": 0.2, "sensitive": "occupation"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{
+		Algorithm:   Datafly,
+		Policy:      pol,
+		Hierarchies: synth.CensusHierarchies(),
+	})
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("datafly + t-closeness policy error = %v, want ErrConfig", err)
+	}
+	// Policy and flat parameters are mutually exclusive.
+	if _, err := New(Config{Algorithm: Mondrian, Policy: pol, K: 5}); !errors.Is(err, ErrConfig) {
+		t.Errorf("policy+flat error = %v, want ErrConfig", err)
+	}
+}

@@ -1,0 +1,77 @@
+package engine_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/engine"
+	_ "github.com/ppdp/ppdp/internal/engine/all"
+	"github.com/ppdp/ppdp/internal/policy"
+)
+
+// TestCriteriaMetadata checks every registered algorithm's criterion
+// declarations: at least one criterion, every type known to the policy
+// package, and no duplicates — the capability cards on GET /v1/algorithms
+// render these verbatim.
+func TestCriteriaMetadata(t *testing.T) {
+	known := make(map[string]bool)
+	for _, typ := range policy.Types() {
+		known[typ] = true
+	}
+	for _, info := range engine.Infos() {
+		if len(info.Criteria) == 0 {
+			t.Errorf("%s: declares no supported criteria", info.Name)
+		}
+		seen := make(map[string]bool)
+		for _, typ := range info.Criteria {
+			if !known[typ] {
+				t.Errorf("%s: unknown criterion type %q", info.Name, typ)
+			}
+			if seen[typ] {
+				t.Errorf("%s: duplicate criterion type %q", info.Name, typ)
+			}
+			seen[typ] = true
+		}
+		// Every algorithm that enforces a class-size bound supports
+		// k-anonymity; the one that does not (anatomy) supports the
+		// diversity criterion its bucketization enforces.
+		if !info.SupportsCriterion(policy.KAnonymity) && !info.SupportsCriterion(policy.DistinctLDiversity) {
+			t.Errorf("%s: supports neither k-anonymity nor distinct-l-diversity", info.Name)
+		}
+	}
+}
+
+// TestValidateCriteria checks the shared support validation every adapter
+// runs: unsupported criterion types fail as ConfigError before any work, a
+// nil policy passes (direct engine users), and Validate itself wires the
+// check in.
+func TestValidateCriteria(t *testing.T) {
+	pol, err := (&policy.Policy{Criteria: []policy.Criterion{
+		{Type: policy.KAnonymity, K: 5},
+		{Type: policy.TCloseness, T: 0.2, Sensitive: "d"},
+	}}).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := engine.Info{Name: "fake", Criteria: []string{policy.KAnonymity}}
+	if err := engine.ValidateCriteria(info, engine.Spec{Policy: pol}); !errors.Is(err, engine.ErrConfig) {
+		t.Errorf("unsupported criterion error = %v, want ErrConfig", err)
+	}
+	info.Criteria = []string{policy.KAnonymity, policy.TCloseness}
+	if err := engine.ValidateCriteria(info, engine.Spec{Policy: pol}); err != nil {
+		t.Errorf("supported criteria rejected: %v", err)
+	}
+	if err := engine.ValidateCriteria(info, engine.Spec{}); err != nil {
+		t.Errorf("nil policy rejected: %v", err)
+	}
+
+	// End to end through a real adapter: datafly enforces only k-anonymity,
+	// so a t-closeness policy must fail its Validate as a ConfigError.
+	alg, err := engine.Lookup("datafly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Validate(engine.Spec{K: 5, Policy: pol}); !errors.Is(err, engine.ErrConfig) {
+		t.Errorf("datafly t-closeness policy error = %v, want ErrConfig", err)
+	}
+}

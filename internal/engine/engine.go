@@ -34,6 +34,7 @@ import (
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/policy"
 	"github.com/ppdp/ppdp/internal/privacy"
 )
 
@@ -96,6 +97,14 @@ type Spec struct {
 	// Extra lists additional privacy criteria (l-diversity, t-closeness, ...)
 	// for algorithms that gate their search on arbitrary criteria.
 	Extra []privacy.Criterion
+	// Policy is the declarative privacy policy the run enforces; the caller
+	// (internal/core) resolves it and mirrors it into the scalar fields above
+	// (K, L, MaxSuppression) and Extra, which the algorithms keep reading.
+	// Adapters validate it against their Info.Criteria via ValidateCriteria,
+	// so a policy naming a criterion the algorithm cannot enforce fails
+	// before any data is touched. Nil when the caller bypasses the policy
+	// layer (direct engine users, tests).
+	Policy *policy.Policy
 	// Progress receives (done, total) events as the run advances, reported at
 	// the same per-unit sites where the algorithm polls its context. Nil
 	// disables reporting. Adapters wrap the sink with Monotone, so callers may
@@ -202,8 +211,24 @@ type Info struct {
 	CostExponent float64 `json:"cost_exponent,omitempty"`
 	// Default marks the algorithm Lookup("") resolves to.
 	Default bool `json:"default,omitempty"`
+	// Criteria lists the policy criterion types (see internal/policy) the
+	// algorithm can enforce. A policy naming any other type is rejected by
+	// ValidateCriteria before the run starts; the capability card served on
+	// GET /v1/algorithms carries the list so clients can check up front.
+	Criteria []string `json:"criteria"`
 	// Parameters lists every Spec field the algorithm reads.
 	Parameters []Param `json:"parameters"`
+}
+
+// SupportsCriterion reports whether the algorithm can enforce the given
+// policy criterion type.
+func (i Info) SupportsCriterion(typ string) bool {
+	for _, t := range i.Criteria {
+		if t == typ {
+			return true
+		}
+	}
+	return false
 }
 
 // Param returns the named parameter declaration, if the algorithm reads it.
@@ -269,6 +294,26 @@ func UnsatisfiableError(err error) error {
 		return nil
 	}
 	return &classified{err: err, class: ErrUnsatisfiable}
+}
+
+// ValidateCriteria checks a spec's policy against an algorithm's declared
+// criterion support: every criterion type in the policy must appear in
+// info.Criteria. Adapters call it from Validate, so an unsupported
+// combination fails as a ConfigError before any data is touched — the HTTP
+// service maps it to a 400 the same way it maps any other configuration
+// problem. A nil policy passes: direct engine users that build a Spec by
+// hand keep working without one.
+func ValidateCriteria(info Info, spec Spec) error {
+	if spec.Policy == nil {
+		return nil
+	}
+	for _, typ := range spec.Policy.CriterionTypes() {
+		if !info.SupportsCriterion(typ) {
+			return ConfigError(fmt.Errorf("%s: criterion %q is not supported (supported: %v)",
+				info.Name, typ, info.Criteria))
+		}
+	}
+	return nil
 }
 
 // registry is the process-wide algorithm registry. Registration happens in

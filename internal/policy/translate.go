@@ -1,0 +1,244 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ppdp/ppdp/internal/privacy"
+)
+
+// ErrNoCriteria is returned by FromFlat when the flat parameters enable no
+// criterion at all (k, l and t all disabled). Callers implementing the
+// deprecated flat shim treat it as "no policy" and let the algorithm's own
+// validation produce its natural error.
+var ErrNoCriteria = errors.New("policy: flat parameters enable no privacy criterion")
+
+// Flat is the legacy flat-parameter view of a policy: the k/l/c/t/diversity/
+// sensitive/suppression scalar bag the pre-policy API exposed. FromFlat and
+// Policy.Flat translate between the two representations; the flat surface is
+// deprecated but still accepted everywhere, riding through this translation.
+type Flat struct {
+	// K enables k-anonymity when positive.
+	K int
+	// L enables the l-diversity family when greater than 1.
+	L int
+	// DiversityMode selects the family member: "distinct" (also the empty
+	// default), "entropy" or "recursive".
+	DiversityMode string
+	// C is the recursive (c,l)-diversity constant (0 means the default 3).
+	C float64
+	// T enables t-closeness when positive.
+	T float64
+	// OrderedSensitive selects the ordered-distance EMD for t-closeness.
+	OrderedSensitive bool
+	// Sensitive names the sensitive attribute for the attribute-linkage
+	// criteria ("" means the pipeline's resolved default).
+	Sensitive string
+	// MaxSuppression is the suppression budget (0 disables).
+	MaxSuppression float64
+}
+
+// Flat diversity-mode names (mirroring core's DiversityMode values).
+const (
+	FlatDistinct  = "distinct"
+	FlatEntropy   = "entropy"
+	FlatRecursive = "recursive"
+)
+
+// diversityFamily is the subset of criterion types one flat DiversityMode
+// selects among; a flat-expressible policy carries at most one of them.
+var diversityFamily = map[string]bool{
+	DistinctLDiversity:   true,
+	EntropyLDiversity:    true,
+	RecursiveCLDiversity: true,
+}
+
+// IsDiversity reports whether a criterion type belongs to the l-diversity
+// family.
+func IsDiversity(typ string) bool { return diversityFamily[typ] }
+
+// FromFlat translates flat parameters into their canonical policy: K>0 adds
+// k-anonymity, L>1 adds the selected l-diversity variant, T>0 adds
+// t-closeness, and a positive MaxSuppression becomes the suppression budget.
+// The zero thresholds mirror the flat API's "zero disables" contract exactly,
+// so a flat request and its translation enforce the same criteria.
+func FromFlat(f Flat) (*Policy, error) {
+	p := &Policy{Version: Version}
+	if f.K > 0 {
+		p.Criteria = append(p.Criteria, Criterion{Type: KAnonymity, K: f.K})
+	}
+	if f.L > 1 {
+		switch f.DiversityMode {
+		case FlatDistinct, "":
+			p.Criteria = append(p.Criteria, Criterion{Type: DistinctLDiversity, L: float64(f.L), Sensitive: f.Sensitive})
+		case FlatEntropy:
+			p.Criteria = append(p.Criteria, Criterion{Type: EntropyLDiversity, L: float64(f.L), Sensitive: f.Sensitive})
+		case FlatRecursive:
+			p.Criteria = append(p.Criteria, Criterion{Type: RecursiveCLDiversity, L: float64(f.L), C: f.C, Sensitive: f.Sensitive})
+		default:
+			return nil, fmt.Errorf("policy: unknown diversity mode %q (known: distinct, entropy, recursive)", f.DiversityMode)
+		}
+	}
+	if f.T > 0 {
+		p.Criteria = append(p.Criteria, Criterion{Type: TCloseness, T: f.T, Sensitive: f.Sensitive, Ordered: f.OrderedSensitive})
+	}
+	if len(p.Criteria) == 0 {
+		return nil, ErrNoCriteria
+	}
+	if f.MaxSuppression > 0 {
+		p.Suppression = &Suppression{MaxFraction: f.MaxSuppression}
+	}
+	return p.Canonical()
+}
+
+// Flat translates the policy back to flat parameters — the inverse of
+// FromFlat, completing the bidirectional mapping between the two request
+// surfaces. The pipeline itself only needs the forward direction; this
+// inverse exists for callers bridging policies back onto flat-only
+// consumers (older clients, config files) and for the translation tests
+// that prove the mapping round-trips. Policies the flat surface cannot
+// express — an (α,k)-anonymity criterion, more than one l-diversity
+// variant, a fractional entropy l, or criteria disagreeing on the
+// sensitive attribute — return an error.
+func (p *Policy) Flat() (Flat, error) {
+	canon, err := p.Canonical()
+	if err != nil {
+		return Flat{}, err
+	}
+	var f Flat
+	sensitiveSet := false
+	takeSensitive := func(typ, s string) error {
+		if s == "" {
+			return nil
+		}
+		if sensitiveSet && f.Sensitive != s {
+			return fmt.Errorf("policy: not expressible as flat parameters: criteria disagree on the sensitive attribute (%q vs %q)", f.Sensitive, s)
+		}
+		f.Sensitive = s
+		sensitiveSet = true
+		return nil
+	}
+	for _, c := range canon.Criteria {
+		if IsDiversity(c.Type) && f.DiversityMode != "" {
+			return Flat{}, fmt.Errorf("policy: not expressible as flat parameters: more than one l-diversity criterion")
+		}
+		switch c.Type {
+		case KAnonymity:
+			f.K = c.K
+		case AlphaKAnonymity:
+			return Flat{}, fmt.Errorf("policy: not expressible as flat parameters: %s has no flat equivalent", c.Type)
+		case DistinctLDiversity:
+			f.L, f.DiversityMode = int(c.L), FlatDistinct
+		case EntropyLDiversity:
+			if c.L != float64(int(c.L)) {
+				return Flat{}, fmt.Errorf("policy: not expressible as flat parameters: entropy l=%v is fractional", c.L)
+			}
+			f.L, f.DiversityMode = int(c.L), FlatEntropy
+		case RecursiveCLDiversity:
+			f.L, f.C, f.DiversityMode = int(c.L), c.C, FlatRecursive
+		case TCloseness:
+			f.T, f.OrderedSensitive = c.T, c.Ordered
+		}
+		if err := takeSensitive(c.Type, c.Sensitive); err != nil {
+			return Flat{}, err
+		}
+	}
+	if canon.Suppression != nil {
+		f.MaxSuppression = canon.Suppression.MaxFraction
+	}
+	return f, nil
+}
+
+// KAnonymityK returns the class-size bound the policy implies — the largest
+// k declared by a k-anonymity or (α,k)-anonymity criterion, or 0 when the
+// policy carries neither. It is the value the engine Spec's K field
+// expects: a policy declaring only alpha-k-anonymity still bounds every
+// class at its k.
+func (p *Policy) KAnonymityK() int {
+	k := 0
+	for _, c := range p.Criteria {
+		if (c.Type == KAnonymity || c.Type == AlphaKAnonymity) && c.K > k {
+			k = c.K
+		}
+	}
+	return k
+}
+
+// BucketL returns the distinct-l-diversity criterion's l, or 0 when the
+// policy carries none — Anatomy's bucket size.
+func (p *Policy) BucketL() int {
+	if c, ok := p.Find(DistinctLDiversity); ok {
+		return int(c.L)
+	}
+	return 0
+}
+
+// SuppressionBudget returns the suppression budget (0 when none).
+func (p *Policy) SuppressionBudget() float64 {
+	if p.Suppression != nil {
+		return p.Suppression.MaxFraction
+	}
+	return 0
+}
+
+// NeedsSensitive reports whether any criterion guards a sensitive attribute
+// without naming one, i.e. whether the pipeline must resolve a default.
+func (p *Policy) NeedsSensitive() bool {
+	for _, c := range p.Criteria {
+		if c.Type != KAnonymity && c.Sensitive == "" {
+			return true
+		}
+	}
+	return false
+}
+
+// ResolveSensitive returns a copy with every empty criterion-level sensitive
+// attribute filled from the default. Criteria that already name one keep it.
+func (p *Policy) ResolveSensitive(def string) *Policy {
+	out := p.Clone()
+	for i := range out.Criteria {
+		if out.Criteria[i].Type != KAnonymity && out.Criteria[i].Sensitive == "" {
+			out.Criteria[i].Sensitive = def
+		}
+	}
+	return out
+}
+
+// AttributeCriteria instantiates the policy's attribute-linkage criteria —
+// everything beyond plain k-anonymity — as privacy.Criterion checkers, with
+// empty sensitive attributes resolved to def. Criteria that need a sensitive
+// attribute fail when neither they nor def name one.
+func (p *Policy) AttributeCriteria(def string) ([]privacy.Criterion, error) {
+	var out []privacy.Criterion
+	for _, c := range p.Criteria {
+		if c.Type == KAnonymity {
+			continue
+		}
+		sensitive := c.Sensitive
+		if sensitive == "" {
+			sensitive = def
+		}
+		if sensitive == "" {
+			return nil, fmt.Errorf("policy: %s requires a sensitive attribute", c.Type)
+		}
+		switch c.Type {
+		case AlphaKAnonymity:
+			out = append(out, privacy.AlphaKAnonymity{K: c.K, Alpha: c.Alpha, Sensitive: sensitive})
+		case DistinctLDiversity:
+			out = append(out, privacy.DistinctLDiversity{L: int(c.L), Sensitive: sensitive})
+		case EntropyLDiversity:
+			out = append(out, privacy.EntropyLDiversity{L: c.L, Sensitive: sensitive})
+		case RecursiveCLDiversity:
+			cc := c.C
+			if cc == 0 {
+				cc = 3
+			}
+			out = append(out, privacy.RecursiveCLDiversity{C: cc, L: int(c.L), Sensitive: sensitive})
+		case TCloseness:
+			out = append(out, privacy.TCloseness{T: c.T, Sensitive: sensitive, Ordered: c.Ordered})
+		default:
+			return nil, fmt.Errorf("policy: unknown criterion type %q", c.Type)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package policy
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/privacy"
+)
+
+// TestFromFlatRoundTrip checks that every flat-expressible configuration
+// survives Flat → Policy → Flat unchanged (modulo the defaults the
+// canonical form fills in).
+func TestFromFlatRoundTrip(t *testing.T) {
+	cases := []Flat{
+		{K: 10},
+		{K: 5, MaxSuppression: 0.02},
+		{K: 5, L: 3, Sensitive: "disease"},
+		{K: 5, L: 2, DiversityMode: FlatEntropy, Sensitive: "disease"},
+		{K: 5, L: 2, DiversityMode: FlatRecursive, C: 2.5, Sensitive: "disease"},
+		{K: 4, T: 0.25, OrderedSensitive: true, Sensitive: "salary"},
+		{L: 3, Sensitive: "disease"}, // anatomy-style, no k
+		{K: 8, L: 4, T: 0.3, Sensitive: "disease", MaxSuppression: 0.1},
+	}
+	for i, f := range cases {
+		pol, err := FromFlat(f)
+		if err != nil {
+			t.Fatalf("case %d: FromFlat: %v", i, err)
+		}
+		back, err := pol.Flat()
+		if err != nil {
+			t.Fatalf("case %d: Flat: %v", i, err)
+		}
+		// Canonicalization fills the defaults the flat zero values imply.
+		want := f
+		if want.L > 1 && want.DiversityMode == "" {
+			want.DiversityMode = FlatDistinct
+		}
+		if want.DiversityMode == FlatRecursive && want.C == 0 {
+			want.C = 3
+		}
+		if !reflect.DeepEqual(back, want) {
+			t.Errorf("case %d: round trip = %+v, want %+v", i, back, want)
+		}
+	}
+}
+
+func TestFromFlatErrors(t *testing.T) {
+	if _, err := FromFlat(Flat{}); !errors.Is(err, ErrNoCriteria) {
+		t.Errorf("empty flat error = %v, want ErrNoCriteria", err)
+	}
+	if _, err := FromFlat(Flat{K: 3, L: 2, DiversityMode: "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown diversity mode") {
+		t.Errorf("bogus mode error = %v", err)
+	}
+	// L=1 is the flat "disabled" threshold, same as the legacy pipeline.
+	pol, err := FromFlat(Flat{K: 3, L: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Has(DistinctLDiversity) {
+		t.Error("L=1 produced a diversity criterion")
+	}
+}
+
+// TestFlatNotExpressible covers the policies the flat surface cannot carry.
+func TestFlatNotExpressible(t *testing.T) {
+	docs := []string{
+		// (α,k)-anonymity has no flat equivalent.
+		`{"criteria":[{"type":"alpha-k-anonymity","k":3,"alpha":0.5,"sensitive":"d"}]}`,
+		// Two diversity-family members at once.
+		`{"criteria":[
+			{"type":"distinct-l-diversity","l":2,"sensitive":"d"},
+			{"type":"entropy-l-diversity","l":2.0001,"sensitive":"d"}
+		]}`,
+		// Fractional entropy l.
+		`{"criteria":[{"type":"entropy-l-diversity","l":2.5,"sensitive":"d"}]}`,
+		// Criteria disagreeing on the sensitive attribute.
+		`{"criteria":[
+			{"type":"distinct-l-diversity","l":2,"sensitive":"a"},
+			{"type":"t-closeness","t":0.2,"sensitive":"b"}
+		]}`,
+	}
+	for _, doc := range docs {
+		p := mustParse(t, doc)
+		if f, err := p.Flat(); err == nil {
+			t.Errorf("Flat(%s) = %+v, want error", doc, f)
+		}
+	}
+}
+
+// TestAttributeCriteria checks the privacy.Criterion instantiation,
+// including default-sensitive resolution.
+func TestAttributeCriteria(t *testing.T) {
+	p := mustParse(t, `{"criteria":[
+		{"type":"k-anonymity","k":5},
+		{"type":"alpha-k-anonymity","k":5,"alpha":0.6},
+		{"type":"distinct-l-diversity","l":2},
+		{"type":"entropy-l-diversity","l":2.5},
+		{"type":"recursive-cl-diversity","l":2,"c":4},
+		{"type":"t-closeness","t":0.3,"ordered":true}
+	]}`)
+	crits, err := p.AttributeCriteria("disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []privacy.Criterion{
+		privacy.AlphaKAnonymity{K: 5, Alpha: 0.6, Sensitive: "disease"},
+		privacy.DistinctLDiversity{L: 2, Sensitive: "disease"},
+		privacy.EntropyLDiversity{L: 2.5, Sensitive: "disease"},
+		privacy.RecursiveCLDiversity{C: 4, L: 2, Sensitive: "disease"},
+		privacy.TCloseness{T: 0.3, Sensitive: "disease", Ordered: true},
+	}
+	if !reflect.DeepEqual(crits, want) {
+		t.Errorf("AttributeCriteria = %#v\nwant %#v", crits, want)
+	}
+	// No default and no named sensitive: an error, not a silent skip.
+	if _, err := p.AttributeCriteria(""); err == nil ||
+		!strings.Contains(err.Error(), "sensitive attribute") {
+		t.Errorf("missing sensitive error = %v", err)
+	}
+	// k-anonymity alone needs no sensitive attribute.
+	kOnly := mustParse(t, `{"criteria":[{"type":"k-anonymity","k":5}]}`)
+	if crits, err := kOnly.AttributeCriteria(""); err != nil || len(crits) != 0 {
+		t.Errorf("k-only AttributeCriteria = %v, %v", crits, err)
+	}
+}

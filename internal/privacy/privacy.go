@@ -128,6 +128,25 @@ func (a AlphaKAnonymity) Check(t *dataset.Table, classes []dataset.EquivalenceCl
 	return true, nil
 }
 
+// MeasureMaxAlpha returns the largest relative frequency any sensitive value
+// reaches inside one equivalence class — the smallest α for which the release
+// is (α,k)-anonymous (given it is k-anonymous).
+func MeasureMaxAlpha(t *dataset.Table, classes []dataset.EquivalenceClass, sensitive string) (float64, error) {
+	max := 0.0
+	for _, c := range classes {
+		dist, err := t.SensitiveDistribution(c, sensitive)
+		if err != nil {
+			return 0, err
+		}
+		for _, n := range dist {
+			if f := float64(n) / float64(c.Size()); f > max {
+				max = f
+			}
+		}
+	}
+	return max, nil
+}
+
 // ---------------------------------------------------------------------------
 // l-diversity family
 // ---------------------------------------------------------------------------
@@ -276,6 +295,40 @@ func (r RecursiveCLDiversity) Check(t *dataset.Table, classes []dataset.Equivale
 		}
 	}
 	return true, nil
+}
+
+// MeasureRecursiveC returns the smallest c for which the release satisfies
+// recursive (c,l)-diversity at the given l: the maximum over classes of
+// r1 / (r_l + ... + r_m) with counts sorted descending (plus a hair, since
+// the criterion is a strict inequality). A class with fewer than l distinct
+// sensitive values satisfies no c, reported as +Inf.
+func MeasureRecursiveC(t *dataset.Table, classes []dataset.EquivalenceClass, l int, sensitive string) (float64, error) {
+	if l < 1 {
+		return 0, fmt.Errorf("%w: l = %d", ErrParameter, l)
+	}
+	max := 0.0
+	for _, cls := range classes {
+		dist, err := t.SensitiveDistribution(cls, sensitive)
+		if err != nil {
+			return 0, err
+		}
+		counts := make([]int, 0, len(dist))
+		for _, n := range dist {
+			counts = append(counts, n)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		if len(counts) < l {
+			return math.Inf(1), nil
+		}
+		tail := 0
+		for i := l - 1; i < len(counts); i++ {
+			tail += counts[i]
+		}
+		if ratio := float64(counts[0]) / float64(tail); ratio > max {
+			max = ratio
+		}
+	}
+	return max, nil
 }
 
 // ---------------------------------------------------------------------------

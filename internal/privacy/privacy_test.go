@@ -385,3 +385,56 @@ func propertyRows(seed int64) []dataset.Row {
 	}
 	return rows
 }
+
+// TestMeasureMaxAlpha checks the (α,k) measurement against the hand-built
+// table: class one is 1/3-homogeneous per value, class two has flu at 2/3.
+func TestMeasureMaxAlpha(t *testing.T) {
+	tbl, classes := buildTable(t, anonRows())
+	alpha, err := MeasureMaxAlpha(tbl, classes, "diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2.0 / 3.0; math.Abs(alpha-want) > 1e-12 {
+		t.Errorf("MeasureMaxAlpha = %v, want %v", alpha, want)
+	}
+	// Consistency with the checkable criterion: the measured α is the
+	// smallest cap the release satisfies.
+	if ok, err := (AlphaKAnonymity{K: 1, Alpha: alpha, Sensitive: "diagnosis"}).Check(tbl, classes); err != nil || !ok {
+		t.Errorf("Check at measured alpha = %v, %v", ok, err)
+	}
+	if ok, _ := (AlphaKAnonymity{K: 1, Alpha: alpha - 0.01, Sensitive: "diagnosis"}).Check(tbl, classes); ok {
+		t.Error("Check below measured alpha should fail")
+	}
+}
+
+// TestMeasureRecursiveC checks the recursive (c,l) measurement: at l=2,
+// class two has counts (2,1) so the worst r1/tail ratio is 2/1.
+func TestMeasureRecursiveC(t *testing.T) {
+	tbl, classes := buildTable(t, anonRows())
+	c, err := MeasureRecursiveC(tbl, classes, 2, "diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2.0; c != want {
+		t.Errorf("MeasureRecursiveC(l=2) = %v, want %v", c, want)
+	}
+	// Any c strictly above the measurement satisfies the criterion; the
+	// measurement itself does not (strict inequality).
+	if ok, err := (RecursiveCLDiversity{C: c + 0.01, L: 2, Sensitive: "diagnosis"}).Check(tbl, classes); err != nil || !ok {
+		t.Errorf("Check above measured c = %v, %v", ok, err)
+	}
+	if ok, _ := (RecursiveCLDiversity{C: c, L: 2, Sensitive: "diagnosis"}).Check(tbl, classes); ok {
+		t.Error("Check at measured c should fail (strict inequality)")
+	}
+	// A class with fewer than l distinct values satisfies no c.
+	c4, err := MeasureRecursiveC(tbl, classes, 4, "diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(c4, 1) {
+		t.Errorf("MeasureRecursiveC(l=4) = %v, want +Inf", c4)
+	}
+	if _, err := MeasureRecursiveC(tbl, classes, 0, "diagnosis"); !errors.Is(err, ErrParameter) {
+		t.Errorf("l=0 error = %v, want ErrParameter", err)
+	}
+}

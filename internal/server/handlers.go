@@ -4,9 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
+	"mime"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/ppdp/ppdp/internal/core"
@@ -14,6 +15,7 @@ import (
 	"github.com/ppdp/ppdp/internal/engine"
 	"github.com/ppdp/ppdp/internal/jobs"
 	"github.com/ppdp/ppdp/internal/metrics"
+	"github.com/ppdp/ppdp/internal/policy"
 	"github.com/ppdp/ppdp/internal/risk"
 	"github.com/ppdp/ppdp/internal/synth"
 )
@@ -163,13 +165,130 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
 }
 
+// acceptsMedia reports whether the request's Accept header asks for the
+// given media type. Absent and wildcard Accept headers do not count: every
+// endpoint keeps serving its historical default unless the client asks for
+// the alternative explicitly.
+func acceptsMedia(r *http.Request, media string) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if mt == media {
+			return true
+		}
+	}
+	return false
+}
+
+// defaultPageLimit is the row-page size when the JSON form paginates without
+// an explicit limit, so a large table never materializes one giant body.
+const defaultPageLimit = 1000
+
+// pageParams parses the limit/offset row-pagination query parameters.
+// explicit reports whether the client asked for pagination at all. It writes
+// the error envelope itself and reports ok=false on a malformed parameter.
+func pageParams(w http.ResponseWriter, r *http.Request) (limit, offset int, explicit, ok bool) {
+	limit = defaultPageLimit
+	var err error
+	if q := r.URL.Query().Get("limit"); q != "" {
+		explicit = true
+		if limit, err = strconv.Atoi(q); err != nil || limit < 1 {
+			writeError(w, http.StatusBadRequest, "bad_request", "limit must be a positive integer")
+			return 0, 0, false, false
+		}
+	}
+	if q := r.URL.Query().Get("offset"); q != "" {
+		explicit = true
+		if offset, err = strconv.Atoi(q); err != nil || offset < 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", "offset must be a non-negative integer")
+			return 0, 0, false, false
+		}
+	}
+	return limit, offset, explicit, true
+}
+
+// pageOf slices one row window out of a table via the per-row accessor —
+// O(limit) per page, never a full-table copy (Table.Rows clones every row;
+// stored tables are immutable, so serving the shared row slices is safe).
+func pageOf(t *dataset.Table, limit, offset int) [][]string {
+	end := offset + limit
+	if end > t.Len() || end < 0 { // end < 0: offset+limit overflowed
+		end = t.Len()
+	}
+	if offset >= end {
+		return [][]string{}
+	}
+	out := make([][]string, 0, end-offset)
+	for i := offset; i < end; i++ {
+		row, err := t.Row(i)
+		if err != nil {
+			break // unreachable for i < Len; keep the page well-formed anyway
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// streamCSV serves a table as attachment CSV. WriteCSV flushes row by row,
+// so the response streams instead of materializing one buffered body; the
+// pagination parameters belong to the JSON form and are rejected rather
+// than silently ignored.
+func (s *Server) streamCSV(w http.ResponseWriter, r *http.Request, name string, tbl *dataset.Table) {
+	if r.URL.Query().Get("limit") != "" || r.URL.Query().Get("offset") != "" {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"limit/offset paginate the JSON form; the CSV stream always carries every row")
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	// FormatMediaType quotes/escapes the filename, so user-chosen dataset
+	// names with spaces or quotes stay one well-formed RFC 6266 parameter.
+	w.Header().Set("Content-Disposition",
+		mime.FormatMediaType("attachment", map[string]string{"filename": name + ".csv"}))
+	// Errors past this point are I/O failures on a committed response.
+	_ = tbl.WriteCSV(w)
+}
+
+// datasetPage is the paginated JSON view of a stored dataset's rows.
+type datasetPage struct {
+	datasetInfo
+	Header    []string   `json:"header"`
+	Data      [][]string `json:"data"`
+	Offset    int        `json:"offset"`
+	Limit     int        `json:"limit"`
+	TotalRows int        `json:"total_rows"`
+}
+
+// handleGetDataset serves dataset metadata as JSON (the historical default),
+// a row page when limit/offset are present, or the full table as streamed
+// CSV under Accept: text/csv.
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	ds, err := s.reg.getDataset(r.PathValue("name"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, "not_found", "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, datasetJSON(ds))
+	if acceptsMedia(r, "text/csv") {
+		s.streamCSV(w, r, ds.name, ds.table)
+		return
+	}
+	limit, offset, explicit, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	if !explicit {
+		writeJSON(w, http.StatusOK, datasetJSON(ds))
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetPage{
+		datasetInfo: datasetJSON(ds),
+		Header:      ds.table.Schema().Names(),
+		Data:        pageOf(ds.table, limit, offset),
+		Offset:      offset,
+		Limit:       limit,
+		TotalRows:   ds.table.Len(),
+	})
 }
 
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
@@ -198,14 +317,27 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 
 // ---- anonymize ----
 
-// anonymizeRequest is the POST /v1/anonymize body. Zero values mean "use the
-// pipeline default" throughout, mirroring core.Config.
+// anonymizeRequest is the POST /v1/anonymize body. The privacy criteria are
+// declared either as a policy document ("policy"), by reference to a stored
+// one ("policy_ref"), or through the deprecated flat parameters (k, l, t, c,
+// diversity_mode, max_suppression, ordered_sensitive) — the three forms are
+// mutually exclusive, and flat parameters are translated onto the policy
+// pipeline; either way the response echoes the canonical policy enforced.
+// Zero values mean "use the pipeline default" throughout, mirroring
+// core.Config.
 type anonymizeRequest struct {
 	// Dataset names the registry table to anonymize (required).
 	Dataset string `json:"dataset"`
 	// Algorithm is one of the seven names; mondrian when empty.
 	Algorithm string `json:"algorithm"`
-	// K, L, T, C and DiversityMode are the privacy parameters.
+	// Policy declares the privacy criteria as a policy document.
+	Policy *policy.Policy `json:"policy"`
+	// PolicyRef names a stored policy (see POST /v1/policies); the run pins
+	// the stored document as an immutable snapshot.
+	PolicyRef string `json:"policy_ref"`
+	// K, L, T, C and DiversityMode are the flat privacy parameters.
+	//
+	// Deprecated: declare criteria in "policy" / "policy_ref" instead.
 	K             int     `json:"k"`
 	L             int     `json:"l"`
 	T             float64 `json:"t"`
@@ -217,10 +349,14 @@ type anonymizeRequest struct {
 	QuasiIdentifiers []string `json:"quasi_identifiers"`
 	// MaxSuppression bounds record suppression (datafly/samarati); the
 	// pointer distinguishes "absent" (default 0.02) from an explicit 0.
+	//
+	// Deprecated: declare a suppression budget in the policy instead.
 	MaxSuppression *float64 `json:"max_suppression"`
 	// StrictMondrian selects strict partitioning.
 	StrictMondrian bool `json:"strict_mondrian"`
 	// OrderedSensitive selects the ordered-distance EMD for t-closeness.
+	//
+	// Deprecated: set "ordered" on the policy's t-closeness criterion.
 	OrderedSensitive bool `json:"ordered_sensitive"`
 	// Store keeps the release in the registry for later report queries.
 	Store bool `json:"store"`
@@ -230,30 +366,61 @@ type anonymizeRequest struct {
 	TimeoutMS int `json:"timeout_ms"`
 }
 
-// measurementsJSON is the JSON view of core.Measurements.
+// flatParamsSet reports whether any deprecated flat privacy parameter is
+// present, for the mutual-exclusion check against policy/policy_ref.
+func (r anonymizeRequest) flatParamsSet() bool {
+	return r.K != 0 || r.L != 0 || r.T != 0 || r.C != 0 || r.DiversityMode != "" ||
+		r.MaxSuppression != nil || r.OrderedSensitive
+}
+
+// criterionMeasurementJSON is the JSON view of one verified policy criterion.
+type criterionMeasurementJSON struct {
+	Satisfied bool    `json:"satisfied"`
+	Measured  float64 `json:"measured"`
+	Target    float64 `json:"target"`
+	Sensitive string  `json:"sensitive,omitempty"`
+}
+
+// measurementsJSON is the JSON view of core.Measurements. The legacy scalar
+// trio (k, distinct_l, max_emd) stays for compatibility; criteria carries
+// the per-criterion verification keyed by criterion type.
 type measurementsJSON struct {
-	K                 int     `json:"k"`
-	DistinctL         int     `json:"distinct_l"`
-	MaxEMD            float64 `json:"max_emd"`
-	NCP               float64 `json:"ncp"`
-	Discernibility    float64 `json:"discernibility"`
-	ProsecutorMaxRisk float64 `json:"prosecutor_max_risk"`
-	SuppressedRows    int     `json:"suppressed_rows"`
+	K                 int                                 `json:"k"`
+	DistinctL         int                                 `json:"distinct_l"`
+	MaxEMD            float64                             `json:"max_emd"`
+	Criteria          map[string]criterionMeasurementJSON `json:"criteria,omitempty"`
+	NCP               float64                             `json:"ncp"`
+	Discernibility    float64                             `json:"discernibility"`
+	ProsecutorMaxRisk float64                             `json:"prosecutor_max_risk"`
+	SuppressedRows    int                                 `json:"suppressed_rows"`
 }
 
 func measurementsJSONOf(m core.Measurements) measurementsJSON {
-	return measurementsJSON{
+	out := measurementsJSON{
 		K: m.K, DistinctL: m.DistinctL, MaxEMD: m.MaxEMD, NCP: m.NCP,
 		Discernibility: m.Discernibility, ProsecutorMaxRisk: m.ProsecutorMaxRisk,
 		SuppressedRows: m.SuppressedRows,
 	}
+	if len(m.Criteria) > 0 {
+		out.Criteria = make(map[string]criterionMeasurementJSON, len(m.Criteria))
+		for typ, c := range m.Criteria {
+			out.Criteria[typ] = criterionMeasurementJSON{
+				Satisfied: c.Satisfied, Measured: c.Measured, Target: c.Target, Sensitive: c.Sensitive,
+			}
+		}
+	}
+	return out
 }
 
-// anonymizeResponse is the POST /v1/anonymize result.
+// anonymizeResponse is the POST /v1/anonymize result. Policy echoes the
+// canonical privacy policy the run enforced, whichever request form declared
+// it.
 type anonymizeResponse struct {
 	ReleaseID    string           `json:"release_id,omitempty"`
 	Dataset      string           `json:"dataset"`
 	Algorithm    string           `json:"algorithm"`
+	Policy       *policy.Policy   `json:"policy,omitempty"`
+	PolicyRef    string           `json:"policy_ref,omitempty"`
 	Rows         int              `json:"rows"`
 	Node         []int            `json:"node,omitempty"`
 	Measurements measurementsJSON `json:"measurements"`
@@ -336,11 +503,15 @@ func rowsOf(t *dataset.Table) [][]string {
 
 // ---- releases ----
 
-// releaseInfo is the JSON view of a stored release.
+// releaseInfo is the JSON view of a stored release. Policy is the canonical
+// privacy policy the release enforced (the pinned snapshot when the request
+// used a policy_ref).
 type releaseInfo struct {
 	ID           string           `json:"id"`
 	Dataset      string           `json:"dataset"`
 	Algorithm    string           `json:"algorithm"`
+	Policy       *policy.Policy   `json:"policy,omitempty"`
+	PolicyRef    string           `json:"policy_ref,omitempty"`
 	Rows         int              `json:"rows"`
 	Node         []int            `json:"node,omitempty"`
 	Measurements measurementsJSON `json:"measurements"`
@@ -353,6 +524,8 @@ func releaseJSON(rel *storedRelease) releaseInfo {
 		ID:           rel.id,
 		Dataset:      rel.dataset,
 		Algorithm:    string(rel.algorithm),
+		Policy:       rel.release.Policy,
+		PolicyRef:    rel.policyRef,
 		Node:         rel.release.Node,
 		Measurements: measurementsJSONOf(rel.release.Measured),
 		ElapsedMS:    float64(rel.elapsed.Microseconds()) / 1000,
@@ -393,10 +566,24 @@ func (s *Server) handleDeleteRelease(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleReleaseData streams a stored release as CSV. Anatomy releases pick
-// the table with ?table=qit|st (default qit); microdata releases have a
-// single table and reject an explicit table selector rather than silently
-// serving the wrong thing.
+// releaseDataPage is the paginated JSON view of a release's rows.
+type releaseDataPage struct {
+	ReleaseID string     `json:"release_id"`
+	Table     string     `json:"table,omitempty"`
+	Header    []string   `json:"header"`
+	Data      [][]string `json:"data"`
+	Offset    int        `json:"offset"`
+	Limit     int        `json:"limit"`
+	TotalRows int        `json:"total_rows"`
+}
+
+// handleReleaseData serves a stored release's rows: streamed CSV by default
+// (the historical contract), or a limit/offset row page under
+// Accept: application/json, so large releases can be fetched without
+// materializing one giant response body. Anatomy releases pick the table
+// with ?table=qit|st (default qit); microdata releases have a single table
+// and reject an explicit table selector rather than silently serving the
+// wrong thing.
 func (s *Server) handleReleaseData(w http.ResponseWriter, r *http.Request) {
 	rel, err := s.reg.getRelease(r.PathValue("id"))
 	if err != nil {
@@ -426,12 +613,29 @@ func (s *Server) handleReleaseData(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "unsupported", "release %s has no table", rel.id)
 		return
 	}
-	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.csv", rel.id))
-	if err := tbl.WriteCSV(w); err != nil {
-		// Headers are committed; nothing more to do than drop the conn.
+	if acceptsMedia(r, "application/json") {
+		limit, offset, _, ok := pageParams(w, r)
+		if !ok {
+			return
+		}
+		page := releaseDataPage{
+			ReleaseID: rel.id,
+			Header:    tbl.Schema().Names(),
+			Data:      pageOf(tbl, limit, offset),
+			Offset:    offset,
+			Limit:     limit,
+			TotalRows: tbl.Len(),
+		}
+		if rel.release.Table == nil {
+			page.Table = which
+			if page.Table == "" {
+				page.Table = "qit"
+			}
+		}
+		writeJSON(w, http.StatusOK, page)
 		return
 	}
+	s.streamCSV(w, r, rel.id, tbl)
 }
 
 // riskReport is the GET /v1/releases/{id}/risk body.

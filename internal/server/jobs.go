@@ -9,6 +9,7 @@ import (
 	"github.com/ppdp/ppdp/internal/core"
 	"github.com/ppdp/ppdp/internal/engine"
 	"github.com/ppdp/ppdp/internal/jobs"
+	"github.com/ppdp/ppdp/internal/policy"
 )
 
 // This file is the shared execution path of the service: one validated
@@ -18,28 +19,43 @@ import (
 // progress reporting, cancellation and release publication therefore behave
 // identically on both paths.
 
-// jobMeta is the request summary a job carries for listings.
+// jobMeta is the request summary a job carries for listings: the dataset,
+// the algorithm, and the canonical policy the run enforces.
 type jobMeta struct {
 	dataset   string
 	algorithm string
+	policy    *policy.Policy
+	policyRef string
 }
 
 // preparedRun is a fully validated anonymization ready for the executor: the
-// dataset snapshot, the resolved algorithm, the configured pipeline and the
-// run deadline.
+// dataset snapshot, the resolved algorithm, the configured pipeline (which
+// carries the canonical policy) and the run deadline.
 type preparedRun struct {
-	req     anonymizeRequest
-	ds      *storedDataset
-	alg     core.Algorithm
-	anon    *core.Anonymizer
-	timeout time.Duration
+	req anonymizeRequest
+	ds  *storedDataset
+	alg core.Algorithm
+	// policyRef is the stored-policy name the request referenced ("" for an
+	// inline policy or flat parameters); the resolved snapshot lives on
+	// anon.Policy().
+	policyRef string
+	anon      *core.Anonymizer
+	timeout   time.Duration
 }
 
 // prepareAnonymize resolves and validates an anonymize request for either
 // path. It writes the error envelope itself and returns nil when the request
-// cannot run. Parameter defaults come from the engine registry's metadata
-// (Param.Default), so the server, GET /v1/algorithms and the CLI usage text
-// resolve the same values by construction.
+// cannot run.
+//
+// The privacy criteria arrive as a policy document ("policy"), a stored
+// policy name ("policy_ref", pinned as a snapshot here so later deletes
+// cannot change the run) or the deprecated flat parameters — mutually
+// exclusive forms that all resolve to one canonical policy before any work
+// is admitted. Unsupported criterion/algorithm combinations are rejected at
+// this stage by the adapter's metadata-driven validation. Flat-parameter
+// defaults come from the engine registry's metadata (Param.Default), so the
+// server, GET /v1/algorithms and the CLI usage text resolve the same values
+// by construction; explicit policies take no defaults.
 func (s *Server) prepareAnonymize(w http.ResponseWriter, req anonymizeRequest) *preparedRun {
 	if req.Dataset == "" {
 		writeError(w, http.StatusBadRequest, "bad_request", "dataset is required")
@@ -57,34 +73,59 @@ func (s *Server) prepareAnonymize(w http.ResponseWriter, req anonymizeRequest) *
 	}
 	alg := core.Algorithm(engineAlg.Name())
 	info := engineAlg.Describe()
-	// Defaults from the registry metadata: only algorithms that declare a
-	// parameter get its default (bucketizing algorithms are keyed on l and
-	// never receive a k; suppression stays zero where it is meaningless).
-	if p, ok := info.Param("k"); ok && req.K == 0 {
-		req.K = p.IntDefault(0)
-	}
-	maxSuppression := 0.0
-	if p, ok := info.Param("max_suppression"); ok {
-		maxSuppression = p.FloatDefault(0)
-	}
-	if req.MaxSuppression != nil {
-		maxSuppression = *req.MaxSuppression
-	}
-	anon, err := core.New(core.Config{
+	cfg := core.Config{
 		Algorithm:        alg,
-		K:                req.K,
-		L:                req.L,
-		T:                req.T,
-		C:                req.C,
-		DiversityMode:    core.DiversityMode(req.DiversityMode),
 		Sensitive:        req.Sensitive,
 		QuasiIdentifiers: req.QuasiIdentifiers,
-		OrderedSensitive: req.OrderedSensitive,
 		Hierarchies:      ds.hier,
-		MaxSuppression:   maxSuppression,
 		StrictMondrian:   req.StrictMondrian,
 		Workers:          s.cfg.Workers,
-	})
+	}
+	switch {
+	case req.Policy != nil && req.PolicyRef != "":
+		writeError(w, http.StatusBadRequest, "bad_request", "policy and policy_ref are mutually exclusive")
+		return nil
+	case req.Policy != nil || req.PolicyRef != "":
+		if req.flatParamsSet() {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				"policy/policy_ref and the deprecated flat privacy parameters are mutually exclusive")
+			return nil
+		}
+		cfg.Policy = req.Policy
+		if req.PolicyRef != "" {
+			sp, err := s.reg.getPolicy(req.PolicyRef)
+			if err != nil {
+				writeError(w, http.StatusNotFound, "not_found", "%v", err)
+				return nil
+			}
+			// The stored document is immutable; holding the pointer pins the
+			// snapshot for the lifetime of the run and its release.
+			cfg.Policy = sp.policy
+		}
+	default:
+		// Deprecated flat surface: metadata-driven defaults, then the same
+		// policy translation core applies (only algorithms that declare a
+		// parameter get its default — bucketizing algorithms are keyed on l
+		// and never receive a k; suppression stays zero where meaningless).
+		if p, ok := info.Param("k"); ok && req.K == 0 {
+			req.K = p.IntDefault(0)
+		}
+		maxSuppression := 0.0
+		if p, ok := info.Param("max_suppression"); ok {
+			maxSuppression = p.FloatDefault(0)
+		}
+		if req.MaxSuppression != nil {
+			maxSuppression = *req.MaxSuppression
+		}
+		cfg.K = req.K
+		cfg.L = req.L
+		cfg.T = req.T
+		cfg.C = req.C
+		cfg.DiversityMode = core.DiversityMode(req.DiversityMode)
+		cfg.OrderedSensitive = req.OrderedSensitive
+		cfg.MaxSuppression = maxSuppression
+	}
+	anon, err := core.New(cfg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_config", "%v", err)
 		return nil
@@ -97,7 +138,7 @@ func (s *Server) prepareAnonymize(w http.ResponseWriter, req anonymizeRequest) *
 			timeout = d
 		}
 	}
-	return &preparedRun{req: req, ds: ds, alg: alg, anon: anon, timeout: timeout}
+	return &preparedRun{req: req, ds: ds, alg: alg, policyRef: req.PolicyRef, anon: anon, timeout: timeout}
 }
 
 // anonymizeOutcome is a successful run's payload in the executor: the full
@@ -124,6 +165,8 @@ func (s *Server) anonymizeRunner(p *preparedRun, storeRelease bool) jobs.Runner 
 		resp := anonymizeResponse{
 			Dataset:      p.req.Dataset,
 			Algorithm:    string(p.alg),
+			Policy:       rel.Policy,
+			PolicyRef:    p.policyRef,
 			Node:         rel.Node,
 			Measurements: measurementsJSONOf(rel.Measured),
 			ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
@@ -149,6 +192,7 @@ func (s *Server) anonymizeRunner(p *preparedRun, storeRelease bool) jobs.Runner 
 				dataset:   p.req.Dataset,
 				origin:    p.ds,
 				algorithm: p.alg,
+				policyRef: p.policyRef,
 				params:    p.req,
 				release:   rel,
 				elapsed:   elapsed,
@@ -167,7 +211,12 @@ func (s *Server) anonymizeRunner(p *preparedRun, storeRelease bool) jobs.Runner 
 // 429 with a Retry-After hint. It writes the error itself and reports ok.
 func (s *Server) submit(w http.ResponseWriter, p *preparedRun, storeRelease bool) (jobs.Snapshot, bool) {
 	snap, err := s.jobs.Submit(s.anonymizeRunner(p, storeRelease), jobs.Options{
-		Meta:    jobMeta{dataset: p.req.Dataset, algorithm: string(p.alg)},
+		Meta: jobMeta{
+			dataset:   p.req.Dataset,
+			algorithm: string(p.alg),
+			policy:    p.anon.Policy(),
+			policyRef: p.policyRef,
+		},
 		Timeout: p.timeout,
 	})
 	if err != nil {
@@ -204,19 +253,23 @@ type progressJSON struct {
 	Percent float64 `json:"percent"`
 }
 
-// jobInfo is the JSON view of one job.
+// jobInfo is the JSON view of one job. Policy is the canonical policy the
+// run enforces (the pinned snapshot when the request used a policy_ref);
+// listings keep it nil the way they strip Result.
 type jobInfo struct {
-	ID            string       `json:"id"`
-	State         string       `json:"state"`
-	Dataset       string       `json:"dataset,omitempty"`
-	Algorithm     string       `json:"algorithm,omitempty"`
-	Progress      progressJSON `json:"progress"`
-	QueuePosition int          `json:"queue_position,omitempty"`
-	ReleaseID     string       `json:"release_id,omitempty"`
-	Created       time.Time    `json:"created"`
-	Started       *time.Time   `json:"started,omitempty"`
-	Finished      *time.Time   `json:"finished,omitempty"`
-	ElapsedMS     float64      `json:"elapsed_ms,omitempty"`
+	ID            string         `json:"id"`
+	State         string         `json:"state"`
+	Dataset       string         `json:"dataset,omitempty"`
+	Algorithm     string         `json:"algorithm,omitempty"`
+	Policy        *policy.Policy `json:"policy,omitempty"`
+	PolicyRef     string         `json:"policy_ref,omitempty"`
+	Progress      progressJSON   `json:"progress"`
+	QueuePosition int            `json:"queue_position,omitempty"`
+	ReleaseID     string         `json:"release_id,omitempty"`
+	Created       time.Time      `json:"created"`
+	Started       *time.Time     `json:"started,omitempty"`
+	Finished      *time.Time     `json:"finished,omitempty"`
+	ElapsedMS     float64        `json:"elapsed_ms,omitempty"`
 	// Result is the full anonymize response of a succeeded job — the same
 	// body the synchronous path returns.
 	Result *anonymizeResponse `json:"result,omitempty"`
@@ -242,6 +295,8 @@ func jobJSON(snap jobs.Snapshot) jobInfo {
 	if m, ok := snap.Meta.(jobMeta); ok {
 		info.Dataset = m.dataset
 		info.Algorithm = m.algorithm
+		info.Policy = m.policy
+		info.PolicyRef = m.policyRef
 	}
 	if !snap.Started.IsZero() {
 		t := snap.Started
@@ -299,8 +354,10 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	for i, snap := range snaps {
 		out[i] = jobJSON(snap)
 		// The listing stays a summary: result payloads (potentially full row
-		// data under include_rows) are served only by GET /v1/jobs/{id}.
+		// data under include_rows) and policy documents are served only by
+		// GET /v1/jobs/{id}.
 		out[i].Result = nil
+		out[i].Policy = nil
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }

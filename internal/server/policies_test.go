@@ -1,0 +1,382 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ppdp/ppdp/internal/policy"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+// policyDoc builds a small valid policy document body.
+func policyDoc(k int) map[string]any {
+	return map[string]any{
+		"version":  1,
+		"criteria": []map[string]any{{"type": "k-anonymity", "k": k}},
+	}
+}
+
+// withCensus registers a small census dataset on the server.
+func withCensus(t testing.TB, srv *Server, rows int) {
+	t.Helper()
+	if err := srv.AddDataset("census", "census", synth.Census(rows, 7), synth.CensusHierarchies()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyCRUD(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+
+	// Create: the stored form is canonical (version pinned, order fixed).
+	status, body := doJSON(t, "POST", ts.URL+"/v1/policies", map[string]any{
+		"name": "baseline",
+		"policy": map[string]any{
+			"criteria": []map[string]any{
+				{"type": "t-closeness", "t": 0.2, "sensitive": "occupation"},
+				{"type": "k-anonymity", "k": 5},
+			},
+		},
+	})
+	if status != http.StatusCreated {
+		t.Fatalf("create = %d %v", status, body)
+	}
+	pol, ok := body["policy"].(map[string]any)
+	if !ok || pol["version"] != float64(1) {
+		t.Fatalf("created policy = %v", body)
+	}
+	crits := pol["criteria"].([]any)
+	if first := crits[0].(map[string]any); first["type"] != "k-anonymity" {
+		t.Errorf("stored criteria not canonicalized: %v", crits)
+	}
+	if body["summary"] == "" {
+		t.Errorf("created policy has no summary: %v", body)
+	}
+
+	// Duplicate name conflicts; invalid documents are rejected strictly.
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/policies", map[string]any{
+		"name": "baseline", "policy": policyDoc(3),
+	}); status != http.StatusConflict || errorCode(t, body) != "conflict" {
+		t.Errorf("duplicate create = %d %v", status, body)
+	}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/policies", map[string]any{
+		"name": "bad",
+		"policy": map[string]any{
+			"criteria": []map[string]any{{"type": "m-invariance", "m": 3}},
+		},
+	}); status != http.StatusBadRequest || errorCode(t, body) != "bad_json" {
+		// The strict criterion decoder fires inside the request decode.
+		t.Errorf("unknown criterion create = %d %v", status, body)
+	}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/policies", map[string]any{
+		"name":   "empty",
+		"policy": map[string]any{"criteria": []map[string]any{}},
+	}); status != http.StatusBadRequest || errorCode(t, body) != "bad_policy" {
+		t.Errorf("empty policy create = %d %v", status, body)
+	}
+	if status, _ := doJSON(t, "POST", ts.URL+"/v1/policies", map[string]any{"policy": policyDoc(2)}); status != http.StatusBadRequest {
+		t.Errorf("nameless create = %d", status)
+	}
+
+	// Get, list, delete.
+	if status, body := doJSON(t, "GET", ts.URL+"/v1/policies/baseline", nil); status != http.StatusOK || body["name"] != "baseline" {
+		t.Errorf("get = %d %v", status, body)
+	}
+	status, body = doJSON(t, "GET", ts.URL+"/v1/policies", nil)
+	if list, ok := body["policies"].([]any); status != http.StatusOK || !ok || len(list) != 1 {
+		t.Errorf("list = %d %v", status, body)
+	}
+	if status, _ := doJSON(t, "DELETE", ts.URL+"/v1/policies/baseline", nil); status != http.StatusNoContent {
+		t.Errorf("delete = %d", status)
+	}
+	if status, body := doJSON(t, "GET", ts.URL+"/v1/policies/baseline", nil); status != http.StatusNotFound || errorCode(t, body) != "not_found" {
+		t.Errorf("get after delete = %d %v", status, body)
+	}
+}
+
+// TestAnonymizeWithPolicy covers the three request forms on POST
+// /v1/anonymize: inline policy, policy_ref, and the mutual exclusions.
+func TestAnonymizeWithPolicy(t *testing.T) {
+	ts, srv := newTestServer(t, Config{})
+	withCensus(t, srv, 400)
+
+	// Inline policy: the response echoes the canonical policy and the
+	// per-criterion measurements.
+	status, body := doJSON(t, "POST", ts.URL+"/v1/anonymize", map[string]any{
+		"dataset": "census",
+		"policy": map[string]any{
+			"criteria": []map[string]any{
+				{"type": "k-anonymity", "k": 5},
+				{"type": "distinct-l-diversity", "l": 2, "sensitive": "salary"},
+			},
+		},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("inline policy anonymize = %d %v", status, body)
+	}
+	echoed, ok := body["policy"].(map[string]any)
+	if !ok || echoed["version"] != float64(1) {
+		t.Fatalf("no canonical policy echo: %v", body)
+	}
+	meas := body["measurements"].(map[string]any)
+	crits, ok := meas["criteria"].(map[string]any)
+	if !ok {
+		t.Fatalf("no per-criterion measurements: %v", meas)
+	}
+	for _, typ := range []string{"k-anonymity", "distinct-l-diversity"} {
+		entry, ok := crits[typ].(map[string]any)
+		if !ok || entry["satisfied"] != true {
+			t.Errorf("criterion %s = %v", typ, crits[typ])
+		}
+	}
+
+	// policy_ref: store once, reference by name; the run pins the snapshot,
+	// so deleting the stored policy afterwards changes nothing.
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/policies", map[string]any{
+		"name": "k5", "policy": policyDoc(5),
+	}); status != http.StatusCreated {
+		t.Fatalf("store policy = %d %v", status, body)
+	}
+	status, body = doJSON(t, "POST", ts.URL+"/v1/anonymize", map[string]any{
+		"dataset": "census", "policy_ref": "k5", "store": true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("policy_ref anonymize = %d %v", status, body)
+	}
+	if body["policy_ref"] != "k5" {
+		t.Errorf("response policy_ref = %v", body["policy_ref"])
+	}
+	relID, _ := body["release_id"].(string)
+	if relID == "" {
+		t.Fatal("no release id")
+	}
+	if status, _ := doJSON(t, "DELETE", ts.URL+"/v1/policies/k5", nil); status != http.StatusNoContent {
+		t.Fatal("delete stored policy failed")
+	}
+	status, body = doJSON(t, "GET", ts.URL+"/v1/releases/"+relID, nil)
+	if status != http.StatusOK {
+		t.Fatalf("get release = %d", status)
+	}
+	if pol, ok := body["policy"].(map[string]any); !ok || pol["version"] != float64(1) {
+		t.Errorf("release lost its pinned policy snapshot after the stored policy was deleted: %v", body)
+	}
+	if body["policy_ref"] != "k5" {
+		t.Errorf("release policy_ref = %v", body["policy_ref"])
+	}
+
+	// Error paths.
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/anonymize", map[string]any{
+		"dataset": "census", "policy_ref": "gone",
+	}); status != http.StatusNotFound || errorCode(t, body) != "not_found" {
+		t.Errorf("missing policy_ref = %d %v", status, body)
+	}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/anonymize", map[string]any{
+		"dataset": "census", "policy": policyDoc(5), "policy_ref": "k5",
+	}); status != http.StatusBadRequest || errorCode(t, body) != "bad_request" {
+		t.Errorf("policy+policy_ref = %d %v", status, body)
+	}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/anonymize", map[string]any{
+		"dataset": "census", "policy": policyDoc(5), "k": 3,
+	}); status != http.StatusBadRequest || errorCode(t, body) != "bad_request" {
+		t.Errorf("policy+flat = %d %v", status, body)
+	}
+	// Unsupported criterion/algorithm combination fails before any work.
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/anonymize", map[string]any{
+		"dataset":   "census",
+		"algorithm": "datafly",
+		"policy": map[string]any{
+			"criteria": []map[string]any{
+				{"type": "k-anonymity", "k": 5},
+				{"type": "t-closeness", "t": 0.2, "sensitive": "occupation"},
+			},
+		},
+	}); status != http.StatusBadRequest || errorCode(t, body) != "bad_config" {
+		t.Errorf("unsupported combination = %d %v", status, body)
+	}
+
+	// Flat requests still work and are answered with their translation.
+	status, body = doJSON(t, "POST", ts.URL+"/v1/anonymize", map[string]any{
+		"dataset": "census", "k": 5,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("flat anonymize = %d %v", status, body)
+	}
+	if pol, ok := body["policy"].(map[string]any); !ok || pol["version"] != float64(1) {
+		t.Errorf("flat request not echoed as canonical policy: %v", body)
+	}
+}
+
+// TestJobWithPolicyRef checks the async path: jobs accept policy_ref, the
+// job detail carries the pinned policy, and the listing stays a summary.
+func TestJobWithPolicyRef(t *testing.T) {
+	ts, srv := newTestServer(t, Config{})
+	withCensus(t, srv, 300)
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/policies", map[string]any{
+		"name": "jobs-k4", "policy": policyDoc(4),
+	}); status != http.StatusCreated {
+		t.Fatalf("store policy = %d %v", status, body)
+	}
+	status, body := doJSON(t, "POST", ts.URL+"/v1/jobs", map[string]any{
+		"dataset": "census", "policy_ref": "jobs-k4",
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d %v", status, body)
+	}
+	id, _ := body["id"].(string)
+	if body["policy_ref"] != "jobs-k4" {
+		t.Errorf("job policy_ref = %v", body["policy_ref"])
+	}
+	if _, ok := body["policy"].(map[string]any); !ok {
+		t.Errorf("job detail carries no policy: %v", body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, body = doJSON(t, "GET", ts.URL+"/v1/jobs/"+id, nil)
+		if status != http.StatusOK {
+			t.Fatalf("poll = %d %v", status, body)
+		}
+		if body["state"] == "succeeded" {
+			break
+		}
+		if body["state"] == "failed" || body["state"] == "canceled" {
+			t.Fatalf("job ended %v: %v", body["state"], body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %v", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	result := body["result"].(map[string]any)
+	if result["policy_ref"] != "jobs-k4" {
+		t.Errorf("result policy_ref = %v", result["policy_ref"])
+	}
+	// Listings strip the document, keeping the summary light.
+	status, body = doJSON(t, "GET", ts.URL+"/v1/jobs", nil)
+	if status != http.StatusOK {
+		t.Fatalf("list = %d", status)
+	}
+	for _, j := range body["jobs"].([]any) {
+		job := j.(map[string]any)
+		if _, ok := job["policy"]; ok {
+			t.Errorf("job listing carries a policy document: %v", job)
+		}
+	}
+}
+
+// TestDataPaginationAndCSV covers the satellite content-negotiation surface:
+// Accept: text/csv streams datasets, the JSON forms paginate with
+// limit/offset, and malformed parameters are rejected.
+func TestDataPaginationAndCSV(t *testing.T) {
+	ts, srv := newTestServer(t, Config{})
+	withCensus(t, srv, 120)
+
+	// Dataset CSV stream.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/datasets/census", nil)
+	req.Header.Set("Accept", "text/csv")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/csv") {
+		t.Fatalf("dataset CSV = %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if lines := strings.Count(string(raw), "\n"); lines != 121 { // header + 120 rows
+		t.Errorf("dataset CSV lines = %d", lines)
+	}
+
+	// Dataset JSON page.
+	status, body := doJSON(t, "GET", ts.URL+"/v1/datasets/census?limit=10&offset=115", nil)
+	if status != http.StatusOK {
+		t.Fatalf("page = %d %v", status, body)
+	}
+	if data := body["data"].([]any); len(data) != 5 {
+		t.Errorf("page rows = %d, want the 5 remaining past offset 115", len(data))
+	}
+	if body["total_rows"] != float64(120) || body["offset"] != float64(115) {
+		t.Errorf("page metadata = %v", body)
+	}
+	// Without pagination the metadata response keeps its historical shape.
+	_, body = doJSON(t, "GET", ts.URL+"/v1/datasets/census", nil)
+	if _, ok := body["data"]; ok {
+		t.Errorf("unpaginated dataset response includes rows: %v", body)
+	}
+	// Malformed and misplaced parameters.
+	if status, body := doJSON(t, "GET", ts.URL+"/v1/datasets/census?limit=0", nil); status != http.StatusBadRequest || errorCode(t, body) != "bad_request" {
+		t.Errorf("limit=0 = %d %v", status, body)
+	}
+	req, _ = http.NewRequest("GET", ts.URL+"/v1/datasets/census?limit=5", nil)
+	req.Header.Set("Accept", "text/csv")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("CSV with limit = %d, want 400", resp.StatusCode)
+	}
+
+	// Release data: JSON page under Accept: application/json, CSV default.
+	status, body = doJSON(t, "POST", ts.URL+"/v1/anonymize", map[string]any{
+		"dataset": "census", "k": 5, "store": true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("anonymize = %d %v", status, body)
+	}
+	relID := body["release_id"].(string)
+	req, _ = http.NewRequest("GET", ts.URL+"/v1/releases/"+relID+"/data?limit=7&offset=3", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("release JSON page = %d %s", resp.StatusCode, raw)
+	}
+	var page map[string]any
+	if err := json.Unmarshal(raw, &page); err != nil {
+		t.Fatal(err)
+	}
+	if data := page["data"].([]any); len(data) != 7 || page["offset"] != float64(3) {
+		t.Errorf("release page = %v", page)
+	}
+	if page["total_rows"] != float64(120) {
+		t.Errorf("release total_rows = %v", page["total_rows"])
+	}
+	// Default stays streamed CSV.
+	resp, err = http.Get(ts.URL + "/v1/releases/" + relID + "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/csv") {
+		t.Errorf("release data default content type = %q", resp.Header.Get("Content-Type"))
+	}
+}
+
+// TestHealthzPolicies checks the new occupancy counter.
+func TestHealthzPolicies(t *testing.T) {
+	ts, srv := newTestServer(t, Config{})
+	if err := srv.AddPolicy("p1", mustPolicy(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	_, body := doJSON(t, "GET", ts.URL+"/healthz", nil)
+	if body["policies"] != float64(1) {
+		t.Errorf("healthz policies = %v", body["policies"])
+	}
+}
+
+func mustPolicy(t testing.TB, k int) *policy.Policy {
+	t.Helper()
+	p, err := (&policy.Policy{Criteria: []policy.Criterion{{Type: policy.KAnonymity, K: k}}}).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/ppdp/ppdp/internal/core"
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/policy"
 )
 
 // Registry errors.
@@ -17,6 +18,8 @@ var (
 	errDatasetExists   = errors.New("dataset already exists")
 	errDatasetMissing  = errors.New("dataset not found")
 	errReleaseMissing  = errors.New("release not found")
+	errPolicyExists    = errors.New("policy already exists")
+	errPolicyMissing   = errors.New("policy not found")
 	errDatasetReferred = errors.New("dataset is referenced by stored releases")
 	errRegistryFull    = errors.New("registry is full")
 )
@@ -25,10 +28,12 @@ var (
 // in memory, so without a bound a client looping generate/store requests
 // would defeat the per-request size limits and exhaust the process. The
 // caps are generous for interactive and batch use; delete entries (or
-// restart) to reclaim space.
+// restart) to reclaim space. Policies are tiny but capped anyway so the
+// name space cannot grow without bound.
 const (
 	maxDatasets = 128
 	maxReleases = 1024
+	maxPolicies = 256
 )
 
 // storedDataset is one named table in the registry together with the
@@ -54,10 +59,23 @@ type storedRelease struct {
 	dataset   string
 	origin    *storedDataset
 	algorithm core.Algorithm
+	// policyRef is the stored-policy name the request referenced, if any;
+	// the enforced snapshot itself travels on release.Policy.
+	policyRef string
 	params    anonymizeRequest
 	release   *core.Release
 	elapsed   time.Duration
 	created   time.Time
+}
+
+// storedPolicy is one named privacy policy kept for reuse by policy_ref.
+// The policy is stored in canonical form and treated as immutable: runs that
+// reference it pin the pointer as their snapshot, so deleting or re-creating
+// the name later never changes what an in-flight or finished run enforced.
+type storedPolicy struct {
+	name    string
+	policy  *policy.Policy
+	created time.Time
 }
 
 // registry is the concurrent in-memory store behind the service. A single
@@ -68,6 +86,7 @@ type registry struct {
 	mu       sync.RWMutex
 	datasets map[string]*storedDataset
 	releases map[string]*storedRelease
+	policies map[string]*storedPolicy
 	nextID   int
 }
 
@@ -75,14 +94,65 @@ func newRegistry() *registry {
 	return &registry{
 		datasets: make(map[string]*storedDataset),
 		releases: make(map[string]*storedRelease),
+		policies: make(map[string]*storedPolicy),
 	}
 }
 
 // counts reports registry occupancy for /healthz.
-func (r *registry) counts() (datasets, releases int) {
+func (r *registry) counts() (datasets, releases, policies int) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.datasets), len(r.releases)
+	return len(r.datasets), len(r.releases), len(r.policies)
+}
+
+// putPolicy stores a policy under a free name (policies are immutable;
+// replacing means delete + create).
+func (r *registry) putPolicy(sp *storedPolicy) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.policies[sp.name]; ok {
+		return fmt.Errorf("%w: %q", errPolicyExists, sp.name)
+	}
+	if len(r.policies) >= maxPolicies {
+		return fmt.Errorf("%w: %d policies stored (limit %d)", errRegistryFull, len(r.policies), maxPolicies)
+	}
+	r.policies[sp.name] = sp
+	return nil
+}
+
+// getPolicy looks a policy up by name.
+func (r *registry) getPolicy(name string) (*storedPolicy, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sp, ok := r.policies[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errPolicyMissing, name)
+	}
+	return sp, nil
+}
+
+// listPolicies returns every stored policy in name order.
+func (r *registry) listPolicies() []*storedPolicy {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*storedPolicy, 0, len(r.policies))
+	for _, sp := range r.policies {
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// deletePolicy removes a stored policy. Runs and releases that referenced it
+// keep their pinned snapshot, so no referential check is needed.
+func (r *registry) deletePolicy(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.policies[name]; !ok {
+		return fmt.Errorf("%w: %q", errPolicyMissing, name)
+	}
+	delete(r.policies, name)
+	return nil
 }
 
 // putDataset stores ds. When replace is false a name collision fails with

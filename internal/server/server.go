@@ -144,27 +144,65 @@ func New(cfg Config) *Server {
 // themselves.
 func (s *Server) Close() { s.jobs.Close() }
 
-// routes wires every endpoint. Method-qualified patterns (Go 1.22 ServeMux)
-// give free 405s for wrong methods.
+// RouteDoc documents one registered endpoint: its method-qualified pattern
+// and a one-line summary. The table below is the single source for both the
+// mux registrations and the generated docs/API.md route reference (see
+// cmd/apidocs), so the documentation cannot list a route the server does not
+// serve or miss one it does.
+type RouteDoc struct {
+	Pattern string
+	Summary string
+}
+
+// routeTable wires pattern + summary + handler together. Handlers are method
+// expressions so the table can live at package level.
+var routeTable = []struct {
+	RouteDoc
+	handler func(*Server, http.ResponseWriter, *http.Request)
+}{
+	{RouteDoc{"GET /healthz", "liveness, registry occupancy and executor load"}, (*Server).handleHealthz},
+	{RouteDoc{"GET /v1/algorithms", "capability cards of every registered algorithm, including supported policy criteria"}, (*Server).handleAlgorithms},
+	{RouteDoc{"POST /v1/datasets", "generate a synthetic census/hospital dataset under a registry name"}, (*Server).handleGenerateDataset},
+	{RouteDoc{"PUT /v1/datasets/{name}", "upload a CSV dataset (create-or-replace; ?family= selects the schema)"}, (*Server).handleUploadDataset},
+	{RouteDoc{"GET /v1/datasets", "list stored datasets"}, (*Server).handleListDatasets},
+	{RouteDoc{"GET /v1/datasets/{name}", "dataset metadata; a row page with ?limit/?offset; streamed CSV under Accept: text/csv"}, (*Server).handleGetDataset},
+	{RouteDoc{"DELETE /v1/datasets/{name}", "delete a dataset (refused while stored releases reference it)"}, (*Server).handleDeleteDataset},
+	{RouteDoc{"POST /v1/policies", "store a named privacy policy (canonicalized, immutable)"}, (*Server).handleCreatePolicy},
+	{RouteDoc{"GET /v1/policies", "list stored policies"}, (*Server).handleListPolicies},
+	{RouteDoc{"GET /v1/policies/{name}", "fetch one stored policy in canonical form"}, (*Server).handleGetPolicy},
+	{RouteDoc{"DELETE /v1/policies/{name}", "delete a stored policy (runs keep their pinned snapshots)"}, (*Server).handleDeletePolicy},
+	{RouteDoc{"POST /v1/anonymize", "anonymize synchronously; criteria via policy, policy_ref or deprecated flat params"}, (*Server).handleAnonymize},
+	{RouteDoc{"POST /v1/jobs", "submit a background anonymization (202 + Location; same request body as /v1/anonymize)"}, (*Server).handleSubmitJob},
+	{RouteDoc{"GET /v1/jobs", "list jobs (summaries: no result payloads or policy documents)"}, (*Server).handleListJobs},
+	{RouteDoc{"GET /v1/jobs/{id}", "job detail: state, live progress, queue position, policy, result"}, (*Server).handleGetJob},
+	{RouteDoc{"DELETE /v1/jobs/{id}", "cancel a queued or running job (409 when already finished)"}, (*Server).handleCancelJob},
+	{RouteDoc{"GET /v1/releases", "list stored releases"}, (*Server).handleListReleases},
+	{RouteDoc{"GET /v1/releases/{id}", "release metadata: algorithm, canonical policy, per-criterion measurements"}, (*Server).handleGetRelease},
+	{RouteDoc{"DELETE /v1/releases/{id}", "delete a stored release, unpinning its dataset"}, (*Server).handleDeleteRelease},
+	{RouteDoc{"GET /v1/releases/{id}/data", "streamed CSV rows (default); a JSON row page with ?limit/?offset under Accept: application/json; ?table=qit|st for anatomy"}, (*Server).handleReleaseData},
+	{RouteDoc{"GET /v1/releases/{id}/risk", "re-identification and attribute-disclosure risk report (?threshold=)"}, (*Server).handleReleaseRisk},
+	{RouteDoc{"GET /v1/releases/{id}/utility", "utility report against the pinned dataset snapshot (?k=)"}, (*Server).handleReleaseUtility},
+}
+
+// RouteDocs returns every registered endpoint's pattern and summary in
+// registration order — the route reference cmd/apidocs renders.
+func RouteDocs() []RouteDoc {
+	out := make([]RouteDoc, len(routeTable))
+	for i, rt := range routeTable {
+		out[i] = rt.RouteDoc
+	}
+	return out
+}
+
+// routes wires every endpoint from the route table. Method-qualified
+// patterns (Go 1.22 ServeMux) give free 405s for wrong methods.
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
-	s.mux.HandleFunc("POST /v1/datasets", s.handleGenerateDataset)
-	s.mux.HandleFunc("PUT /v1/datasets/{name}", s.handleUploadDataset)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
-	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDeleteDataset)
-	s.mux.HandleFunc("POST /v1/anonymize", s.handleAnonymize)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	s.mux.HandleFunc("GET /v1/releases", s.handleListReleases)
-	s.mux.HandleFunc("GET /v1/releases/{id}", s.handleGetRelease)
-	s.mux.HandleFunc("DELETE /v1/releases/{id}", s.handleDeleteRelease)
-	s.mux.HandleFunc("GET /v1/releases/{id}/data", s.handleReleaseData)
-	s.mux.HandleFunc("GET /v1/releases/{id}/risk", s.handleReleaseRisk)
-	s.mux.HandleFunc("GET /v1/releases/{id}/utility", s.handleReleaseUtility)
+	for _, rt := range routeTable {
+		handler := rt.handler
+		s.mux.HandleFunc(rt.Pattern, func(w http.ResponseWriter, r *http.Request) {
+			handler(s, w, r)
+		})
+	}
 }
 
 // Handler returns the service's HTTP handler with body limits and logging
@@ -282,6 +320,7 @@ type healthResponse struct {
 	Status      string `json:"status"`
 	Datasets    int    `json:"datasets"`
 	Releases    int    `json:"releases"`
+	Policies    int    `json:"policies"`
 	JobsQueued  int    `json:"jobs_queued"`
 	JobsRunning int    `json:"jobs_running"`
 	UptimeSec   int64  `json:"uptime_seconds"`
@@ -289,12 +328,13 @@ type healthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	d, rel := s.reg.counts()
+	d, rel, pol := s.reg.counts()
 	queued, running, _ := s.jobs.Counts()
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:      "ok",
 		Datasets:    d,
 		Releases:    rel,
+		Policies:    pol,
 		JobsQueued:  queued,
 		JobsRunning: running,
 		UptimeSec:   int64(time.Since(s.started).Seconds()),
