@@ -286,6 +286,10 @@ func cmdAnonymize(args []string) error {
 	policyPath := fs.String("policy", "",
 		"privacy-policy JSON file declaring the criteria (replaces -k/-l/-t/-diversity/-c/-max-suppression)")
 	progress := fs.Bool("progress", false, "report run progress on stderr")
+	// One-shot CLI runs always compute fresh; the flag exists for parity with
+	// the service's no_cache request option so scripted invocations translate
+	// verbatim between the two surfaces.
+	fs.Bool("no-cache", false, "accepted for parity with the service's no_cache option (local runs always compute fresh)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -24,6 +24,8 @@ func cmdServe(args []string) error {
 	jobWorkers := fs.Int("job-workers", 0, "anonymization runs executing concurrently on the shared sync/async executor (0 = GOMAXPROCS)")
 	queueDepth := fs.Int("queue-depth", server.DefaultQueueDepth, "runs waiting for a free worker before both paths answer 429")
 	jobTTL := fs.Duration("job-ttl", server.DefaultJobTTL, "how long finished jobs stay pollable on GET /v1/jobs/{id}")
+	cacheSize := fs.Int("cache-size", server.DefaultCacheSize,
+		"entries in the cross-request result cache answering repeated identical anonymize requests (0 disables)")
 	timeout := fs.Duration("timeout", server.DefaultRequestTimeout, "per-run anonymization timeout")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
 	preload := fs.String("preload", "", "preload a synthetic dataset, e.g. census=5000 or hospital=10000")
@@ -41,6 +43,12 @@ func cmdServe(args []string) error {
 		JobTTL:         *jobTTL,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
+		CacheSize:      *cacheSize,
+	}
+	// The flag's 0 means "off" (the natural CLI reading); the Config encodes
+	// disabled as negative so its zero value keeps the default-on behavior.
+	if *cacheSize == 0 {
+		cfg.CacheSize = -1
 	}
 	if !*quiet {
 		cfg.Log = log.New(os.Stderr, "", log.LstdFlags)

@@ -8,15 +8,23 @@
 // are answered far more accurately than from a generalized release, while the
 // attacker's posterior about any individual's sensitive value is bounded by
 // 1/L.
+// The bucket rounds are planned first from the sensitive-value counts alone
+// (cheap and inherently sequential); given the plan, each round's record
+// assignment and each group's QIT slice are independent, so both are filled
+// by a bounded worker pool (Config.Workers) with output identical for every
+// worker count.
 package anatomy
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 
 	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/parallel"
 )
 
 // Common errors.
@@ -39,6 +47,11 @@ type Config struct {
 	// QuasiIdentifiers lists the columns published in the QIT; when empty
 	// the schema's quasi-identifier columns are used.
 	QuasiIdentifiers []string
+	// Workers bounds the pool that assigns records to the planned bucket
+	// rounds and materializes the QIT. Zero uses runtime.GOMAXPROCS(0); 1
+	// forces a sequential run. The released tables are identical for every
+	// count.
+	Workers int
 	// Progress, when non-nil, receives (done, total) after every bucket
 	// round of the group-creation phase — the same unit of work the context
 	// is polled at. Done counts the records bucketized so far and total is
@@ -77,6 +90,14 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 	return AnonymizeContext(context.Background(), t, cfg)
 }
 
+// pick is one planned record draw: the pos-th element of a sensitive value's
+// row list. Rounds are planned over remaining counts only; the draw position
+// mirrors the stack behavior of taking from the end of the list.
+type pick struct {
+	value string
+	pos   int
+}
+
 // AnonymizeContext bucketizes t into l-diverse groups. The context is polled
 // once per bucket round of the group-creation phase — the algorithm's
 // natural unit of work — so a canceled or timed-out run returns ctx.Err()
@@ -84,6 +105,13 @@ func Anonymize(t *dataset.Table, cfg Config) (*Result, error) {
 func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Result, error) {
 	if cfg.L < 2 {
 		return nil, fmt.Errorf("%w: l = %d", ErrConfig, cfg.L)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: workers = %d", ErrConfig, cfg.Workers)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	sensitive := cfg.Sensitive
 	if sensitive == "" {
@@ -133,37 +161,63 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 	}
 	bucketized := 0
 
-	// Group-creation phase: while at least L non-empty hash groups remain,
-	// form a group with one record from each of the L largest groups.
-	var groups []Group
+	// Group-creation phase, planned over counts: while at least L sensitive
+	// values have records remaining, one round draws a record from each of
+	// the L largest. Planning needs only the remaining counts, so it runs
+	// sequentially and cheaply; the record assignment it implies is done by
+	// the worker pool below.
+	remaining := make(map[string]int, len(byValue))
+	for v, rows := range byValue {
+		remaining[v] = len(rows)
+	}
+	var schedule [][]pick
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("anatomy: %w", err)
 		}
 		report(bucketized, t.Len())
-		order := valuesByRemaining(byValue)
+		order := valuesByRemaining(remaining)
 		if len(order) < cfg.L {
 			break
 		}
-		g := Group{ID: len(groups), Counts: make(map[string]int)}
+		round := make([]pick, cfg.L)
 		for i := 0; i < cfg.L; i++ {
 			v := order[i]
-			rows := byValue[v]
-			r := rows[len(rows)-1]
-			byValue[v] = rows[:len(rows)-1]
-			if len(byValue[v]) == 0 {
-				delete(byValue, v)
+			round[i] = pick{value: v, pos: remaining[v] - 1}
+			remaining[v]--
+			if remaining[v] == 0 {
+				delete(remaining, v)
 			}
-			g.Rows = append(g.Rows, r)
-			g.Counts[v]++
 		}
-		groups = append(groups, g)
+		schedule = append(schedule, round)
 		bucketized += cfg.L
 	}
+	// Bucket-round assignment: each planned round resolves its draws against
+	// the (now read-only) hash lists independently of every other round, so
+	// the rounds are assigned by the worker pool. Group g of round g is the
+	// same for every worker count because the plan fixes every draw.
+	groups, err := parallel.Map(len(schedule), workers, func(g int) (Group, error) {
+		grp := Group{ID: g, Rows: make([]int, 0, cfg.L), Counts: make(map[string]int, cfg.L)}
+		for _, p := range schedule[g] {
+			grp.Rows = append(grp.Rows, byValue[p.value][p.pos])
+			grp.Counts[p.value]++
+		}
+		return grp, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	// Residual-assignment phase: each leftover record joins a group that does
-	// not yet contain its sensitive value.
-	for v, rows := range byValue {
-		for _, r := range rows {
+	// not yet contain its sensitive value. Values are visited in sorted order
+	// (and their rows in table order) so the released row order is
+	// deterministic.
+	leftover := make([]string, 0, len(remaining))
+	for v := range remaining {
+		leftover = append(leftover, v)
+	}
+	sort.Strings(leftover)
+	for _, v := range leftover {
+		for _, r := range byValue[v][:remaining[v]] {
 			placed := false
 			for i := range groups {
 				if groups[i].Counts[v] == 0 {
@@ -179,7 +233,7 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		}
 	}
 
-	qit, st, err := buildTables(t, qi, sensitive, groups)
+	qit, st, err := buildTables(t, qi, sensitive, groups, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -195,13 +249,13 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 
 // valuesByRemaining returns sensitive values ordered by decreasing remaining
 // count (ties broken lexicographically for determinism).
-func valuesByRemaining(byValue map[string][]int) []string {
-	values := make([]string, 0, len(byValue))
-	for v := range byValue {
+func valuesByRemaining(remaining map[string]int) []string {
+	values := make([]string, 0, len(remaining))
+	for v := range remaining {
 		values = append(values, v)
 	}
 	sort.Slice(values, func(i, j int) bool {
-		ni, nj := len(byValue[values[i]]), len(byValue[values[j]])
+		ni, nj := remaining[values[i]], remaining[values[j]]
 		if ni != nj {
 			return ni > nj
 		}
@@ -210,8 +264,10 @@ func valuesByRemaining(byValue map[string][]int) []string {
 	return values
 }
 
-// buildTables materializes the QIT and ST releases.
-func buildTables(t *dataset.Table, qi []string, sensitive string, groups []Group) (*dataset.Table, *dataset.Table, error) {
+// buildTables materializes the QIT and ST releases. QIT rows follow group
+// order with per-group offsets known up front, so each group's slice is
+// filled independently by the worker pool.
+func buildTables(t *dataset.Table, qi []string, sensitive string, groups []Group, workers int) (*dataset.Table, *dataset.Table, error) {
 	qiAttrs := make([]dataset.Attribute, 0, len(qi)+1)
 	for _, a := range qi {
 		attr, err := t.Schema().ByName(a)
@@ -225,27 +281,41 @@ func buildTables(t *dataset.Table, qi []string, sensitive string, groups []Group
 	if err != nil {
 		return nil, nil, err
 	}
-	qit := dataset.NewTable(qitSchema)
 
 	cols := make([]int, len(qi))
 	for i, a := range qi {
 		cols[i] = t.Schema().MustIndex(a)
 	}
-	for _, g := range groups {
-		for _, r := range g.Rows {
+	offsets := make([]int, len(groups)+1)
+	for i, g := range groups {
+		offsets[i+1] = offsets[i] + len(g.Rows)
+	}
+	width := len(qi) + 1
+	rows := make([]dataset.Row, offsets[len(groups)])
+	arena := make([]string, offsets[len(groups)]*width)
+	if _, err := parallel.Map(len(groups), workers, func(gi int) (struct{}, error) {
+		g := groups[gi]
+		id := strconv.Itoa(g.ID)
+		for j, r := range g.Rows {
 			row, err := t.Row(r)
 			if err != nil {
-				return nil, nil, err
+				return struct{}{}, err
 			}
-			out := make(dataset.Row, 0, len(qi)+1)
-			for _, c := range cols {
-				out = append(out, row[c])
+			at := offsets[gi] + j
+			out := arena[at*width : (at+1)*width : (at+1)*width]
+			for ci, c := range cols {
+				out[ci] = row[c]
 			}
-			out = append(out, fmt.Sprint(g.ID))
-			if err := qit.Append(out); err != nil {
-				return nil, nil, err
-			}
+			out[len(qi)] = id
+			rows[at] = dataset.Row(out)
 		}
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	qit, err := dataset.FromRows(qitSchema, rows)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	stSchema, err := dataset.NewSchema(
@@ -263,8 +333,9 @@ func buildTables(t *dataset.Table, qi []string, sensitive string, groups []Group
 			values = append(values, v)
 		}
 		sort.Strings(values)
+		id := strconv.Itoa(g.ID)
 		for _, v := range values {
-			if err := st.Append(dataset.Row{fmt.Sprint(g.ID), v, fmt.Sprint(g.Counts[v])}); err != nil {
+			if err := st.Append(dataset.Row{id, v, strconv.Itoa(g.Counts[v])}); err != nil {
 				return nil, nil, err
 			}
 		}

@@ -1,0 +1,88 @@
+package anatomy
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+// TestWorkersEquivalence locks in that parallel bucket-round assignment is
+// deterministic: the schedule fixes every draw before workers run, so every
+// worker count builds the same groups and releases identical QIT/ST tables.
+func TestWorkersEquivalence(t *testing.T) {
+	tbl := synth.Hospital(1000, 1)
+	base, err := Anonymize(tbl, Config{L: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		res, err := Anonymize(tbl, Config{L: 3, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Groups) != len(base.Groups) {
+			t.Fatalf("workers=%d group count %d != sequential %d", workers, len(res.Groups), len(base.Groups))
+		}
+		for g := range res.Groups {
+			if res.Groups[g].ID != base.Groups[g].ID {
+				t.Errorf("workers=%d group %d id %d != %d", workers, g, res.Groups[g].ID, base.Groups[g].ID)
+			}
+			if len(res.Groups[g].Rows) != len(base.Groups[g].Rows) {
+				t.Fatalf("workers=%d group %d size %d != %d",
+					workers, g, len(res.Groups[g].Rows), len(base.Groups[g].Rows))
+			}
+			for i := range res.Groups[g].Rows {
+				if res.Groups[g].Rows[i] != base.Groups[g].Rows[i] {
+					t.Errorf("workers=%d group %d row %d: %d != %d",
+						workers, g, i, res.Groups[g].Rows[i], base.Groups[g].Rows[i])
+				}
+			}
+		}
+		var seqQIT, parQIT, seqST, parST bytes.Buffer
+		if err := base.QIT.WriteCSV(&seqQIT); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.QIT.WriteCSV(&parQIT); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seqQIT.Bytes(), parQIT.Bytes()) {
+			t.Errorf("workers=%d QIT differs from sequential run", workers)
+		}
+		if err := base.ST.WriteCSV(&seqST); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.ST.WriteCSV(&parST); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seqST.Bytes(), parST.Bytes()) {
+			t.Errorf("workers=%d ST differs from sequential run", workers)
+		}
+	}
+}
+
+func TestWorkersNegativeRejected(t *testing.T) {
+	tbl := synth.Hospital(100, 1)
+	_, err := Anonymize(tbl, Config{L: 2, Workers: -1})
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("Workers=-1: got %v, want ErrConfig", err)
+	}
+}
+
+// benchmarkWorkers measures full Anatomy runs at a fixed worker count; the
+// 1-vs-max pair quantifies the speedup of parallel round assignment and QIT
+// materialization.
+func benchmarkWorkers(b *testing.B, workers int) {
+	tbl := synth.Hospital(5000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Anonymize(tbl, Config{L: 3, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnatomyWorkers1(b *testing.B)   { benchmarkWorkers(b, 1) }
+func BenchmarkAnatomyWorkersMax(b *testing.B) { benchmarkWorkers(b, 0) }

@@ -2,17 +2,24 @@
 // full-domain generalization heuristic that repeatedly generalizes the
 // quasi-identifier attribute with the most distinct values until the table is
 // k-anonymous up to a bounded amount of record suppression.
+// Each round's generalization candidates — the distinct-value counts of the
+// quasi-identifier attributes — are independent of each other, so they are
+// scored by a bounded worker pool (Config.Workers); the picked attribute is
+// identical for every worker count because the tie-breaking fold happens
+// sequentially, in attribute order, after the pool joins.
 package datafly
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/generalize"
 	"github.com/ppdp/ppdp/internal/hierarchy"
 	"github.com/ppdp/ppdp/internal/lattice"
+	"github.com/ppdp/ppdp/internal/parallel"
 )
 
 // Common errors.
@@ -38,6 +45,10 @@ type Config struct {
 	// allows suppressing up to k records; expressing the budget as a
 	// fraction matches how the experiments sweep it.
 	MaxSuppression float64
+	// Workers bounds the pool that scores one round's generalization
+	// candidates concurrently. Zero uses runtime.GOMAXPROCS(0); 1 forces a
+	// sequential run. The released table is identical for every count.
+	Workers int
 	// Progress, when non-nil, receives (done, total) after every
 	// generalization round — the same unit of work the context is polled at.
 	// Total is the worst-case round count (one per hierarchy level across the
@@ -80,6 +91,13 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 	}
 	if cfg.MaxSuppression < 0 || cfg.MaxSuppression > 1 {
 		return nil, fmt.Errorf("%w: max suppression %v", ErrConfig, cfg.MaxSuppression)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: workers = %d", ErrConfig, cfg.Workers)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	qi := cfg.QuasiIdentifiers
 	if len(qi) == 0 {
@@ -132,19 +150,31 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 			}, nil
 		}
 		// Generalize the attribute with the most distinct values, among
-		// attributes that still have headroom.
+		// attributes that still have headroom. Candidates are scored by the
+		// worker pool (each candidate's count is independent of the others);
+		// the tie-breaking fold runs sequentially in attribute order, so the
+		// pick is identical for every worker count.
+		counts, err := parallel.Map(len(qi), workers, func(i int) (int, error) {
+			if node[i] >= maxLevels[i] {
+				return -1, nil
+			}
+			dom, err := current.Domain(qi[i])
+			if err != nil {
+				return 0, err
+			}
+			return len(dom), nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		pick := -1
 		maxDistinct := -1
-		for i, a := range qi {
-			if node[i] >= maxLevels[i] {
+		for i, n := range counts {
+			if n < 0 {
 				continue
 			}
-			dom, err := current.Domain(a)
-			if err != nil {
-				return nil, err
-			}
-			if len(dom) > maxDistinct {
-				maxDistinct = len(dom)
+			if n > maxDistinct {
+				maxDistinct = n
 				pick = i
 			}
 		}

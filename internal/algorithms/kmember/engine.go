@@ -23,11 +23,13 @@ func (adapter) Describe() engine.Info {
 		Name:         "kmember",
 		Description:  "greedy clustering anonymization",
 		Kind:         engine.Microdata,
+		Parallel:     true,
 		CostExponent: 2,
 		Criteria:     []string{policy.KAnonymity},
 		Parameters: []engine.Param{
 			{Name: "k", Type: "int", Required: true, Default: 10, Description: "minimum cluster size"},
 			{Name: "quasi_identifiers", Type: "[]string", Description: "attributes for distance and recoding (schema QI columns when empty)"},
+			{Name: "workers", Type: "int", Description: "record-scan worker pool bound (0 = GOMAXPROCS)"},
 		},
 	}
 }
@@ -47,6 +49,7 @@ func (adapter) Run(ctx context.Context, t *dataset.Table, spec engine.Spec) (*en
 		K:                spec.K,
 		QuasiIdentifiers: spec.QuasiIdentifiers,
 		Hierarchies:      spec.Hierarchies,
+		Workers:          spec.Workers,
 		Progress:         engine.Monotone(spec.Progress),
 	})
 	if err != nil {

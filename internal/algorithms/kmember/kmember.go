@@ -5,16 +5,25 @@
 // Clusters are then recoded multidimensionally. Clustering-based
 // anonymization trades O(n²) running time for lower information loss than
 // full-domain recoding.
+// The candidate losses of one growth step are independent of each other, so
+// each nearest-record scan is split across a bounded worker pool
+// (Config.Workers): every worker folds a contiguous chunk of the unassigned
+// records (kept in ascending row order) and the chunk results fold
+// sequentially under the same (loss, row) total order, so the chosen record —
+// and therefore the released table — is identical for every worker count.
 package kmember
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/generalize"
 	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/parallel"
 )
 
 // Common errors.
@@ -36,6 +45,11 @@ type Config struct {
 	// recoding of the final clusters; the clustering loss itself uses
 	// distinct-value ratios.
 	Hierarchies *hierarchy.Set
+	// Workers bounds the pool that scans unassigned records during seed
+	// selection and cluster growth. Zero uses runtime.GOMAXPROCS(0); 1
+	// forces a sequential run. The released table is identical for every
+	// count.
+	Workers int
 	// Progress, when non-nil, receives (done, total) after every grown
 	// cluster — the same unit of work the context is polled at. Done counts
 	// the records placed into clusters so far and total is the table size; a
@@ -78,8 +92,15 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("%w: k = %d", ErrConfig, cfg.K)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: workers = %d", ErrConfig, cfg.Workers)
+	}
 	if t.Len() < cfg.K {
 		return nil, fmt.Errorf("%w: %d records, k=%d", ErrTooFewRecords, t.Len(), cfg.K)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	qi := cfg.QuasiIdentifiers
 	if len(qi) == 0 {
@@ -121,9 +142,12 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		}
 	}
 
-	unassigned := make(map[int]bool, t.Len())
-	for i := 0; i < t.Len(); i++ {
-		unassigned[i] = true
+	// Unassigned records, kept in ascending row order: the scans fold under
+	// a (loss, row) total order, so a sorted slice makes every outcome —
+	// including the residual phase — deterministic.
+	unassigned := make([]int, t.Len())
+	for i := range unassigned {
+		unassigned[i] = i
 	}
 
 	newCluster := func(seedRow int) (*clusterState, error) {
@@ -141,7 +165,9 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		return cs, nil
 	}
 
-	// loss computes the cluster's NCP after hypothetically adding row r.
+	// loss computes the cluster's NCP after hypothetically adding row r. It
+	// only reads the cluster state and the table, so concurrent calls from
+	// the scan pool are safe between mutations.
 	loss := func(cs *clusterState, r int) (float64, error) {
 		total := 0.0
 		for i := range qi {
@@ -195,30 +221,25 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		// Seed selection follows Byun et al.: the record farthest (largest
 		// loss) from the previous cluster starts the next one; the first
 		// cluster starts from the lowest unassigned index.
-		seedRow, err := pickSeed(t, unassigned, clusters, loss)
+		seedRow, err := pickSeed(unassigned, clusters, workers, loss)
 		if err != nil {
 			return nil, err
 		}
-		delete(unassigned, seedRow)
+		unassigned = removeSorted(unassigned, seedRow)
 		cs, err := newCluster(seedRow)
 		if err != nil {
 			return nil, err
 		}
 		for len(cs.rows) < cfg.K {
-			bestRow, bestLoss := -1, 0.0
-			for r := range unassigned {
-				l, err := loss(cs, r)
-				if err != nil {
-					return nil, err
-				}
-				if bestRow == -1 || l < bestLoss || (l == bestLoss && r < bestRow) {
-					bestRow, bestLoss = r, l
-				}
+			bestRow, _, err := scanBest(unassigned, workers,
+				func(r int) (float64, error) { return loss(cs, r) }, lowerLoss)
+			if err != nil {
+				return nil, err
 			}
 			if bestRow == -1 {
 				break
 			}
-			delete(unassigned, bestRow)
+			unassigned = removeSorted(unassigned, bestRow)
 			if err := addToCluster(t, cs, bestRow, cols, numeric); err != nil {
 				return nil, err
 			}
@@ -227,11 +248,12 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		placed += len(cs.rows)
 		report(placed, t.Len())
 	}
-	// Residual records join the cluster whose loss increases least.
+	// Residual records join the cluster whose loss increases least, in
+	// ascending row order so repeated runs agree on the released row sets.
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("kmember: %w", err)
 	}
-	for r := range unassigned {
+	for _, r := range unassigned {
 		bestIdx, bestLoss := -1, 0.0
 		for i, cs := range clusters {
 			l, err := loss(cs, r)
@@ -267,28 +289,97 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 // with the largest loss relative to the most recent cluster (ties and the
 // first cluster resolve to the smallest row index, keeping runs
 // deterministic).
-func pickSeed(_ *dataset.Table, unassigned map[int]bool, clusters []*clusterState, loss func(*clusterState, int) (float64, error)) (int, error) {
-	best := -1
-	bestLoss := -1.0
-	var last *clusterState
-	if len(clusters) > 0 {
-		last = clusters[len(clusters)-1]
+func pickSeed(unassigned []int, clusters []*clusterState, workers int, loss func(*clusterState, int) (float64, error)) (int, error) {
+	if len(unassigned) == 0 {
+		return -1, nil
 	}
-	for r := range unassigned {
-		l := 0.0
-		if last != nil {
-			var err error
-			l, err = loss(last, r)
+	if len(clusters) == 0 {
+		// Every loss is zero relative to no cluster; the smallest index wins.
+		return unassigned[0], nil
+	}
+	last := clusters[len(clusters)-1]
+	best, _, err := scanBest(unassigned, workers,
+		func(r int) (float64, error) { return loss(last, r) }, higherLoss)
+	return best, err
+}
+
+// lowerLoss is the growth-step order: least loss first, smallest row on ties.
+func lowerLoss(l float64, r int, bestL float64, bestR int) bool {
+	return l < bestL || (l == bestL && r < bestR)
+}
+
+// higherLoss is the seed-selection order: largest loss first, smallest row on
+// ties.
+func higherLoss(l float64, r int, bestL float64, bestR int) bool {
+	return l > bestL || (l == bestL && r < bestR)
+}
+
+// parallelScanMin is the smallest scan worth fanning out to the worker pool;
+// below it the fork-join overhead exceeds the scan itself. The threshold
+// cannot change results — both paths fold the same total order.
+const parallelScanMin = 512
+
+// scanBest returns the record of rows (ascending row order) that is best
+// under the better comparator, together with its loss. The slice is split
+// into one contiguous chunk per worker, each chunk folds its local best
+// concurrently, and the chunk results fold sequentially in slice order —
+// for a total order over (loss, row) the outcome is therefore identical for
+// every worker count.
+func scanBest(rows []int, workers int, score func(r int) (float64, error), better func(l float64, r int, bestL float64, bestR int) bool) (int, float64, error) {
+	type best struct {
+		row  int
+		loss float64
+	}
+	fold := func(part []int) (best, error) {
+		b := best{row: -1}
+		for _, r := range part {
+			l, err := score(r)
 			if err != nil {
-				return 0, err
+				return best{}, err
+			}
+			if b.row == -1 || better(l, r, b.loss, b.row) {
+				b = best{row: r, loss: l}
 			}
 		}
-		switch {
-		case best == -1, l > bestLoss, l == bestLoss && r < best:
-			best, bestLoss = r, l
+		return b, nil
+	}
+	chunks := workers
+	if len(rows) < parallelScanMin {
+		chunks = 1
+	}
+	if chunks > len(rows) {
+		chunks = len(rows)
+	}
+	if chunks <= 1 {
+		b, err := fold(rows)
+		return b.row, b.loss, err
+	}
+	outs, err := parallel.Map(chunks, chunks, func(ci int) (best, error) {
+		return fold(rows[ci*len(rows)/chunks : (ci+1)*len(rows)/chunks])
+	})
+	if err != nil {
+		return -1, 0, err
+	}
+	b := best{row: -1}
+	for _, o := range outs {
+		if o.row == -1 {
+			continue
+		}
+		if b.row == -1 || better(o.loss, o.row, b.loss, b.row) {
+			b = o
 		}
 	}
-	return best, nil
+	return b.row, b.loss, nil
+}
+
+// removeSorted deletes value v from the ascending slice s in place,
+// preserving order.
+func removeSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i >= len(s) || s[i] != v {
+		return s
+	}
+	return append(s[:i], s[i+1:]...)
 }
 
 // addToCluster updates the cluster's extent with row r.

@@ -3,17 +3,24 @@
 // height at which some node achieves k-anonymity with at most MaxSuppression
 // records suppressed. Among the satisfying nodes of that height, the node
 // suppressing the fewest records is released.
+// The nodes of one height level are independent of each other, so each
+// level is evaluated by a bounded worker pool (Config.Workers); the released
+// node is identical for every worker count because the fewest-suppressions
+// fold happens sequentially, in level order, after the pool joins.
 package samarati
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/generalize"
 	"github.com/ppdp/ppdp/internal/hierarchy"
 	"github.com/ppdp/ppdp/internal/lattice"
+	"github.com/ppdp/ppdp/internal/parallel"
 )
 
 // Common errors.
@@ -37,10 +44,17 @@ type Config struct {
 	// MaxSuppression is the maximum fraction of records (0..1) that may be
 	// suppressed.
 	MaxSuppression float64
+	// Workers bounds the pool that evaluates one height level's lattice
+	// nodes concurrently. Zero uses runtime.GOMAXPROCS(0); 1 forces a
+	// sequential run. The released node is identical for every count.
+	Workers int
 	// Progress, when non-nil, receives (done, total) after every evaluated
 	// lattice node — the same unit of work the context is polled at. Total is
 	// the lattice size (an upper bound: the binary search visits a subset);
-	// a successful run ends with a (total, total) event.
+	// a successful run ends with a (total, total) event. Pool workers report
+	// concurrently and may interleave out of order; callers that need a
+	// monotone stream wrap the sink (see engine.Monotone, which the engine
+	// adapter applies).
 	Progress func(done, total int)
 }
 
@@ -81,6 +95,13 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 	if cfg.MaxSuppression < 0 || cfg.MaxSuppression > 1 {
 		return nil, fmt.Errorf("%w: max suppression %v", ErrConfig, cfg.MaxSuppression)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: workers = %d", ErrConfig, cfg.Workers)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	qi := cfg.QuasiIdentifiers
 	if len(qi) == 0 {
 		qi = t.Schema().QuasiIdentifierNames()
@@ -103,25 +124,30 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 	}
 	totalNodes := lat.Size()
 
-	evaluated := 0
-	// bestAtHeight returns the best satisfying node at height h, or nil.
+	var evaluated atomic.Int64
+	// bestAtHeight returns the best satisfying node at height h, or nil. The
+	// level's nodes are independent, so they are recoded and checked by the
+	// worker pool; the fewest-suppressions fold runs sequentially afterwards,
+	// in level order, so the choice is identical for every worker count.
 	bestAtHeight := func(h int) (lattice.Node, int, error) {
-		var best lattice.Node
-		bestSuppress := -1
-		for _, node := range lat.NodesAtHeight(h) {
+		level := lat.NodesAtHeight(h)
+		costs, err := parallel.Map(len(level), workers, func(i int) (int, error) {
 			if err := ctx.Err(); err != nil {
-				return nil, 0, fmt.Errorf("samarati: %w", err)
+				return 0, fmt.Errorf("samarati: %w", err)
 			}
-			evaluated++
 			// The verification walk below the binary search can revisit a
 			// height, so cap the reported count at the lattice size.
-			report(min(evaluated, totalNodes), totalNodes)
-			suppress, err := violations(t, qi, cfg.Hierarchies, node, cfg.K)
-			if err != nil {
-				return nil, 0, err
-			}
+			report(min(int(evaluated.Add(1)), totalNodes), totalNodes)
+			return violations(t, qi, cfg.Hierarchies, level[i], cfg.K)
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		var best lattice.Node
+		bestSuppress := -1
+		for i, suppress := range costs {
 			if suppress <= budget && (bestSuppress == -1 || suppress < bestSuppress) {
-				best = node.Clone()
+				best = level[i].Clone()
 				bestSuppress = suppress
 			}
 		}
@@ -177,7 +203,7 @@ func AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Resul
 		QuasiIdentifiers: append([]string(nil), qi...),
 		SuppressedRows:   foundSuppress,
 		Height:           foundHeight,
-		NodesEvaluated:   evaluated,
+		NodesEvaluated:   int(evaluated.Load()),
 	}, nil
 }
 

@@ -1,0 +1,75 @@
+package samarati
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+// TestWorkersEquivalence locks in that parallel node evaluation within a
+// lattice height level is deterministic: every worker count chooses the same
+// node and releases the identical table.
+func TestWorkersEquivalence(t *testing.T) {
+	tbl := synth.Hospital(800, 2)
+	hs := synth.HospitalHierarchies()
+	base, err := Anonymize(tbl, Config{K: 4, Hierarchies: hs, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		res, err := Anonymize(tbl, Config{K: 4, Hierarchies: hs, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Node.Key() != base.Node.Key() {
+			t.Errorf("workers=%d node %v != sequential %v", workers, res.Node, base.Node)
+		}
+		if res.Height != base.Height {
+			t.Errorf("workers=%d height %d != sequential %d", workers, res.Height, base.Height)
+		}
+		if res.SuppressedRows != base.SuppressedRows {
+			t.Errorf("workers=%d suppressed %d != sequential %d", workers, res.SuppressedRows, base.SuppressedRows)
+		}
+		if res.NodesEvaluated != base.NodesEvaluated {
+			t.Errorf("workers=%d evaluated %d nodes != sequential %d", workers, res.NodesEvaluated, base.NodesEvaluated)
+		}
+		var seq, par bytes.Buffer
+		if err := base.Table.WriteCSV(&seq); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Table.WriteCSV(&par); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+			t.Errorf("workers=%d released table differs from sequential run", workers)
+		}
+	}
+}
+
+func TestWorkersNegativeRejected(t *testing.T) {
+	tbl := synth.Hospital(50, 1)
+	_, err := Anonymize(tbl, Config{K: 2, Hierarchies: synth.HospitalHierarchies(), Workers: -1})
+	if !errors.Is(err, ErrConfig) {
+		t.Fatalf("Workers=-1: got %v, want ErrConfig", err)
+	}
+}
+
+// benchmarkWorkers measures full Samarati runs at a fixed worker count; the
+// 1-vs-max pair quantifies the speedup of the per-level node pool.
+func benchmarkWorkers(b *testing.B, workers int) {
+	tbl := synth.Census(2000, 1)
+	hs := synth.CensusHierarchies()
+	qi := []string{"age", "sex", "education", "marital-status", "race"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Anonymize(tbl, Config{K: 10, QuasiIdentifiers: qi, Hierarchies: hs, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSamaratiWorkers1(b *testing.B)   { benchmarkWorkers(b, 1) }
+func BenchmarkSamaratiWorkersMax(b *testing.B) { benchmarkWorkers(b, 0) }

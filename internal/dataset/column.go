@@ -91,6 +91,10 @@ type colCache struct {
 	mu     sync.Mutex
 	floats map[int]*FloatColumn
 	codes  map[int]*CodedColumn
+	// fp is the cached row-content fingerprint (see fingerprint.go); empty
+	// means "not computed". It shares the columnar caches' invalidation: any
+	// mutation that could change cell bytes clears it.
+	fp string
 }
 
 func newColCache() *colCache { return &colCache{} }
@@ -103,6 +107,7 @@ func (c *colCache) invalidateAll() {
 	c.mu.Lock()
 	c.floats = nil
 	c.codes = nil
+	c.fp = ""
 	c.mu.Unlock()
 }
 
@@ -114,6 +119,7 @@ func (c *colCache) invalidateCol(col int) {
 	c.mu.Lock()
 	delete(c.floats, col)
 	delete(c.codes, col)
+	c.fp = ""
 	c.mu.Unlock()
 }
 
@@ -142,25 +148,33 @@ func (t *Table) FloatColumn(col int) (*FloatColumn, error) {
 	if fc, ok := c.floats[col]; ok {
 		return fc, nil
 	}
-	fc := &FloatColumn{
-		Values: make([]float64, len(t.rows)),
-		Valid:  make([]bool, len(t.rows)),
-		Min:    math.Inf(1),
-		Max:    math.Inf(-1),
-	}
-	for i, r := range t.rows {
-		f, err := strconv.ParseFloat(strings.TrimSpace(r[col]), 64)
-		if err != nil {
-			continue
+	var fc *FloatColumn
+	if cc, ok := c.codes[col]; ok {
+		// A coded view already exists (for example built during CSV ingest):
+		// parse each distinct dictionary value once and fan the results out
+		// over the code sequence instead of re-parsing every cell.
+		fc = floatColumnFromCodes(cc)
+	} else {
+		fc = &FloatColumn{
+			Values: make([]float64, len(t.rows)),
+			Valid:  make([]bool, len(t.rows)),
+			Min:    math.Inf(1),
+			Max:    math.Inf(-1),
 		}
-		fc.Values[i] = f
-		fc.Valid[i] = true
-		fc.ValidCount++
-		if f < fc.Min {
-			fc.Min = f
-		}
-		if f > fc.Max {
-			fc.Max = f
+		for i, r := range t.rows {
+			f, err := strconv.ParseFloat(strings.TrimSpace(r[col]), 64)
+			if err != nil {
+				continue
+			}
+			fc.Values[i] = f
+			fc.Valid[i] = true
+			fc.ValidCount++
+			if f < fc.Min {
+				fc.Min = f
+			}
+			if f > fc.Max {
+				fc.Max = f
+			}
 		}
 	}
 	if c.floats == nil {
@@ -236,6 +250,45 @@ func (c *CodedColumn) buildRanks() {
 			}
 		}
 	}
+}
+
+// floatColumnFromCodes builds the parse-once numeric view of a column from
+// its dictionary encoding: each distinct value is parsed once and the result
+// fanned out over the code sequence, matching exactly what the row-scanning
+// builder would produce.
+func floatColumnFromCodes(cc *CodedColumn) *FloatColumn {
+	parsed := make([]float64, len(cc.Dict))
+	valid := make([]bool, len(cc.Dict))
+	for code, v := range cc.Dict {
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			continue
+		}
+		parsed[code] = f
+		valid[code] = true
+	}
+	fc := &FloatColumn{
+		Values: make([]float64, len(cc.Codes)),
+		Valid:  make([]bool, len(cc.Codes)),
+		Min:    math.Inf(1),
+		Max:    math.Inf(-1),
+	}
+	for i, code := range cc.Codes {
+		if !valid[code] {
+			continue
+		}
+		f := parsed[code]
+		fc.Values[i] = f
+		fc.Valid[i] = true
+		fc.ValidCount++
+		if f < fc.Min {
+			fc.Min = f
+		}
+		if f > fc.Max {
+			fc.Max = f
+		}
+	}
+	return fc
 }
 
 // CodedColumnByName is CodedColumn keyed by attribute name.

@@ -250,6 +250,37 @@ func (m *Manager) Submit(run Runner, opts Options) (Snapshot, error) {
 	return m.snapshotLocked(j), nil
 }
 
+// Complete records a job that is already succeeded without queueing any work:
+// the job is born in the Succeeded state carrying the given result, with all
+// three lifecycle timestamps set to now, and is retained (and TTL-evicted)
+// exactly like a job that ran. The HTTP service uses it when a result cache
+// hit satisfies an asynchronous submission — the client still gets a job id
+// to poll, but no worker slot or queue capacity is consumed.
+func (m *Manager) Complete(result any, opts Options) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Snapshot{}, ErrClosed
+	}
+	m.evictExpiredLocked()
+	m.seq++
+	now := m.cfg.Now()
+	j := &job{
+		id:       fmt.Sprintf("j%d", m.seq),
+		meta:     opts.Meta,
+		done:     make(chan struct{}),
+		state:    Succeeded,
+		created:  now,
+		started:  now,
+		finished: now,
+		result:   result,
+	}
+	m.jobs[j.id] = j
+	m.finished = append(m.finished, j)
+	close(j.done)
+	return m.snapshotLocked(j), nil
+}
+
 // worker pulls queued jobs in FIFO order and runs them until Close.
 func (m *Manager) worker() {
 	defer m.wg.Done()

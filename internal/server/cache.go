@@ -1,0 +1,168 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/ppdp/ppdp/internal/core"
+	"github.com/ppdp/ppdp/internal/jobs"
+	"github.com/ppdp/ppdp/internal/resultcache"
+)
+
+// This file wires the cross-request result cache (internal/resultcache) into
+// the shared execution path. Every algorithm is deterministic for a fixed
+// (dataset, policy, parameters) input — worker counts never change released
+// bytes (see the per-algorithm equivalence tests) — so a release computed
+// once can answer every later identical request. The cache key is built from
+// the dataset's content fingerprint rather than its registry name, which
+// makes invalidation implicit: replacing a dataset under the same name
+// changes its fingerprint, and the stale entry simply stops being reachable
+// until the LRU evicts it.
+
+// cachedRun is one memoized successful run: the published release and how
+// long the original computation took. The response body is rebuilt per
+// request (store and include_rows shape responses, not results), so only the
+// release is cached.
+type cachedRun struct {
+	release *core.Release
+	elapsed time.Duration
+}
+
+// cacheKeySep joins key components; components are either fingerprints,
+// registry-validated names or canonical JSON, so a 0x1f byte cannot occur
+// inside one and the join is collision-free.
+const cacheKeySep = "\x1f"
+
+// cacheKey derives the memoization key of a prepared run. Components, in
+// order: the dataset's content fingerprint (schema + rows), its family, the
+// algorithm, the canonical policy document (which subsumes every flat
+// privacy parameter: k, l, t, c, diversity mode, suppression budget), and
+// the remaining request knobs that steer the run outside the policy —
+// sensitive-attribute override, quasi-identifier restriction, and strict
+// Mondrian. Workers is deliberately excluded (output-invariant), as are
+// store / include_rows / timeout_ms (response shaping, not computation).
+func cacheKey(p *preparedRun) (string, error) {
+	pol, err := p.anon.Policy().Encode()
+	if err != nil {
+		return "", err
+	}
+	parts := []string{
+		p.ds.table.Fingerprint(),
+		p.ds.family,
+		string(p.alg),
+		string(pol),
+		p.req.Sensitive,
+		strings.Join(p.req.QuasiIdentifiers, ","),
+		strconv.FormatBool(p.req.StrictMondrian),
+	}
+	return strings.Join(parts, cacheKeySep), nil
+}
+
+// cachedOutcome rebuilds the full anonymize response from a memoized run,
+// publishing a fresh release into the registry when the request asked to
+// store. The released bytes are identical to a fresh computation; only
+// release_id (a new registry entry) and elapsed_ms (the original compute
+// time) are request-dependent.
+func (s *Server) cachedOutcome(p *preparedRun, hit *cachedRun, storeRelease bool) (*anonymizeOutcome, error) {
+	rel := hit.release
+	resp := anonymizeResponse{
+		Dataset:      p.req.Dataset,
+		Algorithm:    string(p.alg),
+		Policy:       rel.Policy,
+		PolicyRef:    p.policyRef,
+		Node:         rel.Node,
+		Measurements: measurementsJSONOf(rel.Measured),
+		ElapsedMS:    float64(hit.elapsed.Microseconds()) / 1000,
+	}
+	switch {
+	case rel.Table != nil:
+		resp.Rows = rel.Table.Len()
+		if p.req.IncludeRows {
+			resp.Header = rel.Table.Schema().Names()
+			resp.Data = rowsOf(rel.Table)
+		}
+	case rel.QIT != nil:
+		resp.Rows = rel.QIT.Len()
+	}
+	if storeRelease {
+		id, err := s.reg.putRelease(&storedRelease{
+			dataset:   p.req.Dataset,
+			origin:    p.ds,
+			algorithm: p.alg,
+			policyRef: p.policyRef,
+			params:    p.req,
+			release:   rel,
+			elapsed:   hit.elapsed,
+			created:   time.Now(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp.ReleaseID = id
+	}
+	return &anonymizeOutcome{resp: resp}, nil
+}
+
+// serveFromCache answers a prepared run from the result cache when possible.
+// A hit bypasses the admission queue entirely: the outcome is recorded as an
+// already-succeeded job (jobs.Manager.Complete), so both request paths keep
+// their contract — the synchronous handler's Wait returns immediately, and
+// the asynchronous client still gets a pollable job id. settled reports
+// whether the request needs no submission: either snap is a valid succeeded
+// job (ok) or the error envelope was already written (!ok).
+func (s *Server) serveFromCache(w http.ResponseWriter, p *preparedRun, storeRelease bool) (snap jobs.Snapshot, settled, ok bool) {
+	if s.cache == nil || p.req.NoCache {
+		return jobs.Snapshot{}, false, false
+	}
+	key, err := cacheKey(p)
+	if err != nil {
+		// An unencodable policy cannot happen for a validated run; fall
+		// through to a fresh computation rather than failing the request.
+		return jobs.Snapshot{}, false, false
+	}
+	v, hit := s.cache.Get(key)
+	if !hit {
+		return jobs.Snapshot{}, false, false
+	}
+	out, err := s.cachedOutcome(p, v.(*cachedRun), storeRelease)
+	if err != nil {
+		writeAnonymizeError(w, err)
+		return jobs.Snapshot{}, true, false
+	}
+	snap, err = s.jobs.Complete(out, jobs.Options{Meta: jobMeta{
+		dataset:   p.req.Dataset,
+		algorithm: string(p.alg),
+		policy:    p.anon.Policy(),
+		policyRef: p.policyRef,
+	}})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return jobs.Snapshot{}, true, false
+	}
+	return snap, true, true
+}
+
+// cacheStatsJSON is the /healthz view of the result cache.
+type cacheStatsJSON struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+func cacheStatsOf(c *resultcache.Cache) *cacheStatsJSON {
+	if c == nil {
+		return nil
+	}
+	st := c.Stats()
+	return &cacheStatsJSON{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+		Capacity:  st.Capacity,
+	}
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+// cacheStats fetches the /healthz cache block.
+func cacheStats(t testing.TB, ts *httptest.Server) map[string]any {
+	t.Helper()
+	status, body := doJSON(t, "GET", ts.URL+"/healthz", nil)
+	if status != http.StatusOK {
+		t.Fatalf("healthz: %d %v", status, body)
+	}
+	stats, ok := body["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no cache block: %v", body)
+	}
+	return stats
+}
+
+// TestCacheHitByteIdenticalAllSeven proves the core cache contract for every
+// algorithm: a repeated identical request is served from the cache (healthz
+// hit counter advances) and its stored release is byte-identical to the
+// freshly computed one.
+func TestCacheHitByteIdenticalAllSeven(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	seedDataset(t, ts, "h", "hospital", 300)
+	cases := []struct {
+		algorithm string
+		params    map[string]any
+	}{
+		{"mondrian", map[string]any{"k": 5}},
+		{"incognito", map[string]any{"k": 5}},
+		{"topdown", map[string]any{"k": 5}},
+		{"datafly", map[string]any{"k": 5}},
+		{"samarati", map[string]any{"k": 5}},
+		{"kmember", map[string]any{"k": 5}},
+		{"anatomy", map[string]any{"l": 2}},
+	}
+	hits := float64(0)
+	for _, tc := range cases {
+		t.Run(tc.algorithm, func(t *testing.T) {
+			req := map[string]any{"dataset": "h", "algorithm": tc.algorithm, "store": true}
+			for k, v := range tc.params {
+				req[k] = v
+			}
+			status, body := doJSON(t, "POST", ts.URL+"/v1/anonymize", req)
+			if status != http.StatusOK {
+				t.Fatalf("fresh run: %d %v", status, body)
+			}
+			fresh := fetchCSV(t, ts, body["release_id"].(string))
+
+			status, body = doJSON(t, "POST", ts.URL+"/v1/anonymize", req)
+			if status != http.StatusOK {
+				t.Fatalf("cached run: %d %v", status, body)
+			}
+			cached := fetchCSV(t, ts, body["release_id"].(string))
+			if !bytes.Equal(fresh, cached) {
+				t.Errorf("cached release differs from fresh computation")
+			}
+			hits++
+			if got := cacheStats(t, ts)["hits"].(float64); got != hits {
+				t.Errorf("healthz hits = %v, want %v", got, hits)
+			}
+		})
+	}
+}
+
+// TestCacheHitSkipsQueueOnJobPath proves a warm cache settles POST /v1/jobs
+// without queueing: the 202 body already carries the succeeded state and the
+// full result.
+func TestCacheHitSkipsQueueOnJobPath(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	seedDataset(t, ts, "c", "census", 300)
+	req := map[string]any{"dataset": "c", "algorithm": "mondrian", "k": 5}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/anonymize", req); status != http.StatusOK {
+		t.Fatalf("warm-up: %d %v", status, body)
+	}
+	status, body := doJSON(t, "POST", ts.URL+"/v1/jobs", req)
+	if status != http.StatusAccepted {
+		t.Fatalf("job submit: %d %v", status, body)
+	}
+	if body["state"] != "succeeded" {
+		t.Fatalf("cache-hit job not immediately succeeded: %v", body["state"])
+	}
+	if body["result"] == nil {
+		t.Fatal("cache-hit job carries no result")
+	}
+	// The job stays pollable like any finished job.
+	final := pollJob(t, ts, body["id"].(string))
+	if final["state"] != "succeeded" {
+		t.Fatalf("polled state = %v", final["state"])
+	}
+}
+
+// TestCacheNoCacheBypasses proves the no_cache request option skips both the
+// lookup and the memoization.
+func TestCacheNoCacheBypasses(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	seedDataset(t, ts, "c", "census", 200)
+	req := map[string]any{"dataset": "c", "algorithm": "mondrian", "k": 5, "no_cache": true}
+	for i := 0; i < 2; i++ {
+		if status, body := doJSON(t, "POST", ts.URL+"/v1/anonymize", req); status != http.StatusOK {
+			t.Fatalf("run %d: %d %v", i, status, body)
+		}
+	}
+	stats := cacheStats(t, ts)
+	if stats["hits"].(float64) != 0 || stats["entries"].(float64) != 0 {
+		t.Errorf("no_cache runs touched the cache: %v", stats)
+	}
+	// Without the option the same request now misses (nothing was memoized)
+	// and then hits.
+	delete(req, "no_cache")
+	for i := 0; i < 2; i++ {
+		if status, body := doJSON(t, "POST", ts.URL+"/v1/anonymize", req); status != http.StatusOK {
+			t.Fatalf("cached run %d: %d %v", i, status, body)
+		}
+	}
+	stats = cacheStats(t, ts)
+	if stats["hits"].(float64) != 1 {
+		t.Errorf("hits = %v, want 1", stats["hits"])
+	}
+}
+
+// TestCacheDisabled proves a negative CacheSize turns caching off entirely:
+// healthz carries no cache block and repeated requests recompute.
+func TestCacheDisabled(t *testing.T) {
+	ts, _ := newTestServer(t, Config{CacheSize: -1})
+	seedDataset(t, ts, "c", "census", 200)
+	req := map[string]any{"dataset": "c", "algorithm": "mondrian", "k": 5}
+	for i := 0; i < 2; i++ {
+		if status, body := doJSON(t, "POST", ts.URL+"/v1/anonymize", req); status != http.StatusOK {
+			t.Fatalf("run %d: %d %v", i, status, body)
+		}
+	}
+	status, body := doJSON(t, "GET", ts.URL+"/healthz", nil)
+	if status != http.StatusOK {
+		t.Fatalf("healthz: %d", status)
+	}
+	if _, present := body["cache"]; present {
+		t.Errorf("disabled cache still reported on healthz: %v", body["cache"])
+	}
+}
+
+// TestCacheReplacedDatasetRecomputes proves invalidation is keyed on dataset
+// content: replacing a dataset under the same name changes its fingerprint,
+// so the next identical request computes fresh instead of serving the stale
+// release.
+func TestCacheReplacedDatasetRecomputes(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	upload := func(seed int64) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := synth.Census(120, seed).WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest("PUT", ts.URL+"/v1/datasets/d?family=census", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload seed %d: %d", seed, resp.StatusCode)
+		}
+	}
+	anonRows := func() ([]any, map[string]any) {
+		t.Helper()
+		status, body := doJSON(t, "POST", ts.URL+"/v1/anonymize",
+			map[string]any{"dataset": "d", "algorithm": "mondrian", "k": 5, "include_rows": true})
+		if status != http.StatusOK {
+			t.Fatalf("anonymize: %d %v", status, body)
+		}
+		return body["data"].([]any), cacheStats(t, ts)
+	}
+
+	upload(1)
+	first, _ := anonRows()
+	second, stats := anonRows()
+	if stats["hits"].(float64) != 1 {
+		t.Fatalf("identical request not served from cache: %v", stats)
+	}
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Error("cached rows differ from fresh computation")
+	}
+
+	upload(2)
+	replaced, stats := anonRows()
+	if stats["hits"].(float64) != 1 {
+		t.Errorf("replaced dataset served from stale cache: %v", stats)
+	}
+	if fmt.Sprint(replaced) == fmt.Sprint(first) {
+		t.Error("replaced dataset released the old rows")
+	}
+}
+
+// BenchmarkCacheHit measures the full HTTP round trip of a cache-served
+// anonymize request on a 5k census table — the latency a repeated identical
+// request pays once the first run is memoized. Compare against
+// BenchmarkServeAnonymize (the cold path) for the hit speedup.
+func BenchmarkCacheHit(b *testing.B) {
+	ts, _ := newTestServer(b, Config{})
+	seedDataset(b, ts, "c", "census", 5000)
+	req := map[string]any{"dataset": "c", "algorithm": "mondrian", "k": 10}
+	if status, body := doJSON(b, "POST", ts.URL+"/v1/anonymize", req); status != http.StatusOK {
+		b.Fatalf("warm-up: %d %v", status, body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if status, _ := doJSON(b, "POST", ts.URL+"/v1/anonymize", req); status != http.StatusOK {
+			b.Fatalf("cached request: %d", status)
+		}
+	}
+}

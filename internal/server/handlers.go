@@ -358,6 +358,9 @@ type anonymizeRequest struct {
 	//
 	// Deprecated: set "ordered" on the policy's t-closeness criterion.
 	OrderedSensitive bool `json:"ordered_sensitive"`
+	// NoCache bypasses the cross-request result cache for this run: the
+	// release is computed fresh and the outcome is not memoized.
+	NoCache bool `json:"no_cache"`
 	// Store keeps the release in the registry for later report queries.
 	Store bool `json:"store"`
 	// IncludeRows inlines the released rows into the response.

@@ -162,6 +162,11 @@ func (s *Server) anonymizeRunner(p *preparedRun, storeRelease bool) jobs.Runner 
 		if err != nil {
 			return nil, err
 		}
+		if s.cache != nil && !p.req.NoCache {
+			if key, kerr := cacheKey(p); kerr == nil {
+				s.cache.Put(key, &cachedRun{release: rel, elapsed: elapsed})
+			}
+		}
 		resp := anonymizeResponse{
 			Dataset:      p.req.Dataset,
 			Algorithm:    string(p.alg),
@@ -207,9 +212,14 @@ func (s *Server) anonymizeRunner(p *preparedRun, storeRelease bool) jobs.Runner 
 	}
 }
 
-// submit admits a prepared run into the shared queue, mapping a full queue to
-// 429 with a Retry-After hint. It writes the error itself and reports ok.
+// submit settles a prepared run: from the result cache when an identical run
+// was already computed (a hit skips the admission queue entirely), otherwise
+// by admitting it into the shared queue — mapping a full queue to 429 with a
+// Retry-After hint. It writes the error itself and reports ok.
 func (s *Server) submit(w http.ResponseWriter, p *preparedRun, storeRelease bool) (jobs.Snapshot, bool) {
+	if snap, settled, ok := s.serveFromCache(w, p, storeRelease); settled {
+		return snap, ok
+	}
 	snap, err := s.jobs.Submit(s.anonymizeRunner(p, storeRelease), jobs.Options{
 		Meta: jobMeta{
 			dataset:   p.req.Dataset,

@@ -49,6 +49,7 @@ import (
 	"github.com/ppdp/ppdp/internal/core"
 	"github.com/ppdp/ppdp/internal/engine"
 	"github.com/ppdp/ppdp/internal/jobs"
+	"github.com/ppdp/ppdp/internal/resultcache"
 )
 
 // Config tunes a Server. The zero value is usable: it listens on :8080,
@@ -82,6 +83,12 @@ type Config struct {
 	// JobTTL is how long finished jobs stay pollable on GET /v1/jobs/{id}
 	// (15 minutes when zero). Published releases outlive their job.
 	JobTTL time.Duration
+	// CacheSize bounds the cross-request result cache: identical anonymize
+	// requests (same dataset content, canonical policy, algorithm and
+	// parameters) are answered from a memoized release without queueing work.
+	// Zero uses DefaultCacheSize entries; negative disables caching. Requests
+	// opt out individually with "no_cache".
+	CacheSize int
 	// Log receives one line per request; nil disables request logging.
 	Log *log.Logger
 }
@@ -93,6 +100,7 @@ const (
 	DefaultMaxBodyBytes   = 32 << 20
 	DefaultQueueDepth     = jobs.DefaultQueueDepth
 	DefaultJobTTL         = jobs.DefaultTTL
+	DefaultCacheSize      = 64
 )
 
 // Server is the ppdp anonymization service. Create one with New; it is ready
@@ -102,6 +110,7 @@ type Server struct {
 	cfg     Config
 	reg     *registry
 	jobs    *jobs.Manager
+	cache   *resultcache.Cache // nil when caching is disabled
 	mux     *http.ServeMux
 	started time.Time
 
@@ -128,6 +137,13 @@ func New(cfg Config) *Server {
 		cfg.Workers = 0
 	}
 	s := &Server{cfg: cfg, reg: newRegistry(), started: time.Now()}
+	if cfg.CacheSize >= 0 {
+		size := cfg.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		s.cache = resultcache.New(size)
+	}
 	s.jobs = jobs.New(jobs.Config{
 		Workers:    cfg.JobWorkers,
 		QueueDepth: cfg.QueueDepth,
@@ -315,16 +331,18 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 	})
 }
 
-// healthResponse is the /healthz body.
+// healthResponse is the /healthz body. Cache reports the result cache's
+// hit/miss/eviction counters and occupancy (absent when caching is disabled).
 type healthResponse struct {
-	Status      string `json:"status"`
-	Datasets    int    `json:"datasets"`
-	Releases    int    `json:"releases"`
-	Policies    int    `json:"policies"`
-	JobsQueued  int    `json:"jobs_queued"`
-	JobsRunning int    `json:"jobs_running"`
-	UptimeSec   int64  `json:"uptime_seconds"`
-	Go          string `json:"go"`
+	Status      string          `json:"status"`
+	Datasets    int             `json:"datasets"`
+	Releases    int             `json:"releases"`
+	Policies    int             `json:"policies"`
+	JobsQueued  int             `json:"jobs_queued"`
+	JobsRunning int             `json:"jobs_running"`
+	Cache       *cacheStatsJSON `json:"cache,omitempty"`
+	UptimeSec   int64           `json:"uptime_seconds"`
+	Go          string          `json:"go"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -337,6 +355,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Policies:    pol,
 		JobsQueued:  queued,
 		JobsRunning: running,
+		Cache:       cacheStatsOf(s.cache),
 		UptimeSec:   int64(time.Since(s.started).Seconds()),
 		Go:          runtime.Version(),
 	})

@@ -383,9 +383,11 @@ func TestAnonymizeCancellation(t *testing.T) {
 		t.Fatalf("mid-run cancel status = %d, body %s", rec.Code, rec.Body)
 	}
 
-	// timeout_ms tightens the deadline below the run time: 504.
+	// timeout_ms tightens the deadline below the run time: 504. no_cache
+	// keeps this a real run — if the mid-run cancel above completed instead,
+	// its memoized release would satisfy any deadline instantly.
 	req = httptest.NewRequest("POST", "/v1/anonymize",
-		strings.NewReader(`{"dataset":"big","k":2,"timeout_ms":1}`))
+		strings.NewReader(`{"dataset":"big","k":2,"timeout_ms":1,"no_cache":true}`))
 	rec = httptest.NewRecorder()
 	handler.ServeHTTP(rec, req)
 	if rec.Code != http.StatusGatewayTimeout {
@@ -576,7 +578,9 @@ func TestUploadReplaceProtection(t *testing.T) {
 
 // BenchmarkServeAnonymize measures end-to-end requests per second of POST
 // /v1/anonymize (Mondrian, k=10) over a stored 5k-row census table,
-// including JSON encoding and HTTP transport.
+// including JSON encoding and HTTP transport. no_cache keeps every
+// iteration a full computation — BenchmarkCacheHit measures the memoized
+// path over the same request.
 func BenchmarkServeAnonymize(b *testing.B) {
 	ts, _ := newTestServer(b, Config{})
 	status, body := doJSON(b, "POST", ts.URL+"/v1/datasets",
@@ -584,7 +588,7 @@ func BenchmarkServeAnonymize(b *testing.B) {
 	if status != http.StatusCreated {
 		b.Fatalf("seed dataset = %d %v", status, body)
 	}
-	payload := map[string]any{"dataset": "bench", "algorithm": "mondrian", "k": 10}
+	payload := map[string]any{"dataset": "bench", "algorithm": "mondrian", "k": 10, "no_cache": true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		status, body := doJSON(b, "POST", ts.URL+"/v1/anonymize", payload)
