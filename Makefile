@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fmt-check linkcheck api-docs api-docs-check serve bench bench-compare bench-quick bench-full ci
+.PHONY: all build test vet race fmt-check linkcheck api-docs api-docs-check serve bench bench-compare bench-cores bench-quick bench-full fuzz ci
 
 all: build
 
@@ -47,8 +47,8 @@ race:
 # trajectory is tracked per PR (see the non-gating CI bench job). The file
 # name carries the PR number that introduced the recording; bench-compare
 # diffs the fresh numbers against the previous PR's committed baseline.
-BENCH_OUT ?= BENCH_PR6.json
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR6.json
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkGroupBy|BenchmarkMondrian|BenchmarkIncognito|BenchmarkTopDown|BenchmarkDatafly|BenchmarkSamarati|BenchmarkKMember|BenchmarkAnatomy|BenchmarkLaplace|BenchmarkServeAnonymize|BenchmarkJobThroughput|BenchmarkCacheHit|BenchmarkReadCSV' \
 		-benchmem ./... > bench.out || { cat bench.out; rm -f bench.out; exit 1; }
@@ -61,6 +61,21 @@ bench:
 # baseline; exits non-zero on a >10% regression (CI keeps this non-gating).
 bench-compare:
 	$(GO) run ./cmd/benchjson compare $(BENCH_BASELINE) $(BENCH_OUT)
+
+# GOMAXPROCS sweep over the parallel-path benchmarks (the per-algorithm
+# Workers1/WorkersMax pairs and the parallel Mondrian recursion), clamped to
+# the host's cores; prints the speedup-per-core table via `benchjson speedup`.
+bench-cores:
+	sh scripts/bench_cores.sh
+
+# Coverage-guided fuzzing of the dual-path CSV reader against pure
+# encoding/csv: error presence, every cell and the content fingerprint must
+# agree. The committed corpora under internal/dataset/testdata/fuzz replay in
+# every ordinary `go test` run; this target keeps exploring.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/dataset -run '^$$' -fuzz 'FuzzReadCSV$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dataset -run '^$$' -fuzz 'FuzzReadCSVInferred$$' -fuzztime $(FUZZTIME)
 
 # Micro-benchmarks for the hot paths (quick mode, ~1 minute).
 bench-quick:

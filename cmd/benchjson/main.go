@@ -8,6 +8,7 @@
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH.json
 //	benchjson compare [-threshold 0.10] OLD.json NEW.json
+//	benchjson speedup P1.json P2.json P4.json
 //
 // Non-benchmark lines (package headers, PASS/ok) are ignored; every metric
 // pair a benchmark reports (ns/op, B/op, allocs/op, custom b.ReportMetric
@@ -18,6 +19,11 @@
 // regressed by more than the threshold (a fraction: 0.10 = +10%), so a CI
 // job can surface regressions while staying non-gating via
 // continue-on-error.
+//
+// speedup joins the records of a GOMAXPROCS sweep (scripts/bench_cores.sh)
+// on the benchmark base name and prints each benchmark's scaling profile:
+// ns/op per core count, speedup and per-core efficiency against the
+// fewest-cores record.
 package main
 
 import (
@@ -53,8 +59,12 @@ type Report struct {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "compare" {
-		code, err := runCompare(os.Args[2:], os.Stdout)
+	if len(os.Args) > 1 && (os.Args[1] == "compare" || os.Args[1] == "speedup") {
+		run := runCompare
+		if os.Args[1] == "speedup" {
+			run = runSpeedup
+		}
+		code, err := run(os.Args[2:], os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// runSpeedup implements `benchjson speedup FILE.json...` over records from a
+// GOMAXPROCS sweep (see scripts/bench_cores.sh): it joins the files on the
+// benchmark base name — the `-P` GOMAXPROCS suffix stripped, since a run at
+// GOMAXPROCS=1 carries no suffix at all — and prints each benchmark's ns/op
+// at every core count together with its speedup and per-core efficiency
+// relative to the fewest-cores record. Missing benchmarks are skipped per
+// file, so partial sweeps (a host with fewer cores than the sweep asks for)
+// still report.
+func runSpeedup(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchjson speedup", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if fs.NArg() < 2 {
+		return 0, fmt.Errorf("speedup: want two or more sweep JSON files, got %d", fs.NArg())
+	}
+	type sweepRun struct {
+		procs int
+		ns    map[string]float64
+	}
+	runs := make([]sweepRun, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		rep, err := readReport(path)
+		if err != nil {
+			return 0, err
+		}
+		run := sweepRun{procs: rep.MaxProcs, ns: make(map[string]float64, len(rep.Benchmarks))}
+		for _, b := range rep.Benchmarks {
+			if v, ok := b.Metrics["ns/op"]; ok {
+				run.ns[baseName(b.Name)] = v
+			}
+		}
+		runs = append(runs, run)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].procs < runs[j].procs })
+
+	base := runs[0]
+	names := make([]string, 0, len(base.ns))
+	for name := range base.ns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintln(w, name)
+		for _, run := range runs {
+			v, ok := run.ns[name]
+			if !ok {
+				continue
+			}
+			line := fmt.Sprintf("  GOMAXPROCS=%-2d %14.0f ns/op", run.procs, v)
+			if run.procs != base.procs && v > 0 {
+				speedup := base.ns[name] / v
+				line += fmt.Sprintf("  %5.2fx speedup  %4.2f/core", speedup, speedup/float64(run.procs))
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	return 0, nil
+}
+
+// baseName strips the `-P` GOMAXPROCS suffix go test appends to benchmark
+// names (absent when GOMAXPROCS=1), so sweep records join on one key.
+func baseName(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

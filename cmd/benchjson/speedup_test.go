@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkDataflyWorkersMax-4": "BenchmarkDataflyWorkersMax",
+		"BenchmarkDataflyWorkersMax":   "BenchmarkDataflyWorkersMax", // GOMAXPROCS=1: no suffix
+		"BenchmarkTopDown-2":           "BenchmarkTopDown",
+		"BenchmarkOdd-Name":            "BenchmarkOdd-Name", // non-numeric suffix kept
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSpeedupJoinsSweepRecords(t *testing.T) {
+	dir := t.TempDir()
+	// GOMAXPROCS=1 names carry no -P suffix; the join must still match.
+	p1 := writeReport(t, dir, "p1.json", &Report{MaxProcs: 1, Benchmarks: []Benchmark{
+		bench("BenchmarkMondrianParallel", 4000, 10),
+		bench("BenchmarkDataflyWorkersMax", 2000, 10),
+	}})
+	p4 := writeReport(t, dir, "p4.json", &Report{MaxProcs: 4, Benchmarks: []Benchmark{
+		bench("BenchmarkMondrianParallel-4", 1000, 10),
+		bench("BenchmarkDataflyWorkersMax-4", 1000, 10),
+	}})
+
+	var out strings.Builder
+	code, err := runSpeedup([]string{p1, p4}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("runSpeedup: code %d, err %v\n%s", code, err, out.String())
+	}
+	text := out.String()
+	// 4000 ns/op at one core vs 1000 at four: 4.00x speedup, 1.00/core.
+	if !strings.Contains(text, "BenchmarkMondrianParallel") ||
+		!strings.Contains(text, "4.00x speedup") || !strings.Contains(text, "1.00/core") {
+		t.Errorf("missing scaling line:\n%s", text)
+	}
+	// 2000 vs 1000: 2.00x at four cores, 0.50/core efficiency.
+	if !strings.Contains(text, "2.00x speedup") || !strings.Contains(text, "0.50/core") {
+		t.Errorf("missing efficiency line:\n%s", text)
+	}
+}
+
+func TestSpeedupArgumentErrors(t *testing.T) {
+	var out strings.Builder
+	if _, err := runSpeedup([]string{"only-one.json"}, &out); err == nil {
+		t.Error("single file accepted, want error")
+	}
+	if _, err := runSpeedup([]string{"missing-a.json", "missing-b.json"}, &out); err == nil {
+		t.Error("missing files accepted, want error")
+	}
+}

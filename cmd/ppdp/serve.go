@@ -31,19 +31,45 @@ func cmdServe(args []string) error {
 	preload := fs.String("preload", "", "preload a synthetic dataset, e.g. census=5000 or hospital=10000")
 	policySpec := fs.String("policy", "",
 		"preload a stored policy from a JSON file, e.g. clinical=policy.json (name defaults to the file base name)")
+	apiKeys := fs.String("api-keys", "",
+		"API key file enabling tenant authentication: one \"<key> <tenant>\" pair per line (empty = unauthenticated)")
+	tenantRate := fs.Float64("tenant-rate", 0,
+		"per-tenant request rate limit in requests/second (0 disables)")
+	tenantBurst := fs.Int("tenant-burst", 0,
+		"per-tenant rate-limit burst size (0 = ceil(tenant-rate))")
+	tenantMaxDatasets := fs.Int("tenant-max-datasets", 0,
+		"datasets one tenant may store (0 disables the quota)")
+	tenantMaxJobs := fs.Int("tenant-max-jobs", 0,
+		"jobs one tenant may have queued+running at once (0 disables the quota)")
 	quiet := fs.Bool("quiet", false, "disable request logging")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := server.Config{
-		Addr:           *addr,
-		Workers:        *workers,
-		JobWorkers:     *jobWorkers,
-		QueueDepth:     *queueDepth,
-		JobTTL:         *jobTTL,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		CacheSize:      *cacheSize,
+		Addr:              *addr,
+		Workers:           *workers,
+		JobWorkers:        *jobWorkers,
+		QueueDepth:        *queueDepth,
+		JobTTL:            *jobTTL,
+		RequestTimeout:    *timeout,
+		MaxBodyBytes:      *maxBody,
+		CacheSize:         *cacheSize,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		TenantMaxDatasets: *tenantMaxDatasets,
+		TenantMaxJobs:     *tenantMaxJobs,
+	}
+	if *apiKeys != "" {
+		f, err := os.Open(*apiKeys)
+		if err != nil {
+			return fmt.Errorf("serve: -api-keys: %w", err)
+		}
+		keys, err := server.ParseAPIKeys(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("serve: -api-keys %s: %w", *apiKeys, err)
+		}
+		cfg.APIKeys = keys
 	}
 	// The flag's 0 means "off" (the natural CLI reading); the Config encodes
 	// disabled as negative so its zero value keeps the default-on behavior.

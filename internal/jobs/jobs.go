@@ -1,8 +1,8 @@
 // Package jobs is the asynchronous execution layer of the anonymization
 // service: a job manager that runs arbitrary work on a bounded worker pool
-// behind a FIFO admission queue, with job lifecycle states, live progress
-// snapshots, per-job cancellation and TTL-based garbage collection of
-// finished jobs.
+// behind a tenant-fair admission queue, with job lifecycle states, live
+// progress snapshots, per-job cancellation and TTL-based garbage collection
+// of finished jobs.
 //
 // The manager is the single executor both request paths of the HTTP service
 // share: POST /v1/jobs submits and returns immediately, while the synchronous
@@ -10,13 +10,22 @@
 // a saturated service rejects with ErrQueueFull instead of accepting
 // unbounded concurrent work.
 //
+// Dispatch is per-tenant round-robin, not global FIFO: each tenant has its
+// own FIFO queue, and free workers take the head job of the next tenant in a
+// rotation. Within a tenant, submission order is preserved exactly; across
+// tenants, a 50-job burst from one tenant cannot delay another tenant's
+// first job by more than one run slot, because the newcomer joins the
+// rotation and is picked on the next dispatch. Untenanted submissions share
+// the "" tenant, which degenerates to the old global FIFO when the service
+// runs unauthenticated.
+//
 // Lifecycle: a submitted job is queued until a worker picks it up, running
 // while its Runner executes, and ends succeeded, failed or canceled. Queued
-// jobs report their 1-based queue position; running jobs report the (done,
-// total) progress their Runner publishes (the engine's per-algorithm sinks,
-// for the anonymization service). Finished jobs are retained for Config.TTL
-// so clients can poll the outcome, then evicted lazily by the next manager
-// operation.
+// jobs report their 1-based dispatch position; running jobs report the
+// (done, total) progress their Runner publishes (the engine's per-algorithm
+// sinks, for the anonymization service). Finished jobs are retained for
+// Config.TTL so clients can poll the outcome, then evicted lazily by the
+// next manager operation.
 package jobs
 
 import (
@@ -54,11 +63,27 @@ func (s State) Terminal() bool {
 // value is retained in the job's snapshot until the job is garbage-collected.
 type Runner func(ctx context.Context, progress func(done, total int)) (any, error)
 
+// Observer receives job lifecycle events for metrics. Both methods are called
+// synchronously but outside the manager mutex, so implementations may call
+// back into the Manager; they must be safe for concurrent use.
+type Observer interface {
+	// JobStarted fires when a worker picks a job up; queueWait is the time the
+	// job spent queued.
+	JobStarted(tenant string, queueWait time.Duration)
+	// JobFinished fires when a job reaches a terminal state (including queued
+	// jobs canceled before running and cache-hit jobs born succeeded via
+	// Complete).
+	JobFinished(tenant string, state State)
+}
+
 // Manager errors.
 var (
 	// ErrQueueFull rejects a submission when the admission queue is at
 	// capacity. Callers translate it into backpressure (HTTP 429).
 	ErrQueueFull = errors.New("jobs: admission queue is full")
+	// ErrTenantQuota rejects a submission when the tenant already has
+	// Config.MaxPerTenant jobs admitted (queued or running).
+	ErrTenantQuota = errors.New("jobs: tenant job quota exceeded")
 	// ErrNotFound is returned for unknown (or already evicted) job ids.
 	ErrNotFound = errors.New("jobs: job not found")
 	// ErrFinished rejects cancellation of a job that already reached a
@@ -75,10 +100,15 @@ type Config struct {
 	// zero). Each worker runs one job at a time, so Workers is the service's
 	// admission-controlled concurrency bound.
 	Workers int
-	// QueueDepth bounds the jobs waiting for a worker (64 when zero; the
-	// total admitted work is therefore Workers running + QueueDepth queued).
-	// A full queue rejects submissions with ErrQueueFull.
+	// QueueDepth bounds the jobs waiting for a worker, summed across all
+	// tenants (64 when zero; the total admitted work is therefore Workers
+	// running + QueueDepth queued). A full queue rejects submissions with
+	// ErrQueueFull.
 	QueueDepth int
+	// MaxPerTenant, when positive, caps one tenant's admitted jobs (queued
+	// plus running); submissions beyond it fail with ErrTenantQuota. Zero
+	// means no per-tenant cap.
+	MaxPerTenant int
 	// TTL is how long finished jobs stay queryable (15 minutes when zero).
 	// Eviction is lazy: every manager operation prunes expired jobs first.
 	TTL time.Duration
@@ -95,6 +125,8 @@ type Config struct {
 	// Now is the clock (time.Now when nil); tests inject a deterministic one
 	// to exercise TTL eviction without sleeping.
 	Now func() time.Time
+	// Observer, when non-nil, receives lifecycle events for metrics.
+	Observer Observer
 }
 
 // Defaults for the zero Config.
@@ -116,14 +148,17 @@ type Progress struct {
 type Snapshot struct {
 	// ID is the manager-assigned job id ("j1", "j2", ...).
 	ID string
+	// Tenant is the tenant the job was submitted under ("" when untenanted).
+	Tenant string
 	// State is the lifecycle state at snapshot time.
 	State State
 	// Meta echoes the Options.Meta the job was submitted with.
 	Meta any
 	// Progress is the job's live progress (zero until the Runner reports).
 	Progress Progress
-	// QueuePos is the job's 1-based position in the admission queue (0 when
-	// not queued).
+	// QueuePos is the job's 1-based position in dispatch order across all
+	// tenant queues (0 when not queued). With multiple active tenants this is
+	// the round-robin pick order, not raw submission order.
 	QueuePos int
 	// Created, Started and Finished are the lifecycle timestamps (zero when
 	// the phase has not been reached).
@@ -141,6 +176,7 @@ type Snapshot struct {
 // with snapshotting.
 type job struct {
 	id      string
+	tenant  string
 	meta    any
 	run     Runner
 	timeout time.Duration
@@ -159,17 +195,42 @@ type job struct {
 
 	progressDone  atomic.Int64
 	progressTotal atomic.Int64
+
+	// tq is the tenant's admission record, set while the job is admitted
+	// (queued or running) so dequeue and completion never need a map lookup.
+	tq *tenantQueue
 }
 
-// Manager runs jobs on a bounded worker pool behind a FIFO admission queue.
-// Create one with New; it is safe for concurrent use.
+// tenantQueue is one tenant's admission state: its FIFO of queued jobs and
+// the count of admitted (queued + running) jobs backing the quota check. The
+// rotation references these records directly, so the per-job dispatch path
+// touches no maps.
+type tenantQueue struct {
+	tenant string
+	queue  []*job
+	active int
+}
+
+// Manager runs jobs on a bounded worker pool behind per-tenant FIFO queues
+// dispatched round-robin. Create one with New; it is safe for concurrent use.
 type Manager struct {
 	cfg  Config
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	jobs     map[string]*job
-	queue    []*job // FIFO of queued jobs
+	jobs map[string]*job
+	// Admission state: each tenant with admitted jobs has a record in
+	// tenants; tenants with a non-empty queue additionally hold exactly one
+	// slot in rotation, and rrNext is the rotation cursor. Newly active
+	// tenants join at the END of the rotation — joining at the cursor would
+	// bound the newcomer's wait tighter, but would let two alternating
+	// tenants starve a third forever. queuedCount is the sum of all queue
+	// lengths.
+	tenants     map[string]*tenantQueue
+	rotation    []*tenantQueue
+	rrNext      int
+	queuedCount int
+
 	finished []*job // terminal jobs in finish order, for TTL eviction
 	seq      int
 	closed   bool
@@ -193,7 +254,11 @@ func New(cfg Config) *Manager {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	m := &Manager{cfg: cfg, jobs: make(map[string]*job)}
+	m := &Manager{
+		cfg:     cfg,
+		jobs:    make(map[string]*job),
+		tenants: make(map[string]*tenantQueue),
+	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -204,6 +269,9 @@ func New(cfg Config) *Manager {
 
 // Options tunes one submission.
 type Options struct {
+	// Tenant attributes the job to a tenant for fair-share dispatch and the
+	// per-tenant quota ("" is the shared anonymous tenant).
+	Tenant string
 	// Meta is an arbitrary caller payload echoed in every Snapshot (the HTTP
 	// service stores the request summary here for job listings).
 	Meta any
@@ -211,9 +279,10 @@ type Options struct {
 	Timeout time.Duration
 }
 
-// Submit admits a job into the queue and returns its initial snapshot. It
-// fails with ErrQueueFull when the admission queue is at capacity and
-// ErrClosed after Close.
+// Submit admits a job into its tenant's queue and returns its initial
+// snapshot. It fails with ErrQueueFull when the admission queue is at
+// capacity, ErrTenantQuota when the tenant's cap is reached, and ErrClosed
+// after Close.
 func (m *Manager) Submit(run Runner, opts Options) (Snapshot, error) {
 	if run == nil {
 		return Snapshot{}, errors.New("jobs: nil Runner")
@@ -224,8 +293,13 @@ func (m *Manager) Submit(run Runner, opts Options) (Snapshot, error) {
 		return Snapshot{}, ErrClosed
 	}
 	m.evictExpiredLocked()
-	if len(m.queue) >= m.cfg.QueueDepth {
-		return Snapshot{}, fmt.Errorf("%w: %d jobs waiting (limit %d)", ErrQueueFull, len(m.queue), m.cfg.QueueDepth)
+	if m.queuedCount >= m.cfg.QueueDepth {
+		return Snapshot{}, fmt.Errorf("%w: %d jobs waiting (limit %d)", ErrQueueFull, m.queuedCount, m.cfg.QueueDepth)
+	}
+	tq := m.tenants[opts.Tenant]
+	if m.cfg.MaxPerTenant > 0 && tq != nil && tq.active >= m.cfg.MaxPerTenant {
+		return Snapshot{}, fmt.Errorf("%w: tenant %q has %d jobs admitted (limit %d)",
+			ErrTenantQuota, opts.Tenant, tq.active, m.cfg.MaxPerTenant)
 	}
 	m.seq++
 	timeout := opts.Timeout
@@ -235,6 +309,7 @@ func (m *Manager) Submit(run Runner, opts Options) (Snapshot, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		id:      fmt.Sprintf("j%d", m.seq),
+		tenant:  opts.Tenant,
 		meta:    opts.Meta,
 		run:     run,
 		timeout: timeout,
@@ -245,7 +320,17 @@ func (m *Manager) Submit(run Runner, opts Options) (Snapshot, error) {
 		created: m.cfg.Now(),
 	}
 	m.jobs[j.id] = j
-	m.queue = append(m.queue, j)
+	if tq == nil {
+		tq = &tenantQueue{tenant: opts.Tenant}
+		m.tenants[opts.Tenant] = tq
+	}
+	j.tq = tq
+	if len(tq.queue) == 0 {
+		m.rotation = append(m.rotation, tq)
+	}
+	tq.queue = append(tq.queue, j)
+	tq.active++
+	m.queuedCount++
 	m.cond.Signal()
 	return m.snapshotLocked(j), nil
 }
@@ -258,8 +343,8 @@ func (m *Manager) Submit(run Runner, opts Options) (Snapshot, error) {
 // to poll, but no worker slot or queue capacity is consumed.
 func (m *Manager) Complete(result any, opts Options) (Snapshot, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return Snapshot{}, ErrClosed
 	}
 	m.evictExpiredLocked()
@@ -267,6 +352,7 @@ func (m *Manager) Complete(result any, opts Options) (Snapshot, error) {
 	now := m.cfg.Now()
 	j := &job{
 		id:       fmt.Sprintf("j%d", m.seq),
+		tenant:   opts.Tenant,
 		meta:     opts.Meta,
 		done:     make(chan struct{}),
 		state:    Succeeded,
@@ -278,30 +364,104 @@ func (m *Manager) Complete(result any, opts Options) (Snapshot, error) {
 	m.jobs[j.id] = j
 	m.finished = append(m.finished, j)
 	close(j.done)
-	return m.snapshotLocked(j), nil
+	snap := m.snapshotLocked(j)
+	m.mu.Unlock()
+	if obs := m.cfg.Observer; obs != nil {
+		obs.JobFinished(j.tenant, Succeeded)
+	}
+	return snap, nil
 }
 
-// worker pulls queued jobs in FIFO order and runs them until Close.
+// dequeueLocked pops the next job in round-robin order: the head of the
+// rotation tenant's queue. A tenant whose queue empties leaves the rotation
+// without advancing the cursor (the next tenant slides into its slot), so no
+// tenant is skipped. Returns nil when nothing is queued. The manager mutex
+// must be held.
+func (m *Manager) dequeueLocked() *job {
+	if m.queuedCount == 0 {
+		return nil
+	}
+	if m.rrNext >= len(m.rotation) {
+		m.rrNext = 0
+	}
+	tq := m.rotation[m.rrNext]
+	j := tq.queue[0]
+	tq.queue = tq.queue[1:]
+	if len(tq.queue) == 0 {
+		m.rotation = append(m.rotation[:m.rrNext], m.rotation[m.rrNext+1:]...)
+	} else {
+		m.rrNext++
+	}
+	m.queuedCount--
+	return j
+}
+
+// releaseTenantLocked drops one admitted job from its tenant's accounting,
+// retiring the tenant record once its last job leaves so a flood of distinct
+// tenant names cannot grow the map unboundedly. The shared anonymous record
+// stays resident — it is a single struct, and deleting it would make every
+// unauthenticated drain/refill cycle reallocate it. The manager mutex must be
+// held.
+func (m *Manager) releaseTenantLocked(j *job) {
+	j.tq.active--
+	if j.tq.active == 0 && j.tq.tenant != "" {
+		delete(m.tenants, j.tq.tenant)
+	}
+}
+
+// removeQueuedLocked unlinks a queued job from its tenant's queue (for
+// Cancel), maintaining the rotation and cursor. The manager mutex must be
+// held.
+func (m *Manager) removeQueuedLocked(j *job) {
+	tq := j.tq
+	for i, cand := range tq.queue {
+		if cand == j {
+			tq.queue = append(tq.queue[:i], tq.queue[i+1:]...)
+			break
+		}
+	}
+	if len(tq.queue) == 0 {
+		for i, r := range m.rotation {
+			if r == tq {
+				m.rotation = append(m.rotation[:i], m.rotation[i+1:]...)
+				if i < m.rrNext {
+					m.rrNext--
+				}
+				break
+			}
+		}
+	}
+	m.queuedCount--
+	m.releaseTenantLocked(j)
+}
+
+// worker pulls jobs in per-tenant round-robin order and runs them until
+// Close.
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for len(m.queue) == 0 && !m.closed {
+		for m.queuedCount == 0 && !m.closed {
 			m.cond.Wait()
 		}
-		if len(m.queue) == 0 && m.closed {
+		if m.queuedCount == 0 && m.closed {
 			m.mu.Unlock()
 			return
 		}
-		j := m.queue[0]
-		m.queue = m.queue[1:]
+		j := m.dequeueLocked()
 		j.state = Running
 		j.started = m.cfg.Now()
+		wait := j.started.Sub(j.created)
 		ctx, timeoutCancel := j.ctx, context.CancelFunc(func() {})
 		if j.timeout > 0 {
 			ctx, timeoutCancel = context.WithTimeout(j.ctx, j.timeout)
 		}
 		m.mu.Unlock()
+
+		obs := m.cfg.Observer
+		if obs != nil {
+			obs.JobStarted(j.tenant, wait)
+		}
 
 		result, err := runRecovered(j, ctx)
 		timeoutCancel()
@@ -319,9 +479,15 @@ func (m *Manager) worker() {
 			j.state = Failed
 			j.err = err
 		}
+		terminal := j.state
+		m.releaseTenantLocked(j)
 		m.finished = append(m.finished, j)
 		close(j.done)
 		m.mu.Unlock()
+
+		if obs != nil {
+			obs.JobFinished(j.tenant, terminal)
+		}
 	}
 }
 
@@ -385,33 +551,35 @@ func (m *Manager) List() []Snapshot {
 // a finished job fails with ErrFinished.
 func (m *Manager) Cancel(id string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.evictExpiredLocked()
 	j, ok := m.jobs[id]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	switch j.state {
 	case Queued:
-		for i, q := range m.queue {
-			if q == j {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				break
-			}
-		}
+		m.removeQueuedLocked(j)
 		j.cancel()
 		j.state = Canceled
 		j.err = context.Canceled
 		j.finished = m.cfg.Now()
 		m.finished = append(m.finished, j)
 		close(j.done)
+		m.mu.Unlock()
+		if obs := m.cfg.Observer; obs != nil {
+			obs.JobFinished(j.tenant, Canceled)
+		}
 		return nil
 	case Running:
 		j.canceling = true
 		j.cancel()
+		m.mu.Unlock()
 		return nil
 	default:
-		return fmt.Errorf("%w: %s is %s", ErrFinished, id, j.state)
+		state := j.state
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrFinished, id, state)
 	}
 }
 
@@ -481,6 +649,20 @@ func (m *Manager) Counts() (queued, running, finished int) {
 	return
 }
 
+// TenantCounts reports each tenant's admitted (queued + running) jobs; the
+// HTTP service surfaces it for quota observability.
+func (m *Manager) TenantCounts() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.tenants))
+	for name, tq := range m.tenants {
+		if tq.active > 0 { // the anonymous record stays resident at zero
+			out[name] = tq.active
+		}
+	}
+	return out
+}
+
 // Close stops the manager: queued jobs are canceled, running jobs have their
 // contexts canceled, and Close returns once every worker has drained. Further
 // submissions fail with ErrClosed.
@@ -492,15 +674,17 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
-	for _, j := range m.queue {
+	var drained []*job
+	for j := m.dequeueLocked(); j != nil; j = m.dequeueLocked() {
 		j.cancel()
 		j.state = Canceled
 		j.err = context.Canceled
 		j.finished = m.cfg.Now()
+		m.releaseTenantLocked(j)
 		m.finished = append(m.finished, j)
 		close(j.done)
+		drained = append(drained, j)
 	}
-	m.queue = nil
 	for _, j := range m.jobs {
 		if j.state == Running {
 			j.canceling = true
@@ -509,6 +693,11 @@ func (m *Manager) Close() {
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	if obs := m.cfg.Observer; obs != nil {
+		for _, j := range drained {
+			obs.JobFinished(j.tenant, Canceled)
+		}
+	}
 	m.wg.Wait()
 }
 
@@ -516,6 +705,7 @@ func (m *Manager) Close() {
 func (m *Manager) snapshotLocked(j *job) Snapshot {
 	s := Snapshot{
 		ID:       j.id,
+		Tenant:   j.tenant,
 		State:    j.state,
 		Meta:     j.meta,
 		Created:  j.created,
@@ -529,14 +719,49 @@ func (m *Manager) snapshotLocked(j *job) Snapshot {
 		},
 	}
 	if j.state == Queued {
-		for i, q := range m.queue {
-			if q == j {
-				s.QueuePos = i + 1
-				break
-			}
-		}
+		s.QueuePos = m.queuePosLocked(j)
 	}
 	return s
+}
+
+// queuePosLocked computes a queued job's 1-based dispatch position by
+// simulating round-robin draining from the current cursor. O(queued jobs),
+// bounded by QueueDepth. The manager mutex must be held.
+func (m *Manager) queuePosLocked(target *job) int {
+	// One active tenant — the whole unauthenticated service, and any moment
+	// the other tenants' queues have drained — dispatches in plain FIFO
+	// order, so the position is the index in that queue. This keeps the
+	// hot submit-snapshot path allocation-free.
+	if len(m.rotation) == 1 {
+		for i, j := range m.rotation[0].queue {
+			if j == target {
+				return i + 1
+			}
+		}
+		return 0
+	}
+	rot := append([]*tenantQueue(nil), m.rotation...)
+	next := make(map[*tenantQueue]int, len(rot))
+	cur := m.rrNext
+	pos := 0
+	for len(rot) > 0 {
+		if cur >= len(rot) {
+			cur = 0
+		}
+		tq := rot[cur]
+		j := tq.queue[next[tq]]
+		pos++
+		if j == target {
+			return pos
+		}
+		next[tq]++
+		if next[tq] >= len(tq.queue) {
+			rot = append(rot[:cur], rot[cur+1:]...)
+		} else {
+			cur++
+		}
+	}
+	return 0
 }
 
 // evictExpiredLocked drops finished jobs whose TTL has passed, and the

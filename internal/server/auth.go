@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the tenant-aware admission layer: optional API-key
+// authentication mapping each key to a tenant name, and a per-tenant
+// token-bucket rate limiter. Both are middleware; both exempt /healthz and
+// /metrics so load balancers and scrapers keep working when a tenant is
+// throttled or a key rotates. When Config.APIKeys is empty the service runs
+// unauthenticated exactly as before, with every request sharing the ""
+// tenant.
+
+// requestInfo travels down the middleware chain inside the request context.
+// The instrument middleware (which runs outermost, before authentication)
+// injects a mutable holder; authenticate fills in the tenant so the access
+// log and any handler can read it.
+type requestInfo struct {
+	tenant string
+}
+
+type requestInfoKey struct{}
+
+// withRequestInfo injects a fresh holder into the request context.
+func withRequestInfo(r *http.Request) (*http.Request, *requestInfo) {
+	info := &requestInfo{}
+	return r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, info)), info
+}
+
+// requestInfoOf returns the holder, or nil when the middleware chain did not
+// inject one (direct handler tests).
+func requestInfoOf(r *http.Request) *requestInfo {
+	info, _ := r.Context().Value(requestInfoKey{}).(*requestInfo)
+	return info
+}
+
+// tenantOf returns the authenticated tenant of a request ("" when
+// unauthenticated or untenanted).
+func tenantOf(r *http.Request) string {
+	if info := requestInfoOf(r); info != nil {
+		return info.tenant
+	}
+	return ""
+}
+
+// exemptFromAdmission reports whether a path bypasses authentication and rate
+// limiting: liveness and metrics must stay reachable for infrastructure.
+func exemptFromAdmission(path string) bool {
+	return path == "/healthz" || path == "/metrics"
+}
+
+// authenticate resolves the request's tenant from its API key. With no keys
+// configured it passes everything through (unauthenticated single-tenant
+// mode). The key arrives as "Authorization: Bearer <key>" or in the X-API-Key
+// header; an absent or unknown key is 401.
+func (s *Server) authenticate(next http.Handler) http.Handler {
+	if len(s.cfg.APIKeys) == 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptFromAdmission(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := r.Header.Get("X-API-Key")
+		if key == "" {
+			if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+				key = strings.TrimPrefix(auth, "Bearer ")
+			}
+		}
+		if key == "" {
+			writeError(w, http.StatusUnauthorized, "unauthorized",
+				"missing API key: pass Authorization: Bearer <key> or X-API-Key")
+			return
+		}
+		tenant, ok := s.cfg.APIKeys[key]
+		if !ok {
+			writeError(w, http.StatusUnauthorized, "unauthorized", "unknown API key")
+			return
+		}
+		if info := requestInfoOf(r); info != nil {
+			info.tenant = tenant
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// tenantLimiter is a token-bucket rate limiter keyed by tenant. Buckets
+// refill continuously at rate tokens/second up to burst; a request consumes
+// one token. The clock is injectable so tests need no sleeps.
+type tenantLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	now     func() time.Time
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantLimiter(rate float64, burst int, now func() time.Time) *tenantLimiter {
+	if burst < 1 {
+		burst = int(math.Max(1, math.Ceil(rate)))
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &tenantLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     now,
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// allow consumes one token from the tenant's bucket. When the bucket is
+// empty it reports the wait until the next token accrues, for Retry-After.
+func (l *tenantLimiter) allow(tenant string) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// rateLimit throttles each tenant to Config.TenantRate requests/second with
+// Config.TenantBurst headroom. Disabled (pass-through) when the rate is zero.
+// It runs after authenticate in the chain, so the tenant is already resolved;
+// in unauthenticated mode every request shares the "" bucket, making the
+// limiter a global one.
+func (s *Server) rateLimit(next http.Handler) http.Handler {
+	if s.cfg.TenantRate <= 0 {
+		return next
+	}
+	limiter := newTenantLimiter(s.cfg.TenantRate, s.cfg.TenantBurst, s.cfg.Now)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptFromAdmission(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ok, wait := limiter.allow(tenantOf(r))
+		if !ok {
+			secs := int(math.Ceil(wait.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, "rate_limited",
+				"tenant rate limit exceeded (%.3g req/s); retry after %ds", s.cfg.TenantRate, secs)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// ParseAPIKeys reads a `serve -api-keys` file: one "<key> <tenant>" pair per
+// line, whitespace-separated; blank lines and #-comments are skipped. Keys
+// must be unique; several keys may map to one tenant (key rotation).
+func ParseAPIKeys(r io.Reader) (map[string]string, error) {
+	out := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("api-keys line %d: want \"<key> <tenant>\", got %d fields", lineNo, len(fields))
+		}
+		key, tenant := fields[0], fields[1]
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("api-keys line %d: duplicate key", lineNo)
+		}
+		out[key] = tenant
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("api-keys: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("api-keys: no key/tenant pairs found")
+	}
+	return out, nil
+}

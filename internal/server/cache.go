@@ -8,7 +8,6 @@ import (
 
 	"github.com/ppdp/ppdp/internal/core"
 	"github.com/ppdp/ppdp/internal/jobs"
-	"github.com/ppdp/ppdp/internal/resultcache"
 )
 
 // This file wires the cross-request result cache (internal/resultcache) into
@@ -112,7 +111,7 @@ func (s *Server) cachedOutcome(p *preparedRun, hit *cachedRun, storeRelease bool
 // the asynchronous client still gets a pollable job id. settled reports
 // whether the request needs no submission: either snap is a valid succeeded
 // job (ok) or the error envelope was already written (!ok).
-func (s *Server) serveFromCache(w http.ResponseWriter, p *preparedRun, storeRelease bool) (snap jobs.Snapshot, settled, ok bool) {
+func (s *Server) serveFromCache(w http.ResponseWriter, tenant string, p *preparedRun, storeRelease bool) (snap jobs.Snapshot, settled, ok bool) {
 	if s.cache == nil || p.req.NoCache {
 		return jobs.Snapshot{}, false, false
 	}
@@ -131,7 +130,7 @@ func (s *Server) serveFromCache(w http.ResponseWriter, p *preparedRun, storeRele
 		writeAnonymizeError(w, err)
 		return jobs.Snapshot{}, true, false
 	}
-	snap, err = s.jobs.Complete(out, jobs.Options{Meta: jobMeta{
+	snap, err = s.jobs.Complete(out, jobs.Options{Tenant: tenant, Meta: jobMeta{
 		dataset:   p.req.Dataset,
 		algorithm: string(p.alg),
 		policy:    p.anon.Policy(),
@@ -144,25 +143,12 @@ func (s *Server) serveFromCache(w http.ResponseWriter, p *preparedRun, storeRele
 	return snap, true, true
 }
 
-// cacheStatsJSON is the /healthz view of the result cache.
+// cacheStatsJSON is the /healthz view of the result cache; handleHealthz
+// fills it from the same obsmetrics handles /metrics renders.
 type cacheStatsJSON struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 	Capacity  int   `json:"capacity"`
-}
-
-func cacheStatsOf(c *resultcache.Cache) *cacheStatsJSON {
-	if c == nil {
-		return nil
-	}
-	st := c.Stats()
-	return &cacheStatsJSON{
-		Hits:      st.Hits,
-		Misses:    st.Misses,
-		Evictions: st.Evictions,
-		Entries:   st.Entries,
-		Capacity:  st.Capacity,
-	}
 }

@@ -82,9 +82,10 @@ func (s *Server) handleGenerateDataset(w http.ResponseWriter, r *http.Request) {
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
+	tenant := tenantOf(r)
 	// Advisory pre-check before generating up to a million rows; the
 	// authoritative check stays inside putDataset.
-	if err := s.reg.canCreateDataset(req.Name); err != nil {
+	if err := s.reg.canCreateDataset(req.Name, tenant, s.cfg.TenantMaxDatasets); err != nil {
 		writeRegistryError(w, err)
 		return
 	}
@@ -99,11 +100,12 @@ func (s *Server) handleGenerateDataset(w http.ResponseWriter, r *http.Request) {
 	ds := &storedDataset{
 		name:    req.Name,
 		family:  family.Name,
+		tenant:  tenant,
 		table:   family.Generate(req.Rows, seed),
 		hier:    family.Hierarchies(),
 		created: time.Now(),
 	}
-	if err := s.reg.putDataset(ds, false); err != nil {
+	if err := s.reg.putDataset(ds, false, s.cfg.TenantMaxDatasets); err != nil {
 		writeRegistryError(w, err)
 		return
 	}
@@ -111,13 +113,17 @@ func (s *Server) handleGenerateDataset(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeRegistryError maps registry store failures: occupancy limits are 507
-// (free space with DELETE and retry), everything else is a name conflict.
+// (free space with DELETE and retry), an exhausted per-tenant quota is 429
+// (the tenant can free its own entries), everything else is a name conflict.
 func writeRegistryError(w http.ResponseWriter, err error) {
-	if errors.Is(err, errRegistryFull) {
+	switch {
+	case errors.Is(err, errRegistryFull):
 		writeError(w, http.StatusInsufficientStorage, "registry_full", "%v", err)
-		return
+	case errors.Is(err, errTenantQuota):
+		writeError(w, http.StatusTooManyRequests, "tenant_quota", "%v", err)
+	default:
+		writeError(w, http.StatusConflict, "conflict", "%v", err)
 	}
-	writeError(w, http.StatusConflict, "conflict", "%v", err)
 }
 
 // handleUploadDataset ingests a CSV body under PUT /v1/datasets/{name}. The
@@ -148,8 +154,8 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_csv", "%v", err)
 		return
 	}
-	ds := &storedDataset{name: name, family: f.Name, table: tbl, hier: f.Hierarchies(), created: time.Now()}
-	if err := s.reg.putDataset(ds, true); err != nil {
+	ds := &storedDataset{name: name, family: f.Name, tenant: tenantOf(r), table: tbl, hier: f.Hierarchies(), created: time.Now()}
+	if err := s.reg.putDataset(ds, true, s.cfg.TenantMaxDatasets); err != nil {
 		writeRegistryError(w, err)
 		return
 	}
@@ -446,7 +452,7 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 	if p == nil {
 		return
 	}
-	snap, ok := s.submit(w, p, req.Store)
+	snap, ok := s.submit(w, tenantOf(r), p, req.Store)
 	if !ok {
 		return
 	}

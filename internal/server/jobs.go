@@ -159,6 +159,9 @@ func (s *Server) anonymizeRunner(p *preparedRun, storeRelease bool) jobs.Runner 
 		start := time.Now()
 		rel, err := p.anon.WithProgress(progress).AnonymizeContext(ctx, p.ds.table)
 		elapsed := time.Since(start)
+		// Every executed run lands in the per-algorithm latency histogram and
+		// outcome counter, successful or not (cache hits never reach here).
+		s.metrics.observeRun(string(p.alg), elapsed, err)
 		if err != nil {
 			return nil, err
 		}
@@ -214,13 +217,15 @@ func (s *Server) anonymizeRunner(p *preparedRun, storeRelease bool) jobs.Runner 
 
 // submit settles a prepared run: from the result cache when an identical run
 // was already computed (a hit skips the admission queue entirely), otherwise
-// by admitting it into the shared queue — mapping a full queue to 429 with a
-// Retry-After hint. It writes the error itself and reports ok.
-func (s *Server) submit(w http.ResponseWriter, p *preparedRun, storeRelease bool) (jobs.Snapshot, bool) {
-	if snap, settled, ok := s.serveFromCache(w, p, storeRelease); settled {
+// by admitting it into the shared queue under the request's tenant — mapping
+// a full queue or an exhausted tenant quota to 429 with a Retry-After hint.
+// It writes the error itself and reports ok.
+func (s *Server) submit(w http.ResponseWriter, tenant string, p *preparedRun, storeRelease bool) (jobs.Snapshot, bool) {
+	if snap, settled, ok := s.serveFromCache(w, tenant, p, storeRelease); settled {
 		return snap, ok
 	}
 	snap, err := s.jobs.Submit(s.anonymizeRunner(p, storeRelease), jobs.Options{
+		Tenant: tenant,
 		Meta: jobMeta{
 			dataset:   p.req.Dataset,
 			algorithm: string(p.alg),
@@ -230,10 +235,14 @@ func (s *Server) submit(w http.ResponseWriter, p *preparedRun, storeRelease bool
 		Timeout: p.timeout,
 	})
 	if err != nil {
-		if errors.Is(err, jobs.ErrQueueFull) {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "queue_full", "%v", err)
-		} else {
+		case errors.Is(err, jobs.ErrTenantQuota):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "tenant_quota", "%v", err)
+		default:
 			writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 		}
 		return jobs.Snapshot{}, false
@@ -269,6 +278,7 @@ type progressJSON struct {
 type jobInfo struct {
 	ID            string         `json:"id"`
 	State         string         `json:"state"`
+	Tenant        string         `json:"tenant,omitempty"`
 	Dataset       string         `json:"dataset,omitempty"`
 	Algorithm     string         `json:"algorithm,omitempty"`
 	Policy        *policy.Policy `json:"policy,omitempty"`
@@ -292,6 +302,7 @@ func jobJSON(snap jobs.Snapshot) jobInfo {
 	info := jobInfo{
 		ID:            snap.ID,
 		State:         string(snap.State),
+		Tenant:        snap.Tenant,
 		QueuePosition: snap.QueuePos,
 		Created:       snap.Created,
 		Progress: progressJSON{
@@ -350,7 +361,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if p == nil {
 		return
 	}
-	snap, ok := s.submit(w, p, true)
+	snap, ok := s.submit(w, tenantOf(r), p, true)
 	if !ok {
 		return
 	}

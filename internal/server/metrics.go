@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"github.com/ppdp/ppdp/internal/jobs"
+	"github.com/ppdp/ppdp/internal/obsmetrics"
+)
+
+// This file is the service's observability layer: one obsmetrics.Registry
+// holding every instrument GET /metrics exposes. /healthz reads the same
+// instrument handles (see handleHealthz), so the two endpoints cannot drift —
+// a number a load balancer checks is the number an alerting rule scrapes.
+//
+// Metric inventory (all names prefixed ppdp_):
+//
+//	http_requests_total{route,status}     counter    requests by mux pattern + status
+//	http_request_duration_seconds{route}  histogram  request latency by mux pattern
+//	http_in_flight_requests               gauge      requests currently being served
+//	run_duration_seconds{algorithm}       histogram  anonymization run latency
+//	runs_total{algorithm,outcome}         counter    runs by outcome (success/error/canceled/timeout)
+//	jobs_total{state}                     counter    job terminal transitions (succeeded/failed/canceled)
+//	jobs_queue_wait_seconds               histogram  time jobs spent queued before dispatch
+//	jobs_queued / jobs_running            gauge      executor occupancy (collected from the manager)
+//	registry_datasets/releases/policies   gauge      registry occupancy (collected from the registry)
+//	cache_hits/misses/evictions_total     counter    result-cache counters (collected from the cache)
+//	cache_entries / cache_capacity        gauge      result-cache occupancy
+//	uptime_seconds                        gauge      seconds since server construction
+
+// runBuckets spreads anonymization run latency: runs range from
+// sub-millisecond cache-warm Datafly to multi-second Mondrian over large
+// tables, wider than DefBuckets' request-latency spread.
+var runBuckets = []float64{.001, .005, .01, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60}
+
+// serverMetrics bundles every instrument of the service. It implements
+// jobs.Observer so the executor feeds the queue-wait histogram and lifecycle
+// counters directly.
+type serverMetrics struct {
+	registry *obsmetrics.Registry
+
+	httpRequests *obsmetrics.CounterVec
+	httpLatency  *obsmetrics.HistogramVec
+	httpInFlight *obsmetrics.Gauge
+
+	runLatency *obsmetrics.HistogramVec
+	runsTotal  *obsmetrics.CounterVec
+
+	jobsTotal     *obsmetrics.CounterVec
+	jobsQueueWait *obsmetrics.Histogram
+	jobsQueued    *obsmetrics.FuncMetric
+	jobsRunning   *obsmetrics.FuncMetric
+
+	regDatasets *obsmetrics.FuncMetric
+	regReleases *obsmetrics.FuncMetric
+	regPolicies *obsmetrics.FuncMetric
+
+	// Cache metrics are nil when caching is disabled.
+	cacheHits      *obsmetrics.FuncMetric
+	cacheMisses    *obsmetrics.FuncMetric
+	cacheEvictions *obsmetrics.FuncMetric
+	cacheEntries   *obsmetrics.FuncMetric
+	cacheCapacity  *obsmetrics.FuncMetric
+
+	uptime *obsmetrics.FuncMetric
+}
+
+// newServerMetrics registers the full inventory against s. The occupancy
+// gauges are function-backed: they collect from the registry, the jobs
+// manager and the result cache at scrape time, so there is no second set of
+// counters to keep in sync. The closures read s.jobs and s.cache lazily —
+// New assigns both before the server can serve a scrape.
+func newServerMetrics(s *Server) *serverMetrics {
+	r := obsmetrics.NewRegistry()
+	m := &serverMetrics{registry: r}
+
+	m.httpRequests = r.CounterVec("ppdp_http_requests_total",
+		"HTTP requests served, by route pattern and status code.", "route", "status")
+	m.httpLatency = r.HistogramVec("ppdp_http_request_duration_seconds",
+		"HTTP request latency in seconds, by route pattern.", nil, "route")
+	m.httpInFlight = r.Gauge("ppdp_http_in_flight_requests",
+		"HTTP requests currently being served.")
+
+	m.runLatency = r.HistogramVec("ppdp_run_duration_seconds",
+		"Anonymization run latency in seconds, by algorithm.", runBuckets, "algorithm")
+	m.runsTotal = r.CounterVec("ppdp_runs_total",
+		"Anonymization runs executed, by algorithm and outcome.", "algorithm", "outcome")
+
+	m.jobsTotal = r.CounterVec("ppdp_jobs_total",
+		"Jobs reaching a terminal state, by state.", "state")
+	m.jobsQueueWait = r.Histogram("ppdp_jobs_queue_wait_seconds",
+		"Time jobs spent in the admission queue before dispatch.", nil)
+	m.jobsQueued = r.GaugeFunc("ppdp_jobs_queued",
+		"Jobs waiting in the admission queue.", func() float64 {
+			q, _, _ := s.jobs.Counts()
+			return float64(q)
+		})
+	m.jobsRunning = r.GaugeFunc("ppdp_jobs_running",
+		"Jobs currently executing.", func() float64 {
+			_, run, _ := s.jobs.Counts()
+			return float64(run)
+		})
+
+	m.regDatasets = r.GaugeFunc("ppdp_registry_datasets",
+		"Datasets stored in the registry.", func() float64 {
+			d, _, _ := s.reg.counts()
+			return float64(d)
+		})
+	m.regReleases = r.GaugeFunc("ppdp_registry_releases",
+		"Releases stored in the registry.", func() float64 {
+			_, rel, _ := s.reg.counts()
+			return float64(rel)
+		})
+	m.regPolicies = r.GaugeFunc("ppdp_registry_policies",
+		"Policies stored in the registry.", func() float64 {
+			_, _, pol := s.reg.counts()
+			return float64(pol)
+		})
+
+	if s.cache != nil {
+		m.cacheHits = r.CounterFunc("ppdp_cache_hits_total",
+			"Result-cache hits.", func() float64 { return float64(s.cache.Stats().Hits) })
+		m.cacheMisses = r.CounterFunc("ppdp_cache_misses_total",
+			"Result-cache misses.", func() float64 { return float64(s.cache.Stats().Misses) })
+		m.cacheEvictions = r.CounterFunc("ppdp_cache_evictions_total",
+			"Result-cache evictions.", func() float64 { return float64(s.cache.Stats().Evictions) })
+		m.cacheEntries = r.GaugeFunc("ppdp_cache_entries",
+			"Result-cache entries.", func() float64 { return float64(s.cache.Stats().Entries) })
+		m.cacheCapacity = r.GaugeFunc("ppdp_cache_capacity",
+			"Result-cache capacity.", func() float64 { return float64(s.cache.Stats().Capacity) })
+	}
+
+	m.uptime = r.GaugeFunc("ppdp_uptime_seconds",
+		"Seconds since the server started.", func() float64 {
+			return time.Since(s.started).Seconds()
+		})
+	return m
+}
+
+// observeRun records one anonymization run's latency and outcome for the
+// per-algorithm histograms; both executor paths (fresh runs; never cache
+// hits, which execute nothing) report here.
+func (m *serverMetrics) observeRun(algorithm string, elapsed time.Duration, err error) {
+	m.runLatency.With(algorithm).Observe(elapsed.Seconds())
+	m.runsTotal.With(algorithm, runOutcome(err)).Inc()
+}
+
+// runOutcome buckets a run error for the runs_total outcome label, mirroring
+// classifyAnonymizeError's cancellation/timeout split without the HTTP
+// statuses.
+func runOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "success"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// JobStarted implements jobs.Observer: feed the queue-wait histogram.
+func (m *serverMetrics) JobStarted(tenant string, queueWait time.Duration) {
+	m.jobsQueueWait.Observe(queueWait.Seconds())
+}
+
+// JobFinished implements jobs.Observer: count terminal transitions by state.
+func (m *serverMetrics) JobFinished(tenant string, state jobs.State) {
+	m.jobsTotal.With(string(state)).Inc()
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.registry.Handler().ServeHTTP(w, r)
+}

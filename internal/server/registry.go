@@ -22,6 +22,7 @@ var (
 	errPolicyMissing   = errors.New("policy not found")
 	errDatasetReferred = errors.New("dataset is referenced by stored releases")
 	errRegistryFull    = errors.New("registry is full")
+	errTenantQuota     = errors.New("tenant dataset quota exceeded")
 )
 
 // Registry occupancy caps. Datasets and stored releases retain full tables
@@ -41,8 +42,11 @@ const (
 // immutable once stored: handlers only read it (reads build the shared
 // columnar caches, which are internally synchronized).
 type storedDataset struct {
-	name    string
-	family  string
+	name   string
+	family string
+	// tenant records who stored the dataset ("" for unauthenticated uploads
+	// and preloads); the per-tenant dataset quota counts entries by it.
+	tenant  string
 	table   *dataset.Table
 	hier    *hierarchy.Set
 	created time.Time
@@ -159,10 +163,13 @@ func (r *registry) deletePolicy(name string) error {
 // errDatasetExists. Even with replace, a dataset that stored releases still
 // reference is protected — swapping the table underneath them would silently
 // corrupt their utility reports, the same breakage deleteDataset refuses.
-func (r *registry) putDataset(ds *storedDataset, replace bool) error {
+// maxPerTenant, when positive, caps how many datasets ds.tenant may hold
+// (replacing one's own dataset never consumes quota).
+func (r *registry) putDataset(ds *storedDataset, replace bool, maxPerTenant int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.datasets[ds.name]; ok {
+	existing, exists := r.datasets[ds.name]
+	if exists {
 		if !replace {
 			return fmt.Errorf("%w: %q", errDatasetExists, ds.name)
 		}
@@ -174,14 +181,36 @@ func (r *registry) putDataset(ds *storedDataset, replace bool) error {
 	} else if len(r.datasets) >= maxDatasets {
 		return fmt.Errorf("%w: %d datasets stored (limit %d)", errRegistryFull, len(r.datasets), maxDatasets)
 	}
+	if maxPerTenant > 0 {
+		owned := r.tenantDatasetsLocked(ds.tenant)
+		if exists && existing.tenant == ds.tenant {
+			owned-- // replacing one of its own entries frees that slot
+		}
+		if owned >= maxPerTenant {
+			return fmt.Errorf("%w: tenant %q holds %d datasets (limit %d)",
+				errTenantQuota, ds.tenant, owned, maxPerTenant)
+		}
+	}
 	r.datasets[ds.name] = ds
 	return nil
 }
 
-// canCreateDataset is a cheap advisory pre-check (name free, under cap) so
+// tenantDatasetsLocked counts datasets owned by a tenant; the registry mutex
+// must be held (read or write).
+func (r *registry) tenantDatasetsLocked(tenant string) int {
+	n := 0
+	for _, ds := range r.datasets {
+		if ds.tenant == tenant {
+			n++
+		}
+	}
+	return n
+}
+
+// canCreateDataset is a cheap advisory pre-check (name free, under caps) so
 // handlers can refuse before doing expensive generation work. putDataset
 // remains the authoritative check under the write lock.
-func (r *registry) canCreateDataset(name string) error {
+func (r *registry) canCreateDataset(name, tenant string, maxPerTenant int) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if _, ok := r.datasets[name]; ok {
@@ -189,6 +218,12 @@ func (r *registry) canCreateDataset(name string) error {
 	}
 	if len(r.datasets) >= maxDatasets {
 		return fmt.Errorf("%w: %d datasets stored (limit %d)", errRegistryFull, len(r.datasets), maxDatasets)
+	}
+	if maxPerTenant > 0 {
+		if owned := r.tenantDatasetsLocked(tenant); owned >= maxPerTenant {
+			return fmt.Errorf("%w: tenant %q holds %d datasets (limit %d)",
+				errTenantQuota, tenant, owned, maxPerTenant)
+		}
 	}
 	return nil
 }
@@ -283,7 +318,7 @@ func (s *Server) AddDataset(name, family string, tbl *dataset.Table, hs *hierarc
 	}
 	return s.reg.putDataset(&storedDataset{
 		name: name, family: family, table: tbl, hier: hs, created: time.Now(),
-	}, false)
+	}, false, 0)
 }
 
 // listReleases returns every stored release in creation order (ids are a

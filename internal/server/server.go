@@ -44,6 +44,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"github.com/ppdp/ppdp/internal/core"
@@ -89,6 +90,28 @@ type Config struct {
 	// Zero uses DefaultCacheSize entries; negative disables caching. Requests
 	// opt out individually with "no_cache".
 	CacheSize int
+	// APIKeys maps API keys to tenant names (`serve -api-keys`). When empty
+	// the service runs unauthenticated and every request shares the ""
+	// tenant; when set, requests must present a known key via Authorization:
+	// Bearer or X-API-Key (except /healthz and /metrics, which stay open for
+	// infrastructure).
+	APIKeys map[string]string
+	// TenantRate throttles each tenant to this many requests per second
+	// (token bucket; zero disables rate limiting). In unauthenticated mode
+	// the single "" tenant makes this a global limit.
+	TenantRate float64
+	// TenantBurst is the rate limiter's bucket size (defaults to
+	// max(1, ceil(TenantRate)) when zero).
+	TenantBurst int
+	// TenantMaxDatasets caps how many datasets one tenant may store (zero
+	// disables the quota).
+	TenantMaxDatasets int
+	// TenantMaxJobs caps one tenant's admitted jobs — queued plus running —
+	// on the shared executor (zero disables the quota).
+	TenantMaxJobs int
+	// Now is the clock the rate limiter uses (time.Now when nil); tests
+	// inject a deterministic one.
+	Now func() time.Time
 	// Log receives one line per request; nil disables request logging.
 	Log *log.Logger
 }
@@ -111,6 +134,7 @@ type Server struct {
 	reg     *registry
 	jobs    *jobs.Manager
 	cache   *resultcache.Cache // nil when caching is disabled
+	metrics *serverMetrics
 	mux     *http.ServeMux
 	started time.Time
 
@@ -144,10 +168,17 @@ func New(cfg Config) *Server {
 		}
 		s.cache = resultcache.New(size)
 	}
+	// The metrics inventory registers before the executor starts: its
+	// occupancy gauges collect from s.jobs lazily at scrape time, and the
+	// manager's Observer hook feeds the queue-wait histogram and lifecycle
+	// counters.
+	s.metrics = newServerMetrics(s)
 	s.jobs = jobs.New(jobs.Config{
-		Workers:    cfg.JobWorkers,
-		QueueDepth: cfg.QueueDepth,
-		TTL:        cfg.JobTTL,
+		Workers:      cfg.JobWorkers,
+		QueueDepth:   cfg.QueueDepth,
+		MaxPerTenant: cfg.TenantMaxJobs,
+		TTL:          cfg.JobTTL,
+		Observer:     s.metrics,
 	})
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -177,6 +208,7 @@ var routeTable = []struct {
 	handler func(*Server, http.ResponseWriter, *http.Request)
 }{
 	{RouteDoc{"GET /healthz", "liveness, registry occupancy and executor load"}, (*Server).handleHealthz},
+	{RouteDoc{"GET /metrics", "Prometheus text exposition: request/run latency histograms, queue depth and wait, job lifecycle counters, registry and cache occupancy"}, (*Server).handleMetrics},
 	{RouteDoc{"GET /v1/algorithms", "capability cards of every registered algorithm, including supported policy criteria"}, (*Server).handleAlgorithms},
 	{RouteDoc{"POST /v1/datasets", "generate a synthetic census/hospital dataset under a registry name"}, (*Server).handleGenerateDataset},
 	{RouteDoc{"PUT /v1/datasets/{name}", "upload a CSV dataset (create-or-replace; ?family= selects the schema)"}, (*Server).handleUploadDataset},
@@ -221,14 +253,16 @@ func (s *Server) routes() {
 	}
 }
 
-// Handler returns the service's HTTP handler with body limits and logging
-// applied. Tests mount it on httptest.Server; ListenAndServe uses it too.
+// Handler returns the service's HTTP handler with the full middleware chain
+// applied, outermost first: instrument (metrics + access log), authenticate
+// (API keys → tenant), rateLimit (per-tenant token bucket) and limitBody.
+// Tests mount it on httptest.Server; ListenAndServe uses it too.
 func (s *Server) Handler() http.Handler {
 	var h http.Handler = s.mux
 	h = s.limitBody(h)
-	if s.cfg.Log != nil {
-		h = s.logRequests(h)
-	}
+	h = s.rateLimit(h)
+	h = s.authenticate(h)
+	h = s.instrument(h)
 	return h
 }
 
@@ -293,12 +327,14 @@ func (s *Server) limitBody(next http.Handler) http.Handler {
 	})
 }
 
-// statusRecorder captures the response status code for the access log. The
-// zero status means the handler never called WriteHeader, which net/http
-// commits as an implicit 200 on the first Write.
+// statusRecorder captures the response status code and body size for the
+// access log and the HTTP metrics. The zero status means the handler never
+// called WriteHeader, which net/http commits as an implicit 200 on the first
+// Write.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -312,23 +348,54 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	if r.status == 0 {
 		r.status = http.StatusOK
 	}
-	return r.ResponseWriter.Write(b)
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
 }
 
-// logRequests writes one line per request — method, path, status, duration —
-// to Config.Log.
-func (s *Server) logRequests(next http.Handler) http.Handler {
+// instrument is the outermost middleware: it injects the requestInfo holder
+// (filled in by authenticate further down the chain), records the HTTP
+// metrics — request count and latency by route pattern and status, in-flight
+// gauge — and emits the access log line from the same measurements, so the
+// log and the metrics can never disagree about a request. The route label is
+// the mux's registered pattern, not the raw path, keeping the label
+// cardinality bounded by the route table.
+func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		r, info := withRequestInfo(r)
+		s.metrics.httpInFlight.Inc()
 		rec := &statusRecorder{ResponseWriter: w}
 		next.ServeHTTP(rec, r)
+		s.metrics.httpInFlight.Dec()
 		status := rec.status
 		if status == 0 {
 			// Handler wrote nothing at all; net/http sends an implicit 200.
 			status = http.StatusOK
 		}
-		s.cfg.Log.Printf("%s %s %d %s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond))
+		elapsed := time.Since(start)
+		route := s.routePattern(r)
+		s.metrics.httpRequests.With(route, strconv.Itoa(status)).Inc()
+		s.metrics.httpLatency.With(route).Observe(elapsed.Seconds())
+		if s.cfg.Log != nil {
+			tenant := info.tenant
+			if tenant == "" {
+				tenant = "-"
+			}
+			s.cfg.Log.Printf("%s %s %d %s %dB tenant=%s",
+				r.Method, r.URL.Path, status, elapsed.Round(time.Microsecond), rec.bytes, tenant)
+		}
 	})
+}
+
+// routePattern returns the mux pattern that serves a request ("unmatched"
+// for 404s), the bounded-cardinality route label of the HTTP metrics.
+func (s *Server) routePattern(r *http.Request) string {
+	_, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		return "unmatched"
+	}
+	return pattern
 }
 
 // healthResponse is the /healthz body. Cache reports the result cache's
@@ -346,19 +413,31 @@ type healthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	d, rel, pol := s.reg.counts()
-	queued, running, _ := s.jobs.Counts()
-	writeJSON(w, http.StatusOK, healthResponse{
+	// Every number below is read through the same obsmetrics handles GET
+	// /metrics renders (the function-backed gauges and counters collect from
+	// the registry, the executor and the cache at call time), so /healthz and
+	// a scrape can never report different values for the same quantity.
+	m := s.metrics
+	resp := healthResponse{
 		Status:      "ok",
-		Datasets:    d,
-		Releases:    rel,
-		Policies:    pol,
-		JobsQueued:  queued,
-		JobsRunning: running,
-		Cache:       cacheStatsOf(s.cache),
-		UptimeSec:   int64(time.Since(s.started).Seconds()),
+		Datasets:    int(m.regDatasets.Value()),
+		Releases:    int(m.regReleases.Value()),
+		Policies:    int(m.regPolicies.Value()),
+		JobsQueued:  int(m.jobsQueued.Value()),
+		JobsRunning: int(m.jobsRunning.Value()),
+		UptimeSec:   int64(m.uptime.Value()),
 		Go:          runtime.Version(),
-	})
+	}
+	if m.cacheHits != nil {
+		resp.Cache = &cacheStatsJSON{
+			Hits:      int64(m.cacheHits.Value()),
+			Misses:    int64(m.cacheMisses.Value()),
+			Evictions: int64(m.cacheEvictions.Value()),
+			Entries:   int(m.cacheEntries.Value()),
+			Capacity:  int(m.cacheCapacity.Value()),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // errorEnvelope is the uniform JSON error body.

@@ -606,15 +606,15 @@ func TestRegistryCaps(t *testing.T) {
 	tbl := synth.Census(1, 1)
 	for i := 0; i < maxDatasets; i++ {
 		ds := &storedDataset{name: fmt.Sprintf("d%d", i), table: tbl}
-		if err := reg.putDataset(ds, false); err != nil {
+		if err := reg.putDataset(ds, false, 0); err != nil {
 			t.Fatalf("dataset %d: %v", i, err)
 		}
 	}
-	if err := reg.putDataset(&storedDataset{name: "overflow", table: tbl}, false); !errors.Is(err, errRegistryFull) {
+	if err := reg.putDataset(&storedDataset{name: "overflow", table: tbl}, false, 0); !errors.Is(err, errRegistryFull) {
 		t.Fatalf("dataset overflow error = %v, want errRegistryFull", err)
 	}
 	// Replacing an existing name is not growth and stays allowed.
-	if err := reg.putDataset(&storedDataset{name: "d0", table: tbl}, true); err != nil {
+	if err := reg.putDataset(&storedDataset{name: "d0", table: tbl}, true, 0); err != nil {
 		t.Fatalf("replace at cap: %v", err)
 	}
 	for i := 0; i < maxReleases; i++ {
