@@ -154,15 +154,16 @@ func TestServeFlagErrors(t *testing.T) {
 // TestPreloadDataset checks the -preload spec parser against a real server.
 func TestPreloadDataset(t *testing.T) {
 	srv := server.New(server.Config{})
-	if err := preloadDataset(srv, "hospital=150"); err != nil {
-		t.Fatalf("preload: %v", err)
+	if seeded, err := preloadDataset(srv, "hospital=150"); err != nil || !seeded {
+		t.Fatalf("preload: seeded=%v err=%v", seeded, err)
 	}
-	// Same name twice collides.
-	if err := preloadDataset(srv, "hospital=150"); err == nil {
-		t.Error("duplicate preload succeeded")
+	// The same name again is skipped, the contract that lets -preload
+	// coexist with a dataset recovered from -data-dir.
+	if seeded, err := preloadDataset(srv, "hospital=150"); err != nil || seeded {
+		t.Errorf("duplicate preload: seeded=%v err=%v, want a silent skip", seeded, err)
 	}
 	// Bare family defaults to 5000 rows under the family name.
-	if err := preloadDataset(srv, "census"); err != nil {
-		t.Fatalf("bare family preload: %v", err)
+	if seeded, err := preloadDataset(srv, "census"); err != nil || !seeded {
+		t.Fatalf("bare family preload: seeded=%v err=%v", seeded, err)
 	}
 }

@@ -28,6 +28,11 @@ func cmdServe(args []string) error {
 		"entries in the cross-request result cache answering repeated identical anonymize requests (0 disables)")
 	timeout := fs.Duration("timeout", server.DefaultRequestTimeout, "per-run anonymization timeout")
 	maxBody := fs.Int64("max-body", server.DefaultMaxBodyBytes, "maximum request body size in bytes")
+	dataDir := fs.String("data-dir", "",
+		"durable storage directory: registry mutations are WAL-journaled and tables stored as mmap-served columnar snapshots; on boot the full registry is recovered from it (empty = in-memory only)")
+	maxDatasets := fs.Int("max-datasets", server.DefaultMaxDatasets, "datasets the registry may hold")
+	maxReleases := fs.Int("max-releases", server.DefaultMaxReleases, "stored releases the registry may hold")
+	maxPolicies := fs.Int("max-policies", server.DefaultMaxPolicies, "stored policies the registry may hold")
 	preload := fs.String("preload", "", "preload a synthetic dataset, e.g. census=5000 or hospital=10000")
 	policySpec := fs.String("policy", "",
 		"preload a stored policy from a JSON file, e.g. clinical=policy.json (name defaults to the file base name)")
@@ -45,6 +50,18 @@ func cmdServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	for _, cap := range []struct {
+		name  string
+		value int
+	}{
+		{"-max-datasets", *maxDatasets},
+		{"-max-releases", *maxReleases},
+		{"-max-policies", *maxPolicies},
+	} {
+		if cap.value < 1 {
+			return fmt.Errorf("serve: %s must be at least 1, got %d", cap.name, cap.value)
+		}
+	}
 	cfg := server.Config{
 		Addr:              *addr,
 		Workers:           *workers,
@@ -58,6 +75,10 @@ func cmdServe(args []string) error {
 		TenantBurst:       *tenantBurst,
 		TenantMaxDatasets: *tenantMaxDatasets,
 		TenantMaxJobs:     *tenantMaxJobs,
+		DataDir:           *dataDir,
+		MaxDatasets:       *maxDatasets,
+		MaxReleases:       *maxReleases,
+		MaxPolicies:       *maxPolicies,
 	}
 	if *apiKeys != "" {
 		f, err := os.Open(*apiKeys)
@@ -79,12 +100,17 @@ func cmdServe(args []string) error {
 	if !*quiet {
 		cfg.Log = log.New(os.Stderr, "", log.LstdFlags)
 	}
-	srv := server.New(cfg)
+	srv, err := server.Open(cfg)
+	if err != nil {
+		return err
+	}
 	if *preload != "" {
-		if err := preloadDataset(srv, *preload); err != nil {
+		switch seeded, err := preloadDataset(srv, *preload); {
+		case err != nil:
 			return err
-		}
-		if cfg.Log != nil {
+		case !seeded && cfg.Log != nil:
+			cfg.Log.Printf("preload %q skipped: dataset already recovered from %s", *preload, *dataDir)
+		case cfg.Log != nil:
 			cfg.Log.Printf("preloaded dataset %q", *preload)
 		}
 	}
@@ -111,19 +137,24 @@ func cmdServe(args []string) error {
 
 // preloadDataset registers a synthetic dataset before serving, so a fresh
 // process answers anonymize calls without a prior upload. The spec is
-// family[=rows]; the dataset is stored under the family name.
-func preloadDataset(srv *server.Server, spec string) error {
+// family[=rows]; the dataset is stored under the family name. A name already
+// recovered from -data-dir is left alone (seeded=false) — regenerating over
+// it would clash with the durable entry.
+func preloadDataset(srv *server.Server, spec string) (seeded bool, err error) {
 	family, rows := spec, 5000
 	if name, val, ok := strings.Cut(spec, "="); ok {
 		n, err := strconv.Atoi(val)
 		if err != nil || n <= 0 {
-			return fmt.Errorf("serve: -preload rows %q must be a positive integer", val)
+			return false, fmt.Errorf("serve: -preload rows %q must be a positive integer", val)
 		}
 		family, rows = name, n
 	}
 	f, err := synth.FamilyByName(family)
 	if err != nil {
-		return fmt.Errorf("serve: -preload: %w", err)
+		return false, fmt.Errorf("serve: -preload: %w", err)
 	}
-	return srv.AddDataset(f.Name, f.Name, f.Generate(rows, 42), f.Hierarchies())
+	if srv.HasDataset(f.Name) {
+		return false, nil
+	}
+	return true, srv.AddDataset(f.Name, f.Name, f.Generate(rows, 42), f.Hierarchies())
 }

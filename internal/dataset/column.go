@@ -55,8 +55,13 @@ type CodedColumn struct {
 	// Codes holds one dictionary code per row.
 	Codes []uint32
 	// Dict maps codes back to values; Dict[Codes[i]] is the cell of row i.
-	Dict  []string
-	index map[string]uint32
+	Dict []string
+	// index maps values back to codes. Row-scanning builders fill it as a
+	// side effect of interning; snapshot-loaded columns leave it nil and
+	// Code() builds it on first use (indexOnce), so opening a snapshot never
+	// pays O(dict) map construction for columns nobody reverse-looks-up.
+	index     map[string]uint32
+	indexOnce sync.Once
 	// ranks[code] is the position of Dict[code] in byte-lexicographic order
 	// of the dictionary; grouping uses it to order classes without comparing
 	// strings.
@@ -79,8 +84,21 @@ func (c *CodedColumn) Value(code uint32) string { return c.Dict[code] }
 // Code returns the dictionary code of a value and whether the value occurs in
 // the column.
 func (c *CodedColumn) Code(value string) (uint32, bool) {
+	c.indexOnce.Do(c.ensureIndex)
 	code, ok := c.index[value]
 	return code, ok
+}
+
+// ensureIndex builds the value→code map for columns loaded without one.
+func (c *CodedColumn) ensureIndex() {
+	if c.index != nil {
+		return
+	}
+	idx := make(map[string]uint32, len(c.Dict))
+	for code, v := range c.Dict {
+		idx[v] = uint32(code)
+	}
+	c.index = idx
 }
 
 // colCache holds the per-table columnar caches. It is shared between tables
@@ -155,13 +173,14 @@ func (t *Table) FloatColumn(col int) (*FloatColumn, error) {
 		// over the code sequence instead of re-parsing every cell.
 		fc = floatColumnFromCodes(cc)
 	} else {
+		rows := t.data()
 		fc = &FloatColumn{
-			Values: make([]float64, len(t.rows)),
-			Valid:  make([]bool, len(t.rows)),
+			Values: make([]float64, len(rows)),
+			Valid:  make([]bool, len(rows)),
 			Min:    math.Inf(1),
 			Max:    math.Inf(-1),
 		}
-		for i, r := range t.rows {
+		for i, r := range rows {
 			f, err := strconv.ParseFloat(strings.TrimSpace(r[col]), 64)
 			if err != nil {
 				continue
@@ -207,11 +226,12 @@ func (t *Table) CodedColumn(col int) (*CodedColumn, error) {
 	if cc, ok := c.codes[col]; ok {
 		return cc, nil
 	}
+	rows := t.data()
 	cc := &CodedColumn{
-		Codes: make([]uint32, len(t.rows)),
+		Codes: make([]uint32, len(rows)),
 		index: make(map[string]uint32),
 	}
-	for i, r := range t.rows {
+	for i, r := range rows {
 		v := r[col]
 		code, ok := cc.index[v]
 		if !ok {

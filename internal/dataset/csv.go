@@ -16,7 +16,7 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	if err := cw.Write(t.schema.Names()); err != nil {
 		return fmt.Errorf("dataset: write header: %w", err)
 	}
-	for i, r := range t.rows {
+	for i, r := range t.data() {
 		if err := cw.Write(r); err != nil {
 			return fmt.Errorf("dataset: write row %d: %w", i, err)
 		}

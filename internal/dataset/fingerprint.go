@@ -125,7 +125,7 @@ func (t *Table) Fingerprint() string {
 	c := t.colcache()
 	c.mu.Lock()
 	if c.fp == "" {
-		c.fp = rowsFingerprint(t.rows)
+		c.fp = rowsFingerprint(t.data())
 	}
 	rowsFP := c.fp
 	c.mu.Unlock()
@@ -137,7 +137,7 @@ func (t *Table) Fingerprint() string {
 		ch.cell(strconv.Itoa(int(a.Type)))
 		ch.endRow()
 	}
-	ch.cell(strconv.Itoa(len(t.rows)))
+	ch.cell(strconv.Itoa(t.Len()))
 	ch.cell(rowsFP)
 	return ch.sum()
 }

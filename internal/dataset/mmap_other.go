@@ -1,0 +1,27 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package dataset
+
+import (
+	"io"
+	"os"
+)
+
+// mmapAvailable: this platform has no syscall.Mmap; snapshot files are read
+// into the heap instead. The zero-copy column views still work — they simply
+// point into one heap buffer rather than a shared mapping.
+const mmapAvailable = false
+
+// mmapFile is the portable fallback: read the whole file into memory. The
+// returned release function frees nothing (the GC owns the buffer), but the
+// snapshot codec is oblivious to the difference.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return nil }, nil
+}

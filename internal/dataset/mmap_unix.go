@@ -1,0 +1,28 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package dataset
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapAvailable reports whether snapshot files are served by true memory
+// mapping on this platform (pages shared with the OS cache, loaded on fault)
+// rather than by the read-into-heap fallback.
+const mmapAvailable = true
+
+// mmapFile maps size bytes of f read-only and returns the mapping together
+// with its unmap function. The mapping is shared with the page cache, so a
+// snapshot open costs page-table setup instead of a copy, and scanning a
+// table larger than RAM pages segments in and out on demand.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

@@ -54,7 +54,7 @@ func (t *Table) GroupBy(columns ...string) ([]EquivalenceClass, error) {
 		}
 		cols[i] = ci
 	}
-	n := len(t.rows)
+	n := t.Len()
 	if n == 0 {
 		return []EquivalenceClass{}, nil
 	}
@@ -189,7 +189,7 @@ func (t *Table) GroupBy(columns ...string) ([]EquivalenceClass, error) {
 // coded grouping is tested against.
 func (t *Table) groupBySignature(cols []int) ([]EquivalenceClass, error) {
 	groups := make(map[string][]int)
-	for r, row := range t.rows {
+	for r, row := range t.data() {
 		key := make([]string, len(cols))
 		for i, c := range cols {
 			key[i] = row[c]

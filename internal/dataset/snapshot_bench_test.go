@@ -1,0 +1,105 @@
+// Columnar snapshot benchmarks, next to the CSV ingest benchmarks they are
+// compared against: opening an mmap snapshot must beat re-parsing CSV by at
+// least an order of magnitude, because boot-time recovery opens one snapshot
+// per stored table.
+package dataset_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+// benchSnapshot writes the 5k census fixture once and returns the snapshot
+// path and its size in bytes.
+func benchSnapshot(b *testing.B) (string, int64) {
+	b.Helper()
+	tbl := synth.Census(5000, 1)
+	path := filepath.Join(b.TempDir(), "census.tbl")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tbl.WriteSnapshot(f); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return path, info.Size()
+}
+
+// BenchmarkSnapshotWrite measures serializing the 5k census fixture into the
+// columnar snapshot format (dictionary, codes, floats, per-segment CRCs and
+// the embedded fingerprint).
+func BenchmarkSnapshotWrite(b *testing.B) {
+	tbl := synth.Census(5000, 1)
+	var buf bytes.Buffer
+	if err := tbl.WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := tbl.WriteSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotOpen measures the boot-path cost: mmap the file, verify
+// header and segment framing, and wire zero-copy column views. The rows are
+// NOT materialized — that is the entire point of the format — so this must
+// come in far below BenchmarkReadCSV on the same fixture (the acceptance
+// bar is 10x).
+func BenchmarkSnapshotOpen(b *testing.B) {
+	path, size := benchSnapshot(b)
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := dataset.OpenSnapshot(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMmapScan measures a full-table analytical pass over a freshly
+// mapped snapshot: GroupBy over the quasi-identifier columns, the access
+// pattern every anonymization run starts with. The table is opened once
+// outside the loop; the scan reads the mapped segments directly.
+func BenchmarkMmapScan(b *testing.B) {
+	path, size := benchSnapshot(b)
+	m, err := dataset.OpenSnapshot(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	tbl := m.Table()
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups, err := tbl.GroupByQuasiIdentifier()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(groups) == 0 {
+			b.Fatal("empty grouping")
+		}
+	}
+}

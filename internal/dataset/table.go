@@ -46,6 +46,12 @@ func (r Row) Clone() Row {
 type Table struct {
 	schema *Schema
 	rows   []Row
+	// src, when non-nil, defers row materialization for snapshot-backed
+	// tables (see snapshot.go): the typed column views are served straight
+	// from the mapping, and string row storage is only built if a caller
+	// actually asks for rows. rowsOnce guards the one-time materialization.
+	src      *rowSource
+	rowsOnce sync.Once
 	// cache holds the lazily-built columnar views (see column.go). Tables
 	// that share row storage (WithSchema views) share the cache. All
 	// constructors set it; cacheOnce guards the fallback initialization for
@@ -53,6 +59,28 @@ type Table struct {
 	// accessors never race on the pointer.
 	cache     *colCache
 	cacheOnce sync.Once
+}
+
+// data returns the table's row storage, materializing it on first access for
+// snapshot-backed tables. Every reader of t.rows outside this method must go
+// through it.
+func (t *Table) data() []Row {
+	if t.src != nil {
+		t.rowsOnce.Do(func() { t.rows = t.src.materialize() })
+	}
+	return t.rows
+}
+
+// promote detaches a snapshot-backed table from its column source before a
+// mutation: rows are materialized (copy-on-write — written cells become heap
+// strings, untouched cells keep aliasing the mapped dictionary) and the
+// source is dropped so the mutated rows are the single source of truth.
+func (t *Table) promote() {
+	if t.src == nil {
+		return
+	}
+	t.data()
+	t.src = nil
 }
 
 // NewTable returns an empty table with the given schema.
@@ -82,14 +110,21 @@ func FromRows(schema *Schema, rows []Row) (*Table, error) {
 // Schema returns the table schema.
 func (t *Table) Schema() *Schema { return t.schema }
 
-// Len returns the number of rows.
-func (t *Table) Len() int { return len(t.rows) }
+// Len returns the number of rows. Snapshot-backed tables answer from the
+// column source without materializing row storage.
+func (t *Table) Len() int {
+	if s := t.src; s != nil {
+		return s.n
+	}
+	return len(t.rows)
+}
 
 // Append adds a row to the table. The row is copied.
 func (t *Table) Append(r Row) error {
 	if len(r) != t.schema.Len() {
 		return fmt.Errorf("%w: got %d values, want %d", ErrRowArity, len(r), t.schema.Len())
 	}
+	t.promote()
 	t.rows = append(t.rows, r.Clone())
 	t.cache.invalidateAll()
 	return nil
@@ -98,10 +133,11 @@ func (t *Table) Append(r Row) error {
 // Row returns the i-th row. The returned slice is the table's backing storage
 // and must not be modified by callers; use SetValue to mutate.
 func (t *Table) Row(i int) (Row, error) {
-	if i < 0 || i >= len(t.rows) {
-		return nil, fmt.Errorf("%w: %d (table has %d rows)", ErrRowIndex, i, len(t.rows))
+	rows := t.data()
+	if i < 0 || i >= len(rows) {
+		return nil, fmt.Errorf("%w: %d (table has %d rows)", ErrRowIndex, i, len(rows))
 	}
-	return t.rows[i], nil
+	return rows[i], nil
 }
 
 // Value returns the value of column col in row i.
@@ -118,6 +154,7 @@ func (t *Table) Value(i, col int) (string, error) {
 
 // SetValue overwrites the value of column col in row i.
 func (t *Table) SetValue(i, col int, v string) error {
+	t.promote()
 	r, err := t.Row(i)
 	if err != nil {
 		return err
@@ -148,10 +185,11 @@ func (t *Table) Float(i, col int) (float64, error) {
 // allocation per table instead of one per row; rows remain independent
 // fixed-capacity subslices.
 func (t *Table) Clone() *Table {
-	out := &Table{schema: t.schema, rows: make([]Row, len(t.rows)), cache: newColCache()}
+	rows := t.data()
+	out := &Table{schema: t.schema, rows: make([]Row, len(rows)), cache: newColCache()}
 	k := t.schema.Len()
-	arena := make([]string, len(t.rows)*k)
-	for i, r := range t.rows {
+	arena := make([]string, len(rows)*k)
+	for i, r := range rows {
 		nr := arena[i*k : (i+1)*k : (i+1)*k]
 		copy(nr, r)
 		out.rows[i] = nr
@@ -165,8 +203,9 @@ func (t *Table) Column(name string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]string, len(t.rows))
-	for i, r := range t.rows {
+	rows := t.data()
+	out := make([]string, len(rows))
+	for i, r := range rows {
 		out[i] = r[col]
 	}
 	return out, nil
@@ -228,9 +267,10 @@ func (t *Table) Project(names ...string) (*Table, error) {
 	for i, n := range names {
 		idx[i] = t.schema.MustIndex(n)
 	}
+	rows := t.data()
 	out := NewTable(schema)
-	out.rows = make([]Row, len(t.rows))
-	for i, r := range t.rows {
+	out.rows = make([]Row, len(rows))
+	for i, r := range rows {
 		nr := make(Row, len(idx))
 		for j, c := range idx {
 			nr[j] = r[c]
@@ -273,7 +313,7 @@ func (t *Table) Select(indices []int) (*Table, error) {
 // Filter returns the indices of all rows for which keep returns true.
 func (t *Table) Filter(keep func(Row) bool) []int {
 	var out []int
-	for i, r := range t.rows {
+	for i, r := range t.data() {
 		if keep(r) {
 			out = append(out, i)
 		}
@@ -319,8 +359,9 @@ func (t *Table) WithSchema(s *Schema) (*Table, error) {
 		return nil, fmt.Errorf("dataset: schema arity %d does not match table arity %d", s.Len(), t.schema.Len())
 	}
 	// The view shares row storage, so it also shares the columnar cache:
-	// a mutation through either table invalidates both.
-	return &Table{schema: s, rows: t.rows, cache: t.colcache()}, nil
+	// a mutation through either table invalidates both. Snapshot-backed
+	// tables materialize first so both views mutate the same rows.
+	return &Table{schema: s, rows: t.data(), cache: t.colcache()}, nil
 }
 
 // AppendTable appends all rows of other to the table. The schemas must be
@@ -333,7 +374,8 @@ func (t *Table) AppendTable(other *Table) error {
 		return fmt.Errorf("%w: cannot append table with schema %v to table with schema %v",
 			ErrSchemaMismatch, other.schema.Names(), t.schema.Names())
 	}
-	for _, r := range other.rows {
+	t.promote()
+	for _, r := range other.data() {
 		t.rows = append(t.rows, r.Clone())
 	}
 	t.cache.invalidateAll()
@@ -343,8 +385,9 @@ func (t *Table) AppendTable(other *Table) error {
 // Rows returns a copy of all rows. It is intended for tests and small tables;
 // algorithm code should iterate with Row to avoid the copy.
 func (t *Table) Rows() []Row {
-	out := make([]Row, len(t.rows))
-	for i, r := range t.rows {
+	rows := t.data()
+	out := make([]Row, len(rows))
+	for i, r := range rows {
 		out[i] = r.Clone()
 	}
 	return out
@@ -357,16 +400,17 @@ func (t *Table) String() string {
 	var b strings.Builder
 	b.WriteString(strings.Join(t.schema.Names(), " | "))
 	b.WriteString("\n")
-	limit := len(t.rows)
+	rows := t.data()
+	limit := len(rows)
 	if limit > 10 {
 		limit = 10
 	}
 	for i := 0; i < limit; i++ {
-		b.WriteString(strings.Join(t.rows[i], " | "))
+		b.WriteString(strings.Join(rows[i], " | "))
 		b.WriteString("\n")
 	}
-	if len(t.rows) > limit {
-		fmt.Fprintf(&b, "... (%d more rows)\n", len(t.rows)-limit)
+	if len(rows) > limit {
+		fmt.Fprintf(&b, "... (%d more rows)\n", len(rows)-limit)
 	}
 	return b.String()
 }

@@ -229,7 +229,7 @@ func TestTenantDatasetQuota(t *testing.T) {
 // TestPutDatasetTenantQuotaReplace exercises the registry's quota accounting
 // directly: replacing one's own dataset must not consume a second slot.
 func TestPutDatasetTenantQuotaReplace(t *testing.T) {
-	r := newRegistry()
+	r := newRegistry(0, 0, 0)
 	if err := r.putDataset(&storedDataset{name: "a", tenant: "acme"}, false, 1); err != nil {
 		t.Fatalf("first dataset: %v", err)
 	}

@@ -121,6 +121,8 @@ func writeRegistryError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusInsufficientStorage, "registry_full", "%v", err)
 	case errors.Is(err, errTenantQuota):
 		writeError(w, http.StatusTooManyRequests, "tenant_quota", "%v", err)
+	case errors.Is(err, errPersist):
+		writeError(w, http.StatusInternalServerError, "storage", "%v", err)
 	default:
 		writeError(w, http.StatusConflict, "conflict", "%v", err)
 	}

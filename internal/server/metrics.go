@@ -8,6 +8,7 @@ import (
 
 	"github.com/ppdp/ppdp/internal/jobs"
 	"github.com/ppdp/ppdp/internal/obsmetrics"
+	"github.com/ppdp/ppdp/internal/store"
 )
 
 // This file is the service's observability layer: one obsmetrics.Registry
@@ -29,6 +30,20 @@ import (
 //	cache_hits/misses/evictions_total     counter    result-cache counters (collected from the cache)
 //	cache_entries / cache_capacity        gauge      result-cache occupancy
 //	uptime_seconds                        gauge      seconds since server construction
+//
+// With -data-dir set, the durable store adds (collected from store.Stats at
+// scrape time, except the fsync histogram which the store feeds per append):
+//
+//	store_wal_fsync_seconds               histogram  WAL append fsync latency
+//	store_wal_bytes/records               gauge      WAL growth since the last checkpoint
+//	store_wal_fsyncs_total                counter    WAL fsyncs performed
+//	store_generation                      gauge      checkpoint generation
+//	store_snapshot_age_seconds            gauge      age of the newest checkpoint manifest
+//	store_checkpoint_errors_total         counter    failed automatic checkpoints
+//	store_recovery_seconds                gauge      duration of the last boot's recovery
+//	store_recovered_records / _torn       gauge      what the last boot replayed
+//	store_mapped_tables/bytes             gauge      mmap-resident table snapshots
+//	store_table_files/bytes               gauge      table snapshots on disk
 
 // runBuckets spreads anonymization run latency: runs range from
 // sub-millisecond cache-warm Datafly to multi-second Mondrian over large
@@ -65,6 +80,85 @@ type serverMetrics struct {
 	cacheCapacity  *obsmetrics.FuncMetric
 
 	uptime *obsmetrics.FuncMetric
+
+	// Storage metrics are nil without Config.DataDir; Open registers them
+	// via registerStore once the durable store is attached.
+	storeFsync            *obsmetrics.Histogram
+	storeGeneration       *obsmetrics.FuncMetric
+	storeWALBytes         *obsmetrics.FuncMetric
+	storeWALRecords       *obsmetrics.FuncMetric
+	storeWALFsyncs        *obsmetrics.FuncMetric
+	storeSnapshotAge      *obsmetrics.FuncMetric
+	storeCheckpointErrs   *obsmetrics.FuncMetric
+	storeRecovery         *obsmetrics.FuncMetric
+	storeRecoveredRecords *obsmetrics.FuncMetric
+	storeRecoveredTorn    *obsmetrics.FuncMetric
+	storeMappedTables     *obsmetrics.FuncMetric
+	storeMappedBytes      *obsmetrics.FuncMetric
+	storeTableFiles       *obsmetrics.FuncMetric
+	storeTableBytes       *obsmetrics.FuncMetric
+}
+
+// fsyncBuckets spreads WAL fsync latency: tens of microseconds on NVMe page
+// cache up to hundreds of milliseconds on a congested disk.
+var fsyncBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1}
+
+// registerStore adds the ppdp_store_* families once Open has attached the
+// durable store. All gauges collect from store.Stats at scrape time — the
+// store keeps the authoritative counters under its own lock, so there is no
+// second set to keep in sync; /healthz's storage block reads these same
+// handles (see storageJSON).
+func (m *serverMetrics) registerStore(s *Server) {
+	r := m.registry
+	stat := func(get func(store.Stats) float64) func() float64 {
+		return func() float64 { return get(s.store.Stats()) }
+	}
+	m.storeFsync = r.Histogram("ppdp_store_wal_fsync_seconds",
+		"WAL append fsync latency in seconds.", fsyncBuckets)
+	m.storeGeneration = r.GaugeFunc("ppdp_store_generation",
+		"Checkpoint generation of the durable store.",
+		stat(func(st store.Stats) float64 { return float64(st.Generation) }))
+	m.storeWALBytes = r.GaugeFunc("ppdp_store_wal_bytes",
+		"Write-ahead log bytes since the last checkpoint.",
+		stat(func(st store.Stats) float64 { return float64(st.WALBytes) }))
+	m.storeWALRecords = r.GaugeFunc("ppdp_store_wal_records",
+		"Write-ahead log records since the last checkpoint.",
+		stat(func(st store.Stats) float64 { return float64(st.WALRecords) }))
+	m.storeWALFsyncs = r.CounterFunc("ppdp_store_wal_fsyncs_total",
+		"WAL fsyncs performed since boot.",
+		stat(func(st store.Stats) float64 { return float64(st.WALFsyncs) }))
+	m.storeSnapshotAge = r.GaugeFunc("ppdp_store_snapshot_age_seconds",
+		"Seconds since the newest checkpoint manifest was written.",
+		stat(func(st store.Stats) float64 { return time.Since(time.Unix(st.CheckpointUnix, 0)).Seconds() }))
+	m.storeCheckpointErrs = r.CounterFunc("ppdp_store_checkpoint_errors_total",
+		"Automatic checkpoints that failed (the WAL keeps the state safe).",
+		stat(func(st store.Stats) float64 { return float64(st.CheckpointErrors) }))
+	m.storeRecovery = r.GaugeFunc("ppdp_store_recovery_seconds",
+		"Duration of the last boot's recovery (manifest load + WAL replay).",
+		stat(func(st store.Stats) float64 { return st.RecoverySeconds }))
+	m.storeRecoveredRecords = r.GaugeFunc("ppdp_store_recovered_records",
+		"WAL records replayed by the last boot.",
+		stat(func(st store.Stats) float64 { return float64(st.RecoveredRecords) }))
+	m.storeRecoveredTorn = r.GaugeFunc("ppdp_store_recovered_torn",
+		"Whether the last boot truncated a torn WAL tail (1) or found a clean log (0).",
+		stat(func(st store.Stats) float64 {
+			if st.RecoveredTorn {
+				return 1
+			}
+			return 0
+		}))
+	m.storeMappedTables = r.GaugeFunc("ppdp_store_mapped_tables",
+		"Table snapshots currently mmap-resident.",
+		stat(func(st store.Stats) float64 { return float64(st.MappedTables) }))
+	m.storeMappedBytes = r.GaugeFunc("ppdp_store_mapped_bytes",
+		"Bytes of table snapshots currently mmap-resident.",
+		stat(func(st store.Stats) float64 { return float64(st.MappedBytes) }))
+	m.storeTableFiles = r.GaugeFunc("ppdp_store_table_files",
+		"Content-addressed table snapshot files on disk.",
+		stat(func(st store.Stats) float64 { return float64(st.TableFiles) }))
+	m.storeTableBytes = r.GaugeFunc("ppdp_store_table_bytes",
+		"Bytes of table snapshot files on disk.",
+		stat(func(st store.Stats) float64 { return float64(st.TableBytes) }))
 }
 
 // newServerMetrics registers the full inventory against s. The occupancy

@@ -395,11 +395,14 @@ func TestMetricsExpositionContract(t *testing.T) {
 	})
 }
 
-// TestMetricsHealthzConsistency hammers anonymize, jobs, metrics and healthz
-// concurrently (run with -race), then proves the scraped exposition agrees
-// with /healthz and with the exact operation counts the test performed.
+// TestMetricsHealthzConsistency hammers anonymize, jobs, snapshots, metrics
+// and healthz concurrently (run with -race), then proves the scraped
+// exposition agrees with /healthz — including the storage block — and with
+// the exact operation counts the test performed. The server runs on a data
+// directory so the ppdp_store_* families are registered and checkpoints race
+// against journaled writes.
 func TestMetricsHealthzConsistency(t *testing.T) {
-	ts, _ := newTestServer(t, Config{JobWorkers: 2})
+	ts, _ := bootPersistent(t, Config{JobWorkers: 2, DataDir: t.TempDir()})
 	seedDataset(t, ts, "census", "census", 300)
 
 	const (
@@ -426,6 +429,17 @@ func TestMetricsHealthzConsistency(t *testing.T) {
 			}
 		}(g)
 	}
+	// Checkpoints contend with journaled writes for the store lock; they
+	// must never wedge or corrupt the exposition.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if status, body := doJSON(t, "POST", ts.URL+"/v1/snapshot", nil); status != http.StatusOK {
+				t.Errorf("snapshot under load: %d %v", status, body)
+			}
+		}
+	}()
 	ids := make([]string, 0, asyncJobs)
 	var idMu sync.Mutex
 	for j := 0; j < asyncJobs; j++ {
@@ -488,6 +502,33 @@ func TestMetricsHealthzConsistency(t *testing.T) {
 			if cnum(hzKey) != gauge(fam) {
 				return fmt.Errorf("healthz cache %s = %g but %s = %g", hzKey, cnum(hzKey), fam, gauge(fam))
 			}
+		}
+		storage, _ := hz["storage"].(map[string]any)
+		if storage == nil {
+			return fmt.Errorf("healthz has no storage block: %v", hz)
+		}
+		snum := func(key string) float64 { v, _ := storage[key].(float64); return v }
+		for hzKey, fam := range map[string]string{
+			"generation":        "ppdp_store_generation",
+			"wal_bytes":         "ppdp_store_wal_bytes",
+			"wal_records":       "ppdp_store_wal_records",
+			"wal_fsyncs":        "ppdp_store_wal_fsyncs_total",
+			"checkpoint_errors": "ppdp_store_checkpoint_errors_total",
+			"recovered_records": "ppdp_store_recovered_records",
+			"mapped_tables":     "ppdp_store_mapped_tables",
+			"mapped_bytes":      "ppdp_store_mapped_bytes",
+			"table_files":       "ppdp_store_table_files",
+			"table_bytes":       "ppdp_store_table_bytes",
+		} {
+			if snum(hzKey) != gauge(fam) {
+				return fmt.Errorf("healthz storage %s = %g but %s = %g", hzKey, snum(hzKey), fam, gauge(fam))
+			}
+		}
+		// The fsync histogram observed every journal append and checkpoint
+		// the store fsynced; its count can only trail the WAL fsync counter
+		// if an observation were lost.
+		if c := sumSamples(fams["ppdp_store_wal_fsync_seconds"], "ppdp_store_wal_fsync_seconds_count"); c < gauge("ppdp_store_wal_fsyncs_total") {
+			return fmt.Errorf("fsync histogram count %g < wal_fsyncs_total %g", c, gauge("ppdp_store_wal_fsyncs_total"))
 		}
 
 		// Exact operation accounting: every anonymize op either executed a

@@ -11,6 +11,7 @@ import (
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/hierarchy"
 	"github.com/ppdp/ppdp/internal/policy"
+	"github.com/ppdp/ppdp/internal/store"
 )
 
 // Registry errors.
@@ -25,16 +26,17 @@ var (
 	errTenantQuota     = errors.New("tenant dataset quota exceeded")
 )
 
-// Registry occupancy caps. Datasets and stored releases retain full tables
-// in memory, so without a bound a client looping generate/store requests
-// would defeat the per-request size limits and exhaust the process. The
-// caps are generous for interactive and batch use; delete entries (or
-// restart) to reclaim space. Policies are tiny but capped anyway so the
-// name space cannot grow without bound.
+// Default registry occupancy caps (see Config.MaxDatasets/MaxReleases/
+// MaxPolicies). Datasets and stored releases retain full tables, so without
+// a bound a client looping generate/store requests would defeat the
+// per-request size limits and exhaust the process. The caps are generous for
+// interactive and batch use; delete entries (or restart) to reclaim space.
+// Policies are tiny but capped anyway so the name space cannot grow without
+// bound.
 const (
-	maxDatasets = 128
-	maxReleases = 1024
-	maxPolicies = 256
+	DefaultMaxDatasets = 128
+	DefaultMaxReleases = 1024
+	DefaultMaxPolicies = 256
 )
 
 // storedDataset is one named table in the registry together with the
@@ -92,13 +94,38 @@ type registry struct {
 	releases map[string]*storedRelease
 	policies map[string]*storedPolicy
 	nextID   int
+
+	// Occupancy caps, resolved from the Config (or the defaults) at
+	// construction.
+	maxDatasets int
+	maxReleases int
+	maxPolicies int
+
+	// st, when non-nil, is the durable store every mutation writes through
+	// to: the op is journaled (append + fsync) under the write lock before
+	// the map changes, so an acknowledged response is always recoverable and
+	// replay order matches apply order. Table snapshots are persisted before
+	// the journaling, outside the lock (see persist.go).
+	st *store.Store
 }
 
-func newRegistry() *registry {
+func newRegistry(maxDatasets, maxReleases, maxPolicies int) *registry {
+	if maxDatasets <= 0 {
+		maxDatasets = DefaultMaxDatasets
+	}
+	if maxReleases <= 0 {
+		maxReleases = DefaultMaxReleases
+	}
+	if maxPolicies <= 0 {
+		maxPolicies = DefaultMaxPolicies
+	}
 	return &registry{
-		datasets: make(map[string]*storedDataset),
-		releases: make(map[string]*storedRelease),
-		policies: make(map[string]*storedPolicy),
+		datasets:    make(map[string]*storedDataset),
+		releases:    make(map[string]*storedRelease),
+		policies:    make(map[string]*storedPolicy),
+		maxDatasets: maxDatasets,
+		maxReleases: maxReleases,
+		maxPolicies: maxPolicies,
 	}
 }
 
@@ -117,8 +144,13 @@ func (r *registry) putPolicy(sp *storedPolicy) error {
 	if _, ok := r.policies[sp.name]; ok {
 		return fmt.Errorf("%w: %q", errPolicyExists, sp.name)
 	}
-	if len(r.policies) >= maxPolicies {
-		return fmt.Errorf("%w: %d policies stored (limit %d)", errRegistryFull, len(r.policies), maxPolicies)
+	if len(r.policies) >= r.maxPolicies {
+		return fmt.Errorf("%w: %d policies stored (limit %d)", errRegistryFull, len(r.policies), r.maxPolicies)
+	}
+	if r.st != nil {
+		if err := r.persistPolicy(sp); err != nil {
+			return err
+		}
 	}
 	r.policies[sp.name] = sp
 	return nil
@@ -155,6 +187,11 @@ func (r *registry) deletePolicy(name string) error {
 	if _, ok := r.policies[name]; !ok {
 		return fmt.Errorf("%w: %q", errPolicyMissing, name)
 	}
+	if r.st != nil {
+		if err := r.persistDelete(store.KindPolicy, name); err != nil {
+			return err
+		}
+	}
 	delete(r.policies, name)
 	return nil
 }
@@ -166,6 +203,17 @@ func (r *registry) deletePolicy(name string) error {
 // maxPerTenant, when positive, caps how many datasets ds.tenant may hold
 // (replacing one's own dataset never consumes quota).
 func (r *registry) putDataset(ds *storedDataset, replace bool, maxPerTenant int) error {
+	// Persist the table snapshot before taking the lock: encoding is the
+	// expensive part and PutTable is content-addressed and idempotent, so a
+	// put whose op is then rejected below leaves at worst an unreferenced
+	// snapshot for the next checkpoint's GC.
+	var fp string
+	if r.st != nil {
+		var err error
+		if fp, err = r.st.PutTable(ds.table); err != nil {
+			return fmt.Errorf("%w: %v", errPersist, err)
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	existing, exists := r.datasets[ds.name]
@@ -178,8 +226,8 @@ func (r *registry) putDataset(ds *storedDataset, replace bool, maxPerTenant int)
 				return fmt.Errorf("%w: %q (release %s)", errDatasetReferred, ds.name, rel.id)
 			}
 		}
-	} else if len(r.datasets) >= maxDatasets {
-		return fmt.Errorf("%w: %d datasets stored (limit %d)", errRegistryFull, len(r.datasets), maxDatasets)
+	} else if len(r.datasets) >= r.maxDatasets {
+		return fmt.Errorf("%w: %d datasets stored (limit %d)", errRegistryFull, len(r.datasets), r.maxDatasets)
 	}
 	if maxPerTenant > 0 {
 		owned := r.tenantDatasetsLocked(ds.tenant)
@@ -189,6 +237,11 @@ func (r *registry) putDataset(ds *storedDataset, replace bool, maxPerTenant int)
 		if owned >= maxPerTenant {
 			return fmt.Errorf("%w: tenant %q holds %d datasets (limit %d)",
 				errTenantQuota, ds.tenant, owned, maxPerTenant)
+		}
+	}
+	if r.st != nil {
+		if err := r.persistDataset(ds, fp); err != nil {
+			return err
 		}
 	}
 	r.datasets[ds.name] = ds
@@ -216,8 +269,8 @@ func (r *registry) canCreateDataset(name, tenant string, maxPerTenant int) error
 	if _, ok := r.datasets[name]; ok {
 		return fmt.Errorf("%w: %q", errDatasetExists, name)
 	}
-	if len(r.datasets) >= maxDatasets {
-		return fmt.Errorf("%w: %d datasets stored (limit %d)", errRegistryFull, len(r.datasets), maxDatasets)
+	if len(r.datasets) >= r.maxDatasets {
+		return fmt.Errorf("%w: %d datasets stored (limit %d)", errRegistryFull, len(r.datasets), r.maxDatasets)
 	}
 	if maxPerTenant > 0 {
 		if owned := r.tenantDatasetsLocked(tenant); owned >= maxPerTenant {
@@ -265,20 +318,45 @@ func (r *registry) deleteDataset(name string) error {
 			return fmt.Errorf("%w: %q (release %s)", errDatasetReferred, name, rel.id)
 		}
 	}
+	if r.st != nil {
+		if err := r.persistDelete(store.KindDataset, name); err != nil {
+			return err
+		}
+	}
 	delete(r.datasets, name)
 	return nil
 }
 
-// putRelease stores a release and assigns it a process-unique id.
+// putRelease stores a release and assigns it a process-unique id. With
+// persistence enabled, the published tables become durable content-addressed
+// snapshots first (outside the lock), then the release record is journaled
+// under the freshly assigned id before the map changes — so a client that
+// received a release id can always fetch that release after a crash.
 func (r *registry) putRelease(rel *storedRelease) (string, error) {
+	var originFP string
+	var fps releaseTableFPs
+	if r.st != nil {
+		var err error
+		if originFP, fps, err = r.persistReleaseTables(rel); err != nil {
+			return "", err
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.releases) >= maxReleases {
-		return "", fmt.Errorf("%w: %d releases stored (limit %d)", errRegistryFull, len(r.releases), maxReleases)
+	if len(r.releases) >= r.maxReleases {
+		return "", fmt.Errorf("%w: %d releases stored (limit %d)", errRegistryFull, len(r.releases), r.maxReleases)
 	}
 	r.nextID++
 	rel.seq = r.nextID
 	rel.id = fmt.Sprintf("r%d", r.nextID)
+	if r.st != nil {
+		if err := r.persistRelease(rel, originFP, fps); err != nil {
+			// The journal refused: the id was never acknowledged anywhere, so
+			// it is safe to hand the same number to the next attempt.
+			r.nextID--
+			return "", err
+		}
+	}
 	r.releases[rel.id] = rel
 	return rel.id, nil
 }
@@ -289,6 +367,11 @@ func (r *registry) deleteRelease(id string) error {
 	defer r.mu.Unlock()
 	if _, ok := r.releases[id]; !ok {
 		return fmt.Errorf("%w: %q", errReleaseMissing, id)
+	}
+	if r.st != nil {
+		if err := r.persistDelete(store.KindRelease, id); err != nil {
+			return err
+		}
 	}
 	delete(r.releases, id)
 	return nil

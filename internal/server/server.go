@@ -51,6 +51,7 @@ import (
 	"github.com/ppdp/ppdp/internal/engine"
 	"github.com/ppdp/ppdp/internal/jobs"
 	"github.com/ppdp/ppdp/internal/resultcache"
+	"github.com/ppdp/ppdp/internal/store"
 )
 
 // Config tunes a Server. The zero value is usable: it listens on :8080,
@@ -114,6 +115,20 @@ type Config struct {
 	Now func() time.Time
 	// Log receives one line per request; nil disables request logging.
 	Log *log.Logger
+	// DataDir, when set, makes the registry durable: every mutation is
+	// journaled to a write-ahead log under this directory before it is
+	// acknowledged, table contents are stored as content-addressed columnar
+	// snapshots served through zero-copy mmap views, and Open recovers the
+	// full registry from the directory on boot. Empty keeps the registry
+	// purely in memory (the historical behavior). Only Open honors it; New
+	// ignores DataDir entirely.
+	DataDir string
+	// MaxDatasets, MaxReleases and MaxPolicies cap registry occupancy
+	// (128/1024/256 when zero — see the Default* constants). `ppdp serve`
+	// exposes them as -max-datasets/-max-releases/-max-policies.
+	MaxDatasets int
+	MaxReleases int
+	MaxPolicies int
 }
 
 // Defaults for the zero Config.
@@ -137,6 +152,8 @@ type Server struct {
 	metrics *serverMetrics
 	mux     *http.ServeMux
 	started time.Time
+	// store is the durable registry state (nil without Config.DataDir).
+	store *store.Store
 
 	// runGate, when non-nil, is called at the start of every executor run
 	// with the run's context. It exists for the tests, which use it to pin a
@@ -160,7 +177,7 @@ func New(cfg Config) *Server {
 	if cfg.Workers < 0 {
 		cfg.Workers = 0
 	}
-	s := &Server{cfg: cfg, reg: newRegistry(), started: time.Now()}
+	s := &Server{cfg: cfg, reg: newRegistry(cfg.MaxDatasets, cfg.MaxReleases, cfg.MaxPolicies), started: time.Now()}
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
 		if size == 0 {
@@ -185,11 +202,68 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Close stops the shared executor: queued jobs are canceled, running jobs
-// have their contexts canceled, and Close returns once the pool drains.
-// Serve calls it on shutdown; embedders that only use Handler call it
-// themselves.
-func (s *Server) Close() { s.jobs.Close() }
+// Open builds a Server like New and, when Config.DataDir is set, attaches
+// the durable store: the directory's latest checkpoint manifest is loaded,
+// the write-ahead log replayed over it (truncating a torn final record if
+// the previous process died mid-append), and the full registry — datasets,
+// releases, policies — recovered with every table served as a zero-copy mmap
+// view of its columnar snapshot. Open refuses to start on damaged
+// acknowledged history (a corrupt interior WAL record, a missing or
+// unverifiable table snapshot) rather than serving partial state; point
+// DataDir at a copied snapshot directory to restore from backup. With an
+// empty DataDir, Open is exactly New.
+func Open(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if cfg.DataDir == "" {
+		return s, nil
+	}
+	st, err := store.Open(cfg.DataDir, store.Options{
+		OnFsync: func(d time.Duration) {
+			if h := s.metrics.storeFsync; h != nil {
+				h.Observe(d.Seconds())
+			}
+		},
+	})
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("server: open data dir %s: %w", cfg.DataDir, err)
+	}
+	if err := s.recover(st); err != nil {
+		st.Close()
+		s.Close()
+		return nil, err
+	}
+	s.store = st
+	s.reg.st = st
+	s.metrics.registerStore(s)
+	if cfg.Log != nil {
+		stats := st.Stats()
+		cfg.Log.Printf("ppdp serve: recovered %d datasets, %d releases, %d policies from %s in %.3fs (wal records=%d torn=%v)",
+			stats.Datasets, stats.Releases, stats.Policies, cfg.DataDir,
+			stats.RecoverySeconds, stats.RecoveredRecords, stats.RecoveredTorn)
+	}
+	return s, nil
+}
+
+// Close stops the shared executor — queued jobs are canceled, running jobs
+// have their contexts canceled, and Close returns once the pool drains —
+// then releases the durable store (WAL handle and table mappings) if one is
+// attached. Serve calls it on shutdown; embedders that only use Handler call
+// it themselves.
+func (s *Server) Close() {
+	s.jobs.Close()
+	if s.store != nil {
+		s.store.Close()
+	}
+}
+
+// HasDataset reports whether a dataset is registered under name. `ppdp serve
+// -preload` uses it to skip re-seeding a name already recovered from
+// -data-dir.
+func (s *Server) HasDataset(name string) bool {
+	_, err := s.reg.getDataset(name)
+	return err == nil
+}
 
 // RouteDoc documents one registered endpoint: its method-qualified pattern
 // and a one-line summary. The table below is the single source for both the
@@ -219,6 +293,7 @@ var routeTable = []struct {
 	{RouteDoc{"GET /v1/policies", "list stored policies"}, (*Server).handleListPolicies},
 	{RouteDoc{"GET /v1/policies/{name}", "fetch one stored policy in canonical form"}, (*Server).handleGetPolicy},
 	{RouteDoc{"DELETE /v1/policies/{name}", "delete a stored policy (runs keep their pinned snapshots)"}, (*Server).handleDeletePolicy},
+	{RouteDoc{"POST /v1/snapshot", "checkpoint the durable store: fold the WAL into a fresh manifest generation so the data directory is a consistent copyable backup (requires -data-dir)"}, (*Server).handleSnapshot},
 	{RouteDoc{"POST /v1/anonymize", "anonymize synchronously; criteria via policy, policy_ref or deprecated flat params"}, (*Server).handleAnonymize},
 	{RouteDoc{"POST /v1/jobs", "submit a background anonymization (202 + Location; same request body as /v1/anonymize)"}, (*Server).handleSubmitJob},
 	{RouteDoc{"GET /v1/jobs", "list jobs (summaries: no result payloads or policy documents)"}, (*Server).handleListJobs},
@@ -399,17 +474,39 @@ func (s *Server) routePattern(r *http.Request) string {
 }
 
 // healthResponse is the /healthz body. Cache reports the result cache's
-// hit/miss/eviction counters and occupancy (absent when caching is disabled).
+// hit/miss/eviction counters and occupancy (absent when caching is disabled);
+// Storage reports the durable store's health (absent without -data-dir).
 type healthResponse struct {
-	Status      string          `json:"status"`
-	Datasets    int             `json:"datasets"`
-	Releases    int             `json:"releases"`
-	Policies    int             `json:"policies"`
-	JobsQueued  int             `json:"jobs_queued"`
-	JobsRunning int             `json:"jobs_running"`
-	Cache       *cacheStatsJSON `json:"cache,omitempty"`
-	UptimeSec   int64           `json:"uptime_seconds"`
-	Go          string          `json:"go"`
+	Status      string            `json:"status"`
+	Datasets    int               `json:"datasets"`
+	Releases    int               `json:"releases"`
+	Policies    int               `json:"policies"`
+	JobsQueued  int               `json:"jobs_queued"`
+	JobsRunning int               `json:"jobs_running"`
+	Cache       *cacheStatsJSON   `json:"cache,omitempty"`
+	Storage     *storageStatsJSON `json:"storage,omitempty"`
+	UptimeSec   int64             `json:"uptime_seconds"`
+	Go          string            `json:"go"`
+}
+
+// storageStatsJSON is the /healthz storage block: WAL growth since the last
+// checkpoint, snapshot age, what the last boot recovered, and how much table
+// data is mmap-resident versus on disk.
+type storageStatsJSON struct {
+	Dir              string  `json:"dir"`
+	Generation       int64   `json:"generation"`
+	WALBytes         int64   `json:"wal_bytes"`
+	WALRecords       int64   `json:"wal_records"`
+	WALFsyncs        int64   `json:"wal_fsyncs"`
+	SnapshotAgeSec   float64 `json:"snapshot_age_seconds"`
+	CheckpointErrors int64   `json:"checkpoint_errors"`
+	RecoverySec      float64 `json:"recovery_seconds"`
+	RecoveredRecords int     `json:"recovered_records"`
+	RecoveredTorn    bool    `json:"recovered_torn"`
+	MappedTables     int     `json:"mapped_tables"`
+	MappedBytes      int64   `json:"mapped_bytes"`
+	TableFiles       int     `json:"table_files"`
+	TableBytes       int64   `json:"table_bytes"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -437,7 +534,51 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Capacity:  int(m.cacheCapacity.Value()),
 		}
 	}
+	if m.storeWALBytes != nil {
+		resp.Storage = s.storageJSON()
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// storageJSON renders the storage block through the same metric handles the
+// /metrics exposition scrapes, preserving the healthz/metrics consistency
+// contract for the ppdp_store_* families.
+func (s *Server) storageJSON() *storageStatsJSON {
+	m := s.metrics
+	return &storageStatsJSON{
+		Dir:              s.cfg.DataDir,
+		Generation:       int64(m.storeGeneration.Value()),
+		WALBytes:         int64(m.storeWALBytes.Value()),
+		WALRecords:       int64(m.storeWALRecords.Value()),
+		WALFsyncs:        int64(m.storeWALFsyncs.Value()),
+		SnapshotAgeSec:   m.storeSnapshotAge.Value(),
+		CheckpointErrors: int64(m.storeCheckpointErrs.Value()),
+		RecoverySec:      m.storeRecovery.Value(),
+		RecoveredRecords: int(m.storeRecoveredRecords.Value()),
+		RecoveredTorn:    m.storeRecoveredTorn.Value() > 0,
+		MappedTables:     int(m.storeMappedTables.Value()),
+		MappedBytes:      int64(m.storeMappedBytes.Value()),
+		TableFiles:       int(m.storeTableFiles.Value()),
+		TableBytes:       int64(m.storeTableBytes.Value()),
+	}
+}
+
+// handleSnapshot folds the WAL into a fresh checkpoint generation on demand.
+// After a 200, the data directory is a consistent point-in-time image — copy
+// it and point a new server's -data-dir at the copy to restore. Without
+// -data-dir there is nothing to snapshot, which is the client's mistake to
+// learn about, not a server fault.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusUnprocessableEntity, "no_storage",
+			"persistence is disabled: start the server with -data-dir to enable snapshots")
+		return
+	}
+	if err := s.store.Checkpoint(); err != nil {
+		writeError(w, http.StatusInternalServerError, "storage", "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"storage": s.storageJSON()})
 }
 
 // errorEnvelope is the uniform JSON error body.
@@ -474,7 +615,8 @@ const StatusClientClosedRequest = 499
 // classifyAnonymizeError maps a pipeline error onto an HTTP status and
 // envelope code: configuration problems are the client's fault (400), privacy
 // parameters no algorithm run can meet are 422, timeouts are 504, abandoned
-// or canceled runs are 499, a full release registry at publish time is 507,
+// or canceled runs are 499, a full release registry at publish time is 507, a
+// durable-store failure while publishing is a 500 with the "storage" code,
 // anything else is a 500. Algorithm failures arrive pre-classified by their
 // engine adapters (engine.ErrConfig / engine.ErrUnsatisfiable), so the
 // mapping needs no per-algorithm knowledge. Both the synchronous response
@@ -491,6 +633,8 @@ func classifyAnonymizeError(err error) (status int, code string) {
 		return http.StatusUnprocessableEntity, "unsatisfiable"
 	case errors.Is(err, errRegistryFull):
 		return http.StatusInsufficientStorage, "registry_full"
+	case errors.Is(err, errPersist):
+		return http.StatusInternalServerError, "storage"
 	default:
 		return http.StatusInternalServerError, "internal"
 	}

@@ -602,9 +602,9 @@ func BenchmarkServeAnonymize(b *testing.B) {
 
 // TestRegistryCaps exercises the occupancy limits directly on the registry.
 func TestRegistryCaps(t *testing.T) {
-	reg := newRegistry()
+	reg := newRegistry(0, 0, 0)
 	tbl := synth.Census(1, 1)
-	for i := 0; i < maxDatasets; i++ {
+	for i := 0; i < DefaultMaxDatasets; i++ {
 		ds := &storedDataset{name: fmt.Sprintf("d%d", i), table: tbl}
 		if err := reg.putDataset(ds, false, 0); err != nil {
 			t.Fatalf("dataset %d: %v", i, err)
@@ -617,7 +617,7 @@ func TestRegistryCaps(t *testing.T) {
 	if err := reg.putDataset(&storedDataset{name: "d0", table: tbl}, true, 0); err != nil {
 		t.Fatalf("replace at cap: %v", err)
 	}
-	for i := 0; i < maxReleases; i++ {
+	for i := 0; i < DefaultMaxReleases; i++ {
 		if _, err := reg.putRelease(&storedRelease{dataset: "d0", release: &core.Release{}}); err != nil {
 			t.Fatalf("release %d: %v", i, err)
 		}

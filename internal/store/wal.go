@@ -1,0 +1,124 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// The write-ahead log is a sequence of framed records:
+//
+//	length  uint32 LE   payload byte count
+//	crc     uint32 LE   CRC-32 (IEEE) of the payload
+//	payload length bytes of JSON (one Op)
+//
+// Append writes the frame and fsyncs before the caller applies the mutation
+// in memory, so an acknowledged mutation is always on disk. Replay
+// distinguishes two failure shapes:
+//
+//   - A torn tail — the file ends inside the final frame, or the final frame's
+//     checksum fails — is the signature of a crash mid-append. The record was
+//     never acknowledged; replay truncates it away and recovers the clean
+//     prefix.
+//   - A checksum failure on an interior record means acknowledged history was
+//     damaged after the fact. There is no safe prefix to pick; replay refuses
+//     with ErrWALCorrupt and the operator must restore from a snapshot.
+//
+// walRecordMax bounds a single payload so a garbage length field cannot force
+// a giant allocation during replay.
+const walRecordMax = 64 << 20
+
+// walFrameOverhead is the per-record framing cost in bytes.
+const walFrameOverhead = 8
+
+// appendWALRecord frames payload onto f and fsyncs. It returns the framed
+// size on success; on any error the record must be considered not written
+// (the caller abandons the in-memory apply).
+func appendWALRecord(f File, payload []byte) (int64, error) {
+	if len(payload) > walRecordMax {
+		return 0, fmt.Errorf("store: WAL record of %d bytes exceeds limit %d", len(payload), walRecordMax)
+	}
+	frame := make([]byte, walFrameOverhead+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	if _, err := f.Write(frame); err != nil {
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return int64(len(frame)), nil
+}
+
+// walReplay is the result of reading a WAL file back.
+type walReplay struct {
+	// payloads holds every intact record payload in append order.
+	payloads [][]byte
+	// size is the byte offset of the clean prefix; bytes past it (a torn
+	// final record) must be truncated before appending resumes.
+	size int64
+	// torn reports whether a torn final record was discarded.
+	torn bool
+}
+
+// replayWAL parses the framed records in data (the full WAL file contents).
+func replayWAL(path string, data []byte) (walReplay, error) {
+	var out walReplay
+	off := int64(0)
+	n := int64(len(data))
+	for off < n {
+		rest := n - off
+		if rest < walFrameOverhead {
+			out.torn = true // crash inside a frame header
+			break
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length > walRecordMax || off+walFrameOverhead+length > n {
+			// The header promises more bytes than exist: final record torn
+			// mid-payload (or the header itself is garbage from a torn
+			// header write — indistinguishable, and equally unacknowledged).
+			out.torn = true
+			break
+		}
+		payload := data[off+walFrameOverhead : off+walFrameOverhead+length]
+		if crc32.ChecksumIEEE(payload) != crc {
+			if off+walFrameOverhead+length == n {
+				// Final record, full length present, bad checksum: torn
+				// payload write. Discard it.
+				out.torn = true
+				break
+			}
+			return walReplay{}, fmt.Errorf("%w: %s: record at offset %d fails checksum",
+				ErrWALCorrupt, path, off)
+		}
+		out.payloads = append(out.payloads, payload)
+		off += walFrameOverhead + length
+	}
+	out.size = off
+	return out, nil
+}
+
+// loadWAL reads and replays the WAL at path, truncating a torn tail so the
+// file ends on a record boundary. A missing file is an empty WAL.
+func loadWAL(fs FS, path string) (walReplay, error) {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return walReplay{}, nil
+		}
+		return walReplay{}, err
+	}
+	rep, err := replayWAL(path, data)
+	if err != nil {
+		return walReplay{}, err
+	}
+	if rep.torn {
+		if err := fs.Truncate(path, rep.size); err != nil {
+			return walReplay{}, fmt.Errorf("store: truncate torn WAL tail of %s: %w", path, err)
+		}
+	}
+	return rep, nil
+}
