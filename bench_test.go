@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"github.com/ppdp/ppdp/internal/algorithms/mondrian"
@@ -151,6 +152,72 @@ func BenchmarkGroupByCoded(b *testing.B) {
 		})
 	}
 }
+
+// benchGroupByWorkers measures the chunked grouping kernel on the 5k census
+// fixture at a fixed scan-worker bound (0 resolves to GOMAXPROCS, so the Max
+// variant tracks the host in the bench-cores sweep).
+func benchGroupByWorkers(b *testing.B, workers int) {
+	tbl := synth.Census(5000, 1)
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tbl.SetScanWorkers(workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.GroupByQuasiIdentifier(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByWorkers1(b *testing.B)   { benchGroupByWorkers(b, 1) }
+func BenchmarkGroupByWorkersMax(b *testing.B) { benchGroupByWorkers(b, 0) }
+
+// BenchmarkGroupByCutoffSmall groups a table below the parallel.MinChunk
+// threshold with the maximal worker bound: the small-n cutoff must keep it
+// at sequential cost (compare with BenchmarkGroupByCoded/rows=1000 at zero
+// workers — no goroutine or channel overhead may appear).
+func BenchmarkGroupByCutoffSmall(b *testing.B) {
+	tbl := synth.Census(1000, 1)
+	tbl.SetScanWorkers(runtime.GOMAXPROCS(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.GroupByQuasiIdentifier(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFingerprintWorkers measures a full row-content rebuild per iteration:
+// rewriting a cell with its own value drops the cached hash without changing
+// the content, so every Fingerprint call re-hashes all 5k rows.
+func benchFingerprintWorkers(b *testing.B, workers int) {
+	tbl := synth.Census(5000, 1)
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tbl.SetScanWorkers(workers)
+	want := tbl.Fingerprint()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := tbl.Value(0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tbl.SetValue(0, 0, v); err != nil {
+			b.Fatal(err)
+		}
+		if got := tbl.Fingerprint(); got != want {
+			b.Fatalf("fingerprint drifted: %s != %s", got, want)
+		}
+	}
+}
+
+func BenchmarkFingerprintWorkers1(b *testing.B)   { benchFingerprintWorkers(b, 1) }
+func BenchmarkFingerprintWorkersMax(b *testing.B) { benchFingerprintWorkers(b, 0) }
 
 // BenchmarkMondrianParallel measures full Mondrian runs across row counts
 // and worker-pool sizes (workers=1 is the sequential baseline; workers=0

@@ -354,7 +354,10 @@ func scanBest(rows []int, workers int, score func(r int) (float64, error), bette
 		b, err := fold(rows)
 		return b.row, b.loss, err
 	}
-	outs, err := parallel.Map(chunks, chunks, func(ci int) (best, error) {
+	// Cap the pool at workers explicitly: chunks currently equals workers,
+	// but the pool size must not silently grow if the chunking policy ever
+	// decouples from it.
+	outs, err := parallel.Map(chunks, workers, func(ci int) (best, error) {
 		return fold(rows[ci*len(rows)/chunks : (ci+1)*len(rows)/chunks])
 	})
 	if err != nil {

@@ -3,7 +3,9 @@ package kmember
 import (
 	"bytes"
 	"errors"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/ppdp/ppdp/internal/synth"
 )
@@ -46,6 +48,44 @@ func TestWorkersEquivalence(t *testing.T) {
 		}
 		if !bytes.Equal(seq.Bytes(), par.Bytes()) {
 			t.Errorf("workers=%d released table differs from sequential run", workers)
+		}
+	}
+}
+
+// TestScanBestBoundsConcurrency pins the worker semantics of the chunked
+// record scan: however the row set is chunked, scanBest must never run more
+// than the configured workers score calls at once (the pool is capped at
+// workers, not at the chunk count). The row count crosses parallelScanMin so
+// the parallel path actually runs.
+func TestScanBestBoundsConcurrency(t *testing.T) {
+	rows := make([]int, 2*parallelScanMin)
+	for i := range rows {
+		rows[i] = i
+	}
+	for _, workers := range []int{1, 2, 3} {
+		var active, peak atomic.Int64
+		score := func(r int) (float64, error) {
+			cur := active.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(50 * time.Microsecond) // widen the overlap window
+			active.Add(-1)
+			return float64(r), nil
+		}
+		better := func(l float64, r int, bestL float64, bestR int) bool { return l < bestL }
+		row, loss, err := scanBest(rows, workers, score, better)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if row != 0 || loss != 0 {
+			t.Fatalf("workers=%d: best = (%d, %v), want (0, 0)", workers, row, loss)
+		}
+		if p := peak.Load(); p > int64(workers) {
+			t.Errorf("workers=%d: observed %d concurrent score calls", workers, p)
 		}
 	}
 }

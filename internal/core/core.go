@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"github.com/ppdp/ppdp/internal/algorithms/anatomy"
 	"github.com/ppdp/ppdp/internal/dataset"
@@ -151,8 +152,12 @@ type Config struct {
 	MaxSuppression float64
 	// StrictMondrian selects strict partitioning for Mondrian.
 	StrictMondrian bool
-	// Workers bounds the parallel Mondrian worker pool. Zero uses
-	// GOMAXPROCS; 1 forces a sequential run. Long-running callers (the HTTP
+	// Workers bounds the per-run parallelism: the algorithms' worker pools
+	// (Mondrian's recursion, the lattice searches, and so on) and, via the
+	// table handle (dataset.Table.SetScanWorkers), the chunked scan kernels
+	// — GroupBy, Fingerprint, metric scans — used throughout the run. Zero
+	// uses GOMAXPROCS; 1 forces a sequential run. Every path is
+	// byte-identical for all worker counts. Long-running callers (the HTTP
 	// service) set this once per process so concurrent requests share the
 	// machine fairly.
 	Workers int
@@ -447,6 +452,12 @@ func (a *Anonymizer) AnonymizeContext(ctx context.Context, t *dataset.Table) (*R
 	if err != nil {
 		return nil, err
 	}
+	// The chunked scan kernels (GroupBy, Fingerprint, metric scans) take
+	// their worker bound from the table handle, so one setting here covers
+	// every scan in the run without threading Workers through the seven
+	// algorithm signatures. Every kernel is byte-identical for all worker
+	// counts; see internal/parallel.
+	input.SetScanWorkers(a.scanWorkers())
 	sensitive := a.sensitiveAttr(input)
 	extra, err := a.extraCriteria(sensitive)
 	if err != nil {
@@ -464,6 +475,14 @@ func (a *Anonymizer) AnonymizeContext(ctx context.Context, t *dataset.Table) (*R
 		QIT:       res.QIT,
 		ST:        res.ST,
 		Node:      res.Node,
+	}
+	// Released tables inherit the scan-worker bound so the measurement
+	// passes below — and any later report computed from the release — use
+	// the same parallelism as the run itself.
+	for _, rt := range []*dataset.Table{release.Table, release.QIT, release.ST} {
+		if rt != nil {
+			rt.SetScanWorkers(a.scanWorkers())
+		}
 	}
 	release.Measured.SuppressedRows = res.SuppressedRows
 	if anat, ok := res.Extra.(*anatomy.Result); ok {
@@ -484,6 +503,16 @@ func (a *Anonymizer) AnonymizeContext(ctx context.Context, t *dataset.Table) (*R
 		release.Measured = *m
 	}
 	return release, nil
+}
+
+// scanWorkers resolves Config.Workers for the table-scan kernels with the
+// same semantics the algorithms use: zero means GOMAXPROCS, one forces
+// sequential scans.
+func (a *Anonymizer) scanWorkers() int {
+	if w := a.cfg.Workers; w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // measure verifies the privacy level and utility of a microdata release.

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"strconv"
+
+	"github.com/ppdp/ppdp/internal/parallel"
 )
 
 // This file implements the table content fingerprint: a cheap, deterministic
@@ -112,6 +114,70 @@ func rowsFingerprint(rows []Row) string {
 	return ch.sum()
 }
 
+// Parallel-rebuild tuning. Variables so equivalence tests can force the
+// chunked path onto small fixtures.
+var (
+	// fpWindowRows bounds the word buffer: rows are hashed window-at-a-time
+	// so the scratch stays cache-sized instead of O(rows).
+	fpWindowRows = 4096
+	// fpHashMinRows is the smallest per-worker chunk of the cell-hashing
+	// pass; tables under twice this size take the plain sequential rebuild.
+	fpHashMinRows = 512
+)
+
+// rowsFingerprintParallel rebuilds the row-content hash with the per-cell
+// byte hashing — the dominant cost, roughly an order of magnitude more work
+// per word than the fold — spread across workers, while the position-
+// sensitive accumulator fold stays strictly sequential and in row order, so
+// the result is bit-identical to rowsFingerprint for every worker count.
+//
+// The fold cannot itself be chunked: committed fingerprints (result-cache
+// keys, content-addressed tables/<fp>.tbl filenames) pin the existing
+// multiply-xor recurrence, and multiplication mod 2^64 does not distribute
+// over xor, so per-chunk accumulators cannot be recombined with multiplier
+// powers the way a true polynomial (multiply-add) hash would allow. Hashing
+// cell bytes into a windowed word buffer in parallel and streaming the
+// buffer through one hasher keeps the committed values while parallelizing
+// the expensive part.
+func rowsFingerprintParallel(rows []Row, workers int) string {
+	n := len(rows)
+	if n == 0 {
+		return rowsFingerprint(rows)
+	}
+	k := len(rows[0])
+	for _, r := range rows {
+		if len(r) != k { // constructors enforce arity; stay safe if it ever breaks
+			return rowsFingerprint(rows)
+		}
+	}
+	stride := k + 1 // per-row cell hashes plus the row terminator
+	window := fpWindowRows
+	if window > n {
+		window = n
+	}
+	words := make([]uint64, window*stride)
+	ch := newContentHasher()
+	for base := 0; base < n; base += window {
+		m := n - base
+		if m > window {
+			m = window
+		}
+		parallel.Chunks(m, workers, fpHashMinRows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				o := i * stride
+				for j, v := range rows[base+i] {
+					words[o+j] = hashCell(v)
+				}
+				words[o+k] = fpRowSep
+			}
+		})
+		for _, w := range words[:m*stride] {
+			ch.fold(w)
+		}
+	}
+	return ch.sum()
+}
+
 // Fingerprint returns a deterministic content hash of the table: its schema
 // (attribute names, kinds and types, in order) combined with every cell
 // value. Tables with equal schemas and equal cell contents have equal
@@ -125,7 +191,12 @@ func (t *Table) Fingerprint() string {
 	c := t.colcache()
 	c.mu.Lock()
 	if c.fp == "" {
-		c.fp = rowsFingerprint(t.data())
+		rows := t.data()
+		if w := t.scanParallelism(); w > 1 && len(rows) >= 2*fpHashMinRows {
+			c.fp = rowsFingerprintParallel(rows, w)
+		} else {
+			c.fp = rowsFingerprint(rows)
+		}
 	}
 	rowsFP := c.fp
 	c.mu.Unlock()

@@ -5,6 +5,8 @@ import (
 	"slices"
 	"sort"
 	"strings"
+
+	"github.com/ppdp/ppdp/internal/parallel"
 )
 
 // EquivalenceClass is a group of row indices that share identical values on a
@@ -86,28 +88,12 @@ func (t *Table) GroupBy(columns ...string) ([]EquivalenceClass, error) {
 		prod *= card
 	}
 
-	// Pass 1: assign every row to a group via its exact combined key.
-	type grp struct {
-		key        uint64
-		count, off int32
-	}
-	first := make(map[uint64]int32, n/4+8)
-	groups := make([]grp, 0, 64)
-	rowGroup := make([]int32, n)
-	for r := 0; r < n; r++ {
-		key := uint64(0)
-		for i, cc := range coded {
-			key = key*radix[i] + uint64(cc.Codes[r])
-		}
-		gi, ok := first[key]
-		if !ok {
-			gi = int32(len(groups))
-			groups = append(groups, grp{key: key})
-			first[key] = gi
-		}
-		groups[gi].count++
-		rowGroup[r] = gi
-	}
+	// Pass 1: assign every row to a group via its exact combined key. With a
+	// scan-worker bound set (SetScanWorkers), contiguous row chunks build
+	// partial group maps concurrently and merge left to right; the result is
+	// byte-identical to the sequential scan for every worker count (see
+	// groupAssign).
+	groups, rowGroup := groupAssign(coded, radix, n, t.scanParallelism())
 
 	// Order classes before materializing. The dictionaries are free of
 	// control bytes (checked above), so the mixed-radix combination of
@@ -182,6 +168,87 @@ func (t *Table) GroupBy(columns ...string) ([]EquivalenceClass, error) {
 		}
 	}
 	return out, nil
+}
+
+// grp is pass-1 grouping state: one entry per distinct combined key, indexed
+// in first-appearance order over the table's rows.
+type grp struct {
+	key        uint64
+	count, off int32
+}
+
+// gbPartial is one row chunk's partial grouping state. Group ids are local
+// to the chunk until merge renumbers them through the accumulated
+// first-appearance map.
+type gbPartial struct {
+	lo, hi int
+	first  map[uint64]int32
+	groups []grp
+}
+
+// groupByMinChunk is the smallest chunk the parallel grouping pass will
+// split off; a variable so equivalence tests can force multi-chunk runs on
+// small fixtures.
+var groupByMinChunk = parallel.MinChunk
+
+// groupAssign computes, for every row, the id of its group (rowGroup) and
+// the per-group key/count table, with groups numbered in first-appearance
+// order. workers > 1 scans contiguous row chunks concurrently into partial
+// states and merges them strictly left to right.
+//
+// Determinism: chunk 0's local first-appearance order is by construction a
+// prefix of the global one, and merging chunk i+1 renumbers its local ids
+// through the accumulated map — appending genuinely new keys in their local
+// (= global remaining) first-appearance order. Inductively the merged group
+// numbering, counts, and row assignments equal the sequential scan's exactly
+// for every worker count; byte-identity of GroupBy's output follows. Each
+// chunk writes only its own rowGroup[lo:hi] segment, so the shared slice
+// needs no synchronization beyond the fold's completion barrier.
+func groupAssign(coded []*CodedColumn, radix []uint64, n, workers int) ([]grp, []int32) {
+	rowGroup := make([]int32, n)
+	scan := func(lo, hi int) (*gbPartial, error) {
+		p := &gbPartial{
+			lo:     lo,
+			hi:     hi,
+			first:  make(map[uint64]int32, (hi-lo)/4+8),
+			groups: make([]grp, 0, 64),
+		}
+		for r := lo; r < hi; r++ {
+			key := uint64(0)
+			for i, cc := range coded {
+				key = key*radix[i] + uint64(cc.Codes[r])
+			}
+			gi, ok := p.first[key]
+			if !ok {
+				gi = int32(len(p.groups))
+				p.groups = append(p.groups, grp{key: key})
+				p.first[key] = gi
+			}
+			p.groups[gi].count++
+			rowGroup[r] = gi
+		}
+		return p, nil
+	}
+	merge := func(acc, next *gbPartial) (*gbPartial, error) {
+		remap := make([]int32, len(next.groups))
+		for li, g := range next.groups {
+			gi, ok := acc.first[g.key]
+			if !ok {
+				gi = int32(len(acc.groups))
+				acc.groups = append(acc.groups, grp{key: g.key})
+				acc.first[g.key] = gi
+			}
+			acc.groups[gi].count += g.count
+			remap[li] = gi
+		}
+		for r := next.lo; r < next.hi; r++ {
+			rowGroup[r] = remap[rowGroup[r]]
+		}
+		acc.hi = next.hi
+		return acc, nil
+	}
+	p, _ := parallel.Fold(n, workers, groupByMinChunk, scan, merge)
+	return p.groups, rowGroup
 }
 
 // groupBySignature is the historical string-join grouping used when the

@@ -10,6 +10,9 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
+
+	"github.com/ppdp/ppdp/internal/parallel"
 )
 
 // This file implements the on-disk columnar snapshot format: a binary,
@@ -246,18 +249,26 @@ func (t *Table) WriteSnapshot(w io.Writer) error {
 	h.Cols = make([]snapCol, len(codes))
 
 	// Pass 1: layout + CRC (the header precedes the segments it describes, so
-	// segment checksums are computed before anything is written).
+	// segment checksums are computed before anything is written). The layout
+	// walk is a cheap cursor pass; the CRC encode — the expensive part — runs
+	// one worker per column when the table has a scan-worker bound, which
+	// cannot change the bytes: each column's checksum depends only on its own
+	// already-fixed layout.
 	var cur int64
 	for i, cc := range codes {
 		cur = alignPage(cur)
 		h.Cols[i].SegOff = cur
 		h.Cols[i].SegLen = layoutCol(h.Rows, cc, floats[i], &h.Cols[i])
-		crc, err := writeSegment(io.Discard, h.Rows, cc, floats[i], &h.Cols[i])
-		if err != nil {
-			return err
-		}
-		h.Cols[i].CRC = crc
 		cur = h.Cols[i].SegOff + h.Cols[i].SegLen
+	}
+	crcs, err := parallel.Map(len(codes), t.scanParallelism(), func(i int) (uint32, error) {
+		return writeSegment(io.Discard, h.Rows, codes[i], floats[i], &h.Cols[i])
+	})
+	if err != nil {
+		return err
+	}
+	for i, crc := range crcs {
+		h.Cols[i].CRC = crc
 	}
 
 	hdr, err := json.Marshal(h)
@@ -383,7 +394,7 @@ func OpenSnapshot(path string) (*MappedTable, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataset: map snapshot %s: %w", path, err)
 	}
-	mt, err := snapshotFromMapping(path, data)
+	mt, err := snapshotFromMapping(path, data, runtime.GOMAXPROCS(0))
 	if err != nil {
 		_ = unmap()
 		return nil, err
@@ -393,8 +404,12 @@ func OpenSnapshot(path string) (*MappedTable, error) {
 	return mt, nil
 }
 
-// snapshotFromMapping validates and decodes a mapped snapshot.
-func snapshotFromMapping(path string, data []byte) (*MappedTable, error) {
+// snapshotFromMapping validates and decodes a mapped snapshot. Column
+// segments decode (CRC + bounds checks + dictionary views) on up to workers
+// goroutines — columns are independent, and parallel.Map reports the
+// lowest-indexed failing column, so corrupt snapshots yield the same error
+// the sequential walk did.
+func snapshotFromMapping(path string, data []byte, workers int) (*MappedTable, error) {
 	if string(data[:8]) != string(snapshotMagic[:]) {
 		return nil, corrupt("%s: bad magic", path)
 	}
@@ -428,16 +443,23 @@ func snapshotFromMapping(path string, data []byte) (*MappedTable, error) {
 	}
 
 	dataStart := alignPage(16 + hlen)
+	type seg struct {
+		cc *CodedColumn
+		fc *FloatColumn
+	}
+	segs, err := parallel.Map(len(h.Cols), workers, func(i int) (seg, error) {
+		cc, fc, err := decodeSegment(path, data, dataStart, h.Rows, &h.Cols[i])
+		return seg{cc: cc, fc: fc}, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	cols := make([]*CodedColumn, len(h.Cols))
 	floats := make(map[int]*FloatColumn)
-	for i := range h.Cols {
-		cc, fc, err := decodeSegment(path, data, dataStart, h.Rows, &h.Cols[i])
-		if err != nil {
-			return nil, err
-		}
-		cols[i] = cc
-		if fc != nil {
-			floats[i] = fc
+	for i, s := range segs {
+		cols[i] = s.cc
+		if s.fc != nil {
+			floats[i] = s.fc
 		}
 	}
 

@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"github.com/ppdp/ppdp/internal/dataset"
@@ -56,6 +57,33 @@ func BenchmarkSnapshotWrite(b *testing.B) {
 		}
 	}
 }
+
+// benchSnapshotWriteWorkers measures snapshot encoding at a fixed
+// scan-worker bound: the CRC pass runs one worker per column, the emitted
+// bytes are identical for every bound.
+func benchSnapshotWriteWorkers(b *testing.B, workers int) {
+	tbl := synth.Census(5000, 1)
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tbl.SetScanWorkers(workers)
+	var buf bytes.Buffer
+	if err := tbl.WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := tbl.WriteSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotWriteWorkers1(b *testing.B)   { benchSnapshotWriteWorkers(b, 1) }
+func BenchmarkSnapshotWriteWorkersMax(b *testing.B) { benchSnapshotWriteWorkers(b, 0) }
 
 // BenchmarkSnapshotOpen measures the boot-path cost: mmap the file, verify
 // header and segment framing, and wire zero-copy column views. The rows are

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Common table errors.
@@ -59,6 +60,48 @@ type Table struct {
 	// accessors never race on the pointer.
 	cache     *colCache
 	cacheOnce sync.Once
+	// scanWorkers bounds the worker pool used by the chunked scan kernels
+	// (GroupBy, Fingerprint, snapshot encode, metric scans) on this table.
+	// Zero — the default — keeps every scan sequential, so library callers
+	// that never opt in observe the historical single-threaded behavior;
+	// core and server resolve their configured Workers (0 → GOMAXPROCS) and
+	// set it explicitly. Atomic because handles are read by concurrent
+	// requests while the server may still be wiring tables up.
+	scanWorkers atomic.Int32
+}
+
+// SetScanWorkers bounds the worker pool the chunked scan kernels may use on
+// this table. n > 1 enables parallel scans with at most n workers; n <= 1
+// (and the default zero) keeps scans sequential. Every scan kernel is
+// byte-identical for all worker counts, so this is purely a performance
+// knob. Derived tables (Clone, Project, Select, WithSchema) inherit the
+// setting.
+func (t *Table) SetScanWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > 1<<20 {
+		n = 1 << 20
+	}
+	t.scanWorkers.Store(int32(n))
+}
+
+// ScanWorkers reports the scan-kernel worker bound set with SetScanWorkers.
+func (t *Table) ScanWorkers() int { return int(t.scanWorkers.Load()) }
+
+// scanParallelism resolves the effective scan worker count: at least 1.
+func (t *Table) scanParallelism() int {
+	if w := int(t.scanWorkers.Load()); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// inheritScanWorkers copies the scan-worker bound from src onto t; used by
+// every derived-table constructor so the knob follows the data.
+func (t *Table) inheritScanWorkers(src *Table) *Table {
+	t.scanWorkers.Store(src.scanWorkers.Load())
+	return t
 }
 
 // data returns the table's row storage, materializing it on first access for
@@ -194,7 +237,7 @@ func (t *Table) Clone() *Table {
 		copy(nr, r)
 		out.rows[i] = nr
 	}
-	return out
+	return out.inheritScanWorkers(t)
 }
 
 // Column returns a copy of all values of the named column.
@@ -277,7 +320,7 @@ func (t *Table) Project(names ...string) (*Table, error) {
 		}
 		out.rows[i] = nr
 	}
-	return out, nil
+	return out.inheritScanWorkers(t), nil
 }
 
 // DropIdentifiers returns a copy of the table with all direct-identifier
@@ -307,7 +350,7 @@ func (t *Table) Select(indices []int) (*Table, error) {
 		}
 		out.rows = append(out.rows, r.Clone())
 	}
-	return out, nil
+	return out.inheritScanWorkers(t), nil
 }
 
 // Filter returns the indices of all rows for which keep returns true.
@@ -361,7 +404,8 @@ func (t *Table) WithSchema(s *Schema) (*Table, error) {
 	// The view shares row storage, so it also shares the columnar cache:
 	// a mutation through either table invalidates both. Snapshot-backed
 	// tables materialize first so both views mutate the same rows.
-	return &Table{schema: s, rows: t.data(), cache: t.colcache()}, nil
+	out := &Table{schema: s, rows: t.data(), cache: t.colcache()}
+	return out.inheritScanWorkers(t), nil
 }
 
 // AppendTable appends all rows of other to the table. The schemas must be

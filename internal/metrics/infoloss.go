@@ -15,6 +15,7 @@ import (
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/parallel"
 )
 
 // Common errors.
@@ -204,20 +205,59 @@ func NCP(original, released *dataset.Table, hs *hierarchy.Set) (float64, error) 
 			spans[i][code] = span
 		}
 	}
+	// Accumulate by counting code occurrences rather than summing row-major:
+	// the row scan becomes pure integer increments whose per-chunk partials
+	// merge exactly, so the result is identical for every worker count — a
+	// hard requirement, because the cross-request result cache deliberately
+	// excludes Workers from its key (NCP must be output-invariant under the
+	// parallelism knob). Each distinct value's span then enters the sum once,
+	// in fixed (column, code) order, weighted by its count. The boundary
+	// cases stay exact: an unmodified release sums zeros to 0, and a fully
+	// suppressed one sums spans of 1 scaled by integer counts to cells.
+	rows := released.Len()
+	counts := codeCounts(codes, spans, rows, released.ScanWorkers())
 	total := 0.0
-	cells := 0
-	// Accumulate row-major so the floating-point sum is bit-identical to the
-	// historical per-cell implementation.
-	for r := 0; r < released.Len(); r++ {
-		for i := range infos {
-			total += spans[i][codes[i][r]]
-			cells++
+	cells := rows * len(infos)
+	for i, sp := range spans {
+		for code, cnt := range counts[i] {
+			if cnt != 0 {
+				total += sp[code] * float64(cnt)
+			}
 		}
 	}
 	if cells == 0 {
 		return 0, nil
 	}
 	return total / float64(cells), nil
+}
+
+// codeCounts tallies, per column, how many rows carry each dictionary code,
+// scanning contiguous row chunks on up to workers goroutines. Integer
+// partials merge exactly, so every worker count yields identical counts.
+func codeCounts(codes [][]uint32, spans [][]float64, rows, workers int) [][]int64 {
+	tally := func(lo, hi int) ([][]int64, error) {
+		part := make([][]int64, len(codes))
+		for i := range codes {
+			part[i] = make([]int64, len(spans[i]))
+		}
+		for i, col := range codes {
+			cnt := part[i]
+			for _, code := range col[lo:hi] {
+				cnt[code]++
+			}
+		}
+		return part, nil
+	}
+	add := func(acc, next [][]int64) ([][]int64, error) {
+		for i := range acc {
+			for code, c := range next[i] {
+				acc[i][code] += c
+			}
+		}
+		return acc, nil
+	}
+	counts, _ := parallel.Fold(rows, workers, 0, tally, add)
+	return counts
 }
 
 // numericSpan returns the fraction of the numeric domain covered by a

@@ -10,6 +10,7 @@ import (
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/hierarchy"
+	"github.com/ppdp/ppdp/internal/parallel"
 )
 
 // Condition is one predicate of a count query.
@@ -90,26 +91,33 @@ func ExactCount(t *dataset.Table, q CountQuery) (int, error) {
 	if impossible {
 		return 0, nil
 	}
-	count := 0
-	for r := 0; r < t.Len(); r++ {
-		match := true
-		for i := range matchers {
-			m := &matchers[i]
-			if m.isRange {
-				if !m.fc.Valid[r] || m.fc.Values[r] < m.lo || m.fc.Values[r] >= m.hi {
-					match = false
-					break
+	// Contiguous row chunks count matches on up to ScanWorkers goroutines;
+	// the integer partials sum exactly, so the count is identical for every
+	// worker count. The matchers are read-only once built.
+	return parallel.Fold(t.Len(), t.ScanWorkers(), 0,
+		func(lo, hi int) (int, error) {
+			count := 0
+			for r := lo; r < hi; r++ {
+				match := true
+				for i := range matchers {
+					m := &matchers[i]
+					if m.isRange {
+						if !m.fc.Valid[r] || m.fc.Values[r] < m.lo || m.fc.Values[r] >= m.hi {
+							match = false
+							break
+						}
+					} else if m.codes[r] != m.code {
+						match = false
+						break
+					}
 				}
-			} else if m.codes[r] != m.code {
-				match = false
-				break
+				if match {
+					count++
+				}
 			}
-		}
-		if match {
-			count++
-		}
-	}
-	return count, nil
+			return count, nil
+		},
+		func(a, b int) (int, error) { return a + b, nil })
 }
 
 // matchesExact is the single-cell reference semantics of ExactCount's

@@ -2,8 +2,10 @@ package parallel
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapOrdersResults(t *testing.T) {
@@ -68,5 +70,156 @@ func TestMapStopsClaimingAfterFailure(t *testing.T) {
 	}
 	if n := calls.Load(); n == 10_000 {
 		t.Error("pool kept claiming work after a failure")
+	}
+}
+
+// TestMapBoundsConcurrency pins the worker-cap semantics the scan kernels
+// (and kmember's chunked scanBest) rely on: Map never runs more than
+// `workers` invocations of f at once, whatever n is.
+func TestMapBoundsConcurrency(t *testing.T) {
+	for _, workers := range []int{1, 2, 3} {
+		var active, peak atomic.Int64
+		_, err := Map(64, workers, func(i int) (int, error) {
+			cur := active.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond) // widen the overlap window
+			active.Add(-1)
+			return i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if p := peak.Load(); p > int64(workers) {
+			t.Errorf("workers=%d: observed %d concurrent calls", workers, p)
+		}
+	}
+}
+
+func TestFoldMatchesSequential(t *testing.T) {
+	const n = 10_000
+	want := 0
+	for i := 0; i < n; i++ {
+		want += i
+	}
+	sum := func(lo, hi int) (int, error) {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		return s, nil
+	}
+	add := func(a, b int) (int, error) { return a + b, nil }
+	for _, workers := range []int{0, 1, 2, 4, 8, 100} {
+		for _, minChunk := range []int{0, 1, 64, n, 2 * n} {
+			got, err := Fold(n, workers, minChunk, sum, add)
+			if err != nil {
+				t.Fatalf("workers=%d minChunk=%d: %v", workers, minChunk, err)
+			}
+			if got != want {
+				t.Fatalf("workers=%d minChunk=%d: sum=%d want %d", workers, minChunk, got, want)
+			}
+		}
+	}
+}
+
+// TestFoldMergeOrder proves partials merge strictly left to right: folding
+// index ranges into slices must reassemble the identity permutation.
+func TestFoldMergeOrder(t *testing.T) {
+	const n = 4096
+	got, err := Fold(n, 8, 16,
+		func(lo, hi int) ([]int, error) {
+			part := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				part = append(part, i)
+			}
+			return part, nil
+		},
+		func(acc, next []int) ([]int, error) { return append(acc, next...), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("len=%d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d]=%d: chunks merged out of order", i, v)
+		}
+	}
+}
+
+// TestFoldInlineCutoff: inputs too small to fill two minChunk-sized chunks
+// run on the calling goroutine in a single fold call, and merge never runs.
+func TestFoldInlineCutoff(t *testing.T) {
+	folds, merges := 0, 0 // non-atomic on purpose: inline path is single-goroutine
+	got, err := Fold(MinChunk*2-1, 8, 0,
+		func(lo, hi int) (int, error) { folds++; return hi - lo, nil },
+		func(a, b int) (int, error) { merges++; return a + b, nil })
+	if err != nil || got != MinChunk*2-1 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+	if folds != 1 || merges != 0 {
+		t.Errorf("folds=%d merges=%d; want 1 inline fold, no merges", folds, merges)
+	}
+	// workers <= 1 stays inline no matter how large n is.
+	folds = 0
+	if _, err := Fold(1_000_000, 1, 1,
+		func(lo, hi int) (int, error) { folds++; return 0, nil },
+		func(a, b int) (int, error) { merges++; return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if folds != 1 || merges != 0 {
+		t.Errorf("workers=1: folds=%d merges=%d", folds, merges)
+	}
+}
+
+func TestFoldErrors(t *testing.T) {
+	boom := errors.New("boom")
+	// Lowest-indexed failing chunk wins regardless of completion order.
+	_, err := Fold(8192, 4, 1024,
+		func(lo, hi int) (int, error) {
+			if lo == 0 {
+				return 0, boom
+			}
+			return hi - lo, nil
+		},
+		func(a, b int) (int, error) { return a + b, nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("fold error = %v", err)
+	}
+	// A merge error surfaces too.
+	_, err = Fold(8192, 4, 1024,
+		func(lo, hi int) (int, error) { return hi - lo, nil },
+		func(a, b int) (int, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("merge error = %v", err)
+	}
+}
+
+func TestChunksCoversRange(t *testing.T) {
+	const n = 50_000
+	seen := make([]int32, n)
+	var mu sync.Mutex
+	var spans [][2]int
+	Chunks(n, 4, 1024, func(lo, hi int) {
+		mu.Lock()
+		spans = append(spans, [2]int{lo, hi})
+		mu.Unlock()
+		for i := lo; i < hi; i++ {
+			seen[i]++ // disjoint ranges: no atomics needed
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+	if len(spans) != 4 {
+		t.Fatalf("chunks=%d want 4", len(spans))
 	}
 }

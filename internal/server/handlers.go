@@ -105,6 +105,7 @@ func (s *Server) handleGenerateDataset(w http.ResponseWriter, r *http.Request) {
 		hier:    family.Hierarchies(),
 		created: time.Now(),
 	}
+	ds.table.SetScanWorkers(s.scanWorkers())
 	if err := s.reg.putDataset(ds, false, s.cfg.TenantMaxDatasets); err != nil {
 		writeRegistryError(w, err)
 		return
@@ -156,6 +157,7 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_csv", "%v", err)
 		return
 	}
+	tbl.SetScanWorkers(s.scanWorkers())
 	ds := &storedDataset{name: name, family: f.Name, tenant: tenantOf(r), table: tbl, hier: f.Hierarchies(), created: time.Now()}
 	if err := s.reg.putDataset(ds, true, s.cfg.TenantMaxDatasets); err != nil {
 		writeRegistryError(w, err)

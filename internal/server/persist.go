@@ -223,6 +223,7 @@ func (s *Server) recover(st *store.Store) error {
 		if err != nil {
 			return fmt.Errorf("server: recover dataset %q: %w", rec.Key, err)
 		}
+		tbl.SetScanWorkers(s.scanWorkers())
 		reg.datasets[rec.Key] = &storedDataset{
 			name:    rec.Key,
 			family:  m.Family,
@@ -255,7 +256,11 @@ func (s *Server) recover(st *store.Store) error {
 			if fp == "" {
 				return nil, nil
 			}
-			return st.Table(fp)
+			t, err := st.Table(fp)
+			if t != nil {
+				t.SetScanWorkers(s.scanWorkers())
+			}
+			return t, err
 		}
 		origin, err := load(m.OriginFP)
 		if err != nil || origin == nil {

@@ -399,6 +399,7 @@ func (s *Server) AddDataset(name, family string, tbl *dataset.Table, hs *hierarc
 	if tbl == nil {
 		return errors.New("server: dataset table is required")
 	}
+	tbl.SetScanWorkers(s.scanWorkers())
 	return s.reg.putDataset(&storedDataset{
 		name: name, family: family, table: tbl, hier: hs, created: time.Now(),
 	}, false, 0)

@@ -60,9 +60,13 @@ import (
 type Config struct {
 	// Addr is the listen address for ListenAndServe (":8080" when empty).
 	Addr string
-	// Workers bounds the parallel Mondrian partition pool per request; zero
-	// uses GOMAXPROCS. A service handling many concurrent requests should
-	// set this low (1 or 2) and let request-level parallelism fill the CPUs.
+	// Workers bounds the per-request internal parallelism: the algorithms'
+	// worker pools (Mondrian's partition recursion, the lattice searches)
+	// and the chunked table-scan kernels (GroupBy, content fingerprints,
+	// snapshot encoding, report metrics) on stored and released tables;
+	// zero uses GOMAXPROCS. A service handling many concurrent requests
+	// should set this low (1 or 2) and let request-level parallelism fill
+	// the CPUs.
 	Workers int
 	// RequestTimeout sets the deadline of one anonymize request (60s when
 	// zero). Clients may ask for less via timeout_ms but never for more.
@@ -255,6 +259,18 @@ func (s *Server) Close() {
 	if s.store != nil {
 		s.store.Close()
 	}
+}
+
+// scanWorkers resolves Config.Workers for the chunked table-scan kernels
+// (content fingerprints, GroupBy-backed reports, snapshot encoding) with
+// the same semantics core uses: zero means GOMAXPROCS. Stored dataset
+// tables get the bound at creation and recovery; released tables inherit it
+// from the run (see core.AnonymizeContext).
+func (s *Server) scanWorkers() int {
+	if s.cfg.Workers > 0 {
+		return s.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // HasDataset reports whether a dataset is registered under name. `ppdp serve
