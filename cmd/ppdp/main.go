@@ -16,6 +16,7 @@
 //	ppdp experiment -id E1 [-quick] [-rows N] | -all [-quick]
 //	ppdp serve     [-addr :8080] [-workers N] [-job-workers N] [-queue-depth N]
 //	               [-job-ttl 15m] [-timeout 60s] [-preload census=5000] [-policy name=p.json]
+//	ppdp spec      create|list|get|delete|append [-server http://localhost:8080] [flags]
 //
 // The anonymize subcommand accepts any registered algorithm; `ppdp
 // algorithms` prints the registry's listing — name, description, supported
@@ -87,6 +88,8 @@ func run(args []string) error {
 		return cmdExperiment(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "spec":
+		return cmdSpec(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -108,6 +111,7 @@ subcommands:
   utility     compare a released table against the original with utility metrics
   experiment  run one or all of the survey-reproduction experiments (E1-E12)
   serve       run the HTTP anonymization service (see docs/ARCHITECTURE.md)
+  spec        manage release specs on a running service (continuous anonymization)
 
 anonymize algorithms (-algorithm) and the flags each one reads:`)
 	writeAlgorithmListing(os.Stderr)

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// cmdSpec implements the `ppdp spec` subcommand family: managing release
+// specs on a running ppdp service. A spec declares "keep this dataset
+// continuously anonymized under this policy"; the server's reconciler
+// republishes the release whenever the dataset changes.
+//
+//	ppdp spec create -server URL -name N -dataset D [-algorithm A] [flags]
+//	ppdp spec list   -server URL
+//	ppdp spec get    -server URL name
+//	ppdp spec delete -server URL name
+//	ppdp spec append -server URL -dataset D file.csv
+func cmdSpec(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("spec: missing subcommand (create, list, get, delete or append)")
+	}
+	switch args[0] {
+	case "create":
+		return cmdSpecCreate(args[1:])
+	case "list":
+		return cmdSpecList(args[1:])
+	case "get":
+		return cmdSpecGet(args[1:])
+	case "delete":
+		return cmdSpecDelete(args[1:])
+	case "append":
+		return cmdSpecAppend(args[1:])
+	default:
+		return fmt.Errorf("spec: unknown subcommand %q (known: create, list, get, delete, append)", args[0])
+	}
+}
+
+// serverFlag registers the shared -server flag.
+func serverFlag(fs *flag.FlagSet) *string {
+	return fs.String("server", "http://localhost:8080", "base URL of the ppdp service")
+}
+
+// specDo issues one API request and decodes the response. Non-2xx responses
+// surface the service's error envelope (code and message) as the command
+// error, so scripting against the CLI sees the same machine-readable codes
+// as scripting against the API.
+func specDo(method, url, contentType string, body io.Reader) (map[string]any, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]any{}
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return nil, fmt.Errorf("%s %s: %s: non-JSON response: %.200s", method, url, resp.Status, raw)
+		}
+	}
+	if resp.StatusCode >= 300 {
+		if env, ok := out["error"].(map[string]any); ok {
+			return nil, fmt.Errorf("%s %s: %v: %v", method, url, env["code"], env["message"])
+		}
+		return nil, fmt.Errorf("%s %s: %s", method, url, resp.Status)
+	}
+	return out, nil
+}
+
+// printJSON renders a response body as indented JSON on stdout.
+func printJSON(v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(data))
+	return err
+}
+
+func cmdSpecCreate(args []string) error {
+	fs := flag.NewFlagSet("spec create", flag.ContinueOnError)
+	server := serverFlag(fs)
+	name := fs.String("name", "", "spec name (required)")
+	ds := fs.String("dataset", "", "dataset the spec watches (required)")
+	algorithm := fs.String("algorithm", "mondrian", "anonymization algorithm")
+	k := fs.Int("k", 0, "k-anonymity parameter (0 omits it; declare criteria in -policy instead)")
+	policyFile := fs.String("policy", "", "policy document to pin (JSON file)")
+	policyRef := fs.String("policy-ref", "", "stored policy to pin by name")
+	sensitive := fs.String("sensitive", "", "sensitive attribute override")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *ds == "" {
+		return fmt.Errorf("spec create: -name and -dataset are required")
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("spec create: unexpected argument %q", fs.Arg(0))
+	}
+	body := map[string]any{"name": *name, "dataset": *ds, "algorithm": *algorithm}
+	if *k > 0 {
+		body["k"] = *k
+	}
+	if *sensitive != "" {
+		body["sensitive"] = *sensitive
+	}
+	if *policyRef != "" {
+		body["policy_ref"] = *policyRef
+	}
+	if *policyFile != "" {
+		pol, err := loadPolicyFile(*policyFile)
+		if err != nil {
+			return err
+		}
+		body["policy"] = pol
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	out, err := specDo("POST", strings.TrimRight(*server, "/")+"/v1/specs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	return printJSON(out)
+}
+
+func cmdSpecList(args []string) error {
+	fs := flag.NewFlagSet("spec list", flag.ContinueOnError)
+	server := serverFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	out, err := specDo("GET", strings.TrimRight(*server, "/")+"/v1/specs", "", nil)
+	if err != nil {
+		return err
+	}
+	return printJSON(out)
+}
+
+func cmdSpecGet(args []string) error {
+	fs := flag.NewFlagSet("spec get", flag.ContinueOnError)
+	server := serverFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("spec get: exactly one spec name is required")
+	}
+	out, err := specDo("GET", strings.TrimRight(*server, "/")+"/v1/specs/"+fs.Arg(0), "", nil)
+	if err != nil {
+		return err
+	}
+	return printJSON(out)
+}
+
+func cmdSpecDelete(args []string) error {
+	fs := flag.NewFlagSet("spec delete", flag.ContinueOnError)
+	server := serverFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("spec delete: exactly one spec name is required")
+	}
+	if _, err := specDo("DELETE", strings.TrimRight(*server, "/")+"/v1/specs/"+fs.Arg(0), "", nil); err != nil {
+		return err
+	}
+	fmt.Printf("deleted spec %s\n", fs.Arg(0))
+	return nil
+}
+
+// cmdSpecAppend streams a CSV file into POST /v1/datasets/{name}/rows — the
+// dataset-growth half of the continuous-publication loop: the append bumps
+// the dataset generation and every spec watching it reconciles.
+func cmdSpecAppend(args []string) error {
+	fs := flag.NewFlagSet("spec append", flag.ContinueOnError)
+	server := serverFlag(fs)
+	ds := fs.String("dataset", "", "dataset to append to (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ds == "" {
+		return fmt.Errorf("spec append: -dataset is required")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("spec append: exactly one CSV file is required")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	out, err := specDo("POST", strings.TrimRight(*server, "/")+"/v1/datasets/"+*ds+"/rows", "text/csv", f)
+	if err != nil {
+		return err
+	}
+	return printJSON(out)
+}

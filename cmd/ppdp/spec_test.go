@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ppdp/ppdp/internal/server"
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+// TestSpecSubcommands drives the whole `ppdp spec` verb set against an
+// in-process service: create a spec, watch it reconcile, append rows through
+// the CLI, and delete it.
+func TestSpecSubcommands(t *testing.T) {
+	srv := server.New(server.Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Seed a dataset and render a CSV chunk of fresh rows for the append.
+	seed := map[string]any{"name": "census", "family": "census", "rows": 150, "seed": 3}
+	payload, _ := json.Marshal(seed)
+	resp, err := http.Post(ts.URL+"/v1/datasets", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("seed dataset: %d", resp.StatusCode)
+	}
+	csvPath := filepath.Join(t.TempDir(), "more.csv")
+	full := synth.Census(200, 3)
+	idx := make([]int, 50)
+	for i := range idx {
+		idx[i] = 150 + i
+	}
+	sub, err := full.Select(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.WriteCSVFile(csvPath); err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStdout(t, func() error {
+		return run([]string{"spec", "create", "-server", ts.URL,
+			"-name", "live", "-dataset", "census", "-algorithm", "mondrian", "-k", "4"})
+	})
+	if !bytes.Contains(out, []byte(`"name": "live"`)) {
+		t.Fatalf("create output: %s", out)
+	}
+
+	// Poll through the CLI until the first reconciliation lands.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		out = captureStdout(t, func() error {
+			return run([]string{"spec", "get", "-server", ts.URL, "live"})
+		})
+		var info map[string]any
+		if err := json.Unmarshal(out, &info); err != nil {
+			t.Fatalf("get output not JSON: %s", out)
+		}
+		if rel, _ := info["release_id"].(string); rel != "" && info["state"] == "idle" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spec never reconciled: %s", out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	out = captureStdout(t, func() error {
+		return run([]string{"spec", "append", "-server", ts.URL, "-dataset", "census", csvPath})
+	})
+	var ds map[string]any
+	if err := json.Unmarshal(out, &ds); err != nil || ds["rows"] != float64(200) {
+		t.Fatalf("append output: %s (err %v)", out, err)
+	}
+
+	out = captureStdout(t, func() error {
+		return run([]string{"spec", "list", "-server", ts.URL})
+	})
+	if !bytes.Contains(out, []byte(`"live"`)) {
+		t.Fatalf("list output: %s", out)
+	}
+
+	out = captureStdout(t, func() error {
+		return run([]string{"spec", "delete", "-server", ts.URL, "live"})
+	})
+	if !strings.Contains(string(out), "deleted spec live") {
+		t.Fatalf("delete output: %s", out)
+	}
+}
+
+// TestSpecSubcommandErrors covers the client-side validation and the error
+// envelope passthrough.
+func TestSpecSubcommandErrors(t *testing.T) {
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := [][]string{
+		{"spec"},
+		{"spec", "bogus"},
+		{"spec", "create", "-server", ts.URL, "-dataset", "census"},
+		{"spec", "create", "-server", ts.URL, "-name", "x"},
+		{"spec", "get", "-server", ts.URL},
+		{"spec", "delete", "-server", ts.URL},
+		{"spec", "append", "-server", ts.URL, "nope.csv"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+
+	// The service's machine-readable code surfaces in the CLI error.
+	err := run([]string{"spec", "create", "-server", ts.URL,
+		"-name", "x", "-dataset", "missing", "-k", "4"})
+	if err == nil || !strings.Contains(err.Error(), "not_found") {
+		t.Errorf("unknown dataset error = %v, want the not_found code", err)
+	}
+	if err := run([]string{"spec", "get", "-server", ts.URL, "ghost"}); err == nil || !strings.Contains(err.Error(), "not_found") {
+		t.Errorf("get ghost error = %v", err)
+	}
+}

@@ -448,7 +448,7 @@ func (a *Anonymizer) AnonymizeContext(ctx context.Context, t *dataset.Table) (*R
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	input, err := t.DropIdentifiers()
+	input, err := a.inputTable(t)
 	if err != nil {
 		return nil, err
 	}
@@ -503,6 +503,30 @@ func (a *Anonymizer) AnonymizeContext(ctx context.Context, t *dataset.Table) (*R
 		release.Measured = *m
 	}
 	return release, nil
+}
+
+// inputTable prepares the run input: direct identifiers are dropped, as
+// always — except the id column an m-invariance criterion tracks records by.
+// Sequential re-publication is the one pipeline that must see a
+// (pseudonymous) per-record identity; the republish algorithm publishes it
+// only in the QIT's audit column, never generalizes over it.
+func (a *Anonymizer) inputTable(t *dataset.Table) (*dataset.Table, error) {
+	keepID := ""
+	if a.pol != nil {
+		if c, ok := a.pol.Find(policy.MInvariance); ok {
+			keepID = c.ID
+		}
+	}
+	if keepID == "" {
+		return t.DropIdentifiers()
+	}
+	var keep []string
+	for _, attr := range t.Schema().Attributes() {
+		if attr.Kind != dataset.Identifier || attr.Name == keepID {
+			keep = append(keep, attr.Name)
+		}
+	}
+	return t.Project(keep...)
 }
 
 // scanWorkers resolves Config.Workers for the table-scan kernels with the

@@ -42,6 +42,12 @@ func flatGoldenConfig(t *testing.T, alg Algorithm) (Config, *dataset.Table) {
 			L:         3,
 			Sensitive: "diagnosis",
 		}, synth.Hospital(600, 9)
+	case "republish":
+		// m-invariance is deliberately not flat-expressible (policy.Flat
+		// errors on it), so there is no flat configuration to prove
+		// equivalent; the policy document is republish's only surface.
+		t.Skip("republish has no flat-parameter surface")
+		return Config{}, nil
 	default:
 		t.Fatalf("no golden flat configuration for algorithm %q — add one to keep the policy equivalence proof exhaustive", alg)
 		return Config{}, nil

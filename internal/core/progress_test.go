@@ -6,6 +6,7 @@ import (
 
 	"github.com/ppdp/ppdp/internal/dataset"
 	"github.com/ppdp/ppdp/internal/engine"
+	"github.com/ppdp/ppdp/internal/policy"
 	"github.com/ppdp/ppdp/internal/synth"
 	"github.com/ppdp/ppdp/internal/testctx"
 )
@@ -20,6 +21,11 @@ func progressConfig(name string) (Config, *dataset.Table) {
 	switch name {
 	case "anatomy":
 		return Config{Algorithm: Algorithm(name), L: 3}, synth.Hospital(300, 9)
+	case "republish":
+		pol := &policy.Policy{Criteria: []policy.Criterion{
+			{Type: policy.MInvariance, M: 2, ID: "name", Sensitive: "diagnosis"},
+		}}
+		return Config{Algorithm: Algorithm(name), Policy: pol}, synth.Hospital(300, 9)
 	default:
 		return Config{
 			Algorithm:        Algorithm(name),

@@ -15,4 +15,5 @@ import (
 	_ "github.com/ppdp/ppdp/internal/algorithms/mondrian"
 	_ "github.com/ppdp/ppdp/internal/algorithms/samarati"
 	_ "github.com/ppdp/ppdp/internal/algorithms/topdown"
+	_ "github.com/ppdp/ppdp/internal/republish"
 )

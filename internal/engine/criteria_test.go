@@ -33,10 +33,12 @@ func TestCriteriaMetadata(t *testing.T) {
 			seen[typ] = true
 		}
 		// Every algorithm that enforces a class-size bound supports
-		// k-anonymity; the one that does not (anatomy) supports the
-		// diversity criterion its bucketization enforces.
-		if !info.SupportsCriterion(policy.KAnonymity) && !info.SupportsCriterion(policy.DistinctLDiversity) {
-			t.Errorf("%s: supports neither k-anonymity nor distinct-l-diversity", info.Name)
+		// k-anonymity; the ones that do not bucketize instead and support
+		// the criterion their bucketization enforces (anatomy's
+		// distinct-l-diversity, republish's m-invariance).
+		if !info.SupportsCriterion(policy.KAnonymity) && !info.SupportsCriterion(policy.DistinctLDiversity) &&
+			!info.SupportsCriterion(policy.MInvariance) {
+			t.Errorf("%s: supports neither k-anonymity nor a bucketization criterion", info.Name)
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/ppdp/ppdp/internal/engine"
 	"github.com/ppdp/ppdp/internal/hierarchy"
 	"github.com/ppdp/ppdp/internal/metrics"
+	"github.com/ppdp/ppdp/internal/policy"
 	"github.com/ppdp/ppdp/internal/synth"
 )
 
@@ -161,6 +162,17 @@ func E2RuntimeVsN(opt Options) (*Report, error) {
 			if _, hasK := info.Param("k"); !hasK {
 				// Bucketizing algorithms are keyed on l instead of k.
 				spec.L = 2
+			}
+			if _, hasPolicy := info.Param("policy"); hasPolicy {
+				// Policy-driven algorithms (republish) read their headline
+				// parameter from a policy document instead of a scalar.
+				pol, err := (&policy.Policy{Criteria: []policy.Criterion{
+					{Type: policy.MInvariance, M: 2, ID: "name", Sensitive: "salary"},
+				}}).Canonical()
+				if err != nil {
+					return nil, err
+				}
+				spec.Policy = pol
 			}
 			start := time.Now()
 			_, err := alg.Run(context.Background(), tbl, spec)

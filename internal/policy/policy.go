@@ -52,6 +52,14 @@ const (
 	// TCloseness bounds the earth mover's distance between each class's
 	// sensitive distribution and the table's. Fields: t, sensitive, ordered.
 	TCloseness = "t-closeness"
+	// MInvariance is Xiao & Tao's m-invariance for sequential re-publication:
+	// every record keeps a fixed m-value sensitive signature across releases
+	// of the same table, padded with counterfeits when needed, so
+	// intersecting consecutive releases never narrows an individual below m
+	// sensitive values. It guards a release *history*, not a single table,
+	// and needs a stable per-record identity column. Fields: m, id,
+	// sensitive.
+	MInvariance = "m-invariance"
 )
 
 // typeRank fixes the canonical criterion order: record-linkage models first,
@@ -63,6 +71,7 @@ var typeRank = map[string]int{
 	EntropyLDiversity:    3,
 	RecursiveCLDiversity: 4,
 	TCloseness:           5,
+	MInvariance:          6,
 }
 
 // criterionFields lists, per criterion type, the parameter fields the type
@@ -76,6 +85,7 @@ var criterionFields = map[string]map[string]bool{
 	EntropyLDiversity:    {"l": true, "sensitive": true},
 	RecursiveCLDiversity: {"l": true, "c": true, "sensitive": true},
 	TCloseness:           {"t": true, "sensitive": true, "ordered": true},
+	MInvariance:          {"m": true, "id": true, "sensitive": true},
 }
 
 // Types returns every known criterion type in canonical order.
@@ -127,6 +137,12 @@ type Criterion struct {
 	Sensitive string `json:"sensitive,omitempty"`
 	// Ordered selects the ordered-distance EMD for t-closeness.
 	Ordered bool `json:"ordered,omitempty"`
+	// M is the m-invariance signature size: every record's bucket exposes at
+	// least m distinct sensitive values, fixed across releases.
+	M int `json:"m,omitempty"`
+	// ID names the stable per-record identity column m-invariance tracks
+	// records by across releases.
+	ID string `json:"id,omitempty"`
 }
 
 // UnmarshalJSON decodes one criterion strictly: the type must be known and
@@ -200,6 +216,13 @@ func (c Criterion) Validate() error {
 		if c.T <= 0 || c.T > 1 {
 			return fmt.Errorf("policy: %s: t must be in (0,1] (got %v)", c.Type, c.T)
 		}
+	case MInvariance:
+		if c.M < 2 {
+			return fmt.Errorf("policy: %s: m must be at least 2 (got %d)", c.Type, c.M)
+		}
+		if c.ID == "" {
+			return fmt.Errorf("policy: %s: an id column is required to track records across releases", c.Type)
+		}
 	default:
 		return fmt.Errorf("policy: unknown criterion type %q (known: %v)", c.Type, Types())
 	}
@@ -233,6 +256,9 @@ func (c Criterion) Describe() string {
 		if c.Ordered {
 			emit("ordered")
 		}
+	case MInvariance:
+		emit("m=%d", c.M)
+		emit("id=%s", c.ID)
 	}
 	if c.Sensitive != "" {
 		emit("sensitive=%s", c.Sensitive)

@@ -94,7 +94,9 @@ func TestStrictRejection(t *testing.T) {
 	cases := []struct {
 		name, doc, wantErr string
 	}{
-		{"unknown type", `{"criteria":[{"type":"m-invariance","m":3}]}`, "unknown criterion type"},
+		{"unknown type", `{"criteria":[{"type":"z-anonymity","k":3}]}`, "unknown criterion type"},
+		{"m-invariance m too small", `{"criteria":[{"type":"m-invariance","m":1,"id":"pid"}]}`, "m must be at least 2"},
+		{"m-invariance without id", `{"criteria":[{"type":"m-invariance","m":3}]}`, "id column is required"},
 		{"missing type", `{"criteria":[{"k":3}]}`, "missing the required"},
 		{"unknown criterion field", `{"criteria":[{"type":"k-anonymity","k":3,"sensative":"x"}]}`, "unknown field"},
 		{"foreign parameter", `{"criteria":[{"type":"k-anonymity","k":3,"t":0.2}]}`, `unknown field "t"`},

@@ -125,7 +125,7 @@ func (p *Policy) Flat() (Flat, error) {
 		switch c.Type {
 		case KAnonymity:
 			f.K = c.K
-		case AlphaKAnonymity:
+		case AlphaKAnonymity, MInvariance:
 			return Flat{}, fmt.Errorf("policy: not expressible as flat parameters: %s has no flat equivalent", c.Type)
 		case DistinctLDiversity:
 			f.L, f.DiversityMode = int(c.L), FlatDistinct
@@ -212,6 +212,11 @@ func (p *Policy) AttributeCriteria(def string) ([]privacy.Criterion, error) {
 	var out []privacy.Criterion
 	for _, c := range p.Criteria {
 		if c.Type == KAnonymity {
+			continue
+		}
+		// m-invariance guards the release history, not one table's classes;
+		// it is checked by the republish pipeline, not a per-class checker.
+		if c.Type == MInvariance {
 			continue
 		}
 		sensitive := c.Sensitive

@@ -13,6 +13,7 @@
 package republish
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -68,6 +69,9 @@ type Config struct {
 	// QuasiIdentifiers lists the columns published in the QIT; defaults to
 	// the schema's quasi-identifier columns.
 	QuasiIdentifiers []string
+	// Progress, when non-nil, receives (done, total) events as snapshot rows
+	// are materialized into the release; total is the snapshot's row count.
+	Progress func(done, total int)
 }
 
 // Publisher produces m-invariant sequential releases.
@@ -98,6 +102,12 @@ func (p *Publisher) Releases() []*Release { return p.releases }
 // still present plus any newly inserted ones (deletions are allowed: absent
 // individuals simply stop appearing).
 func (p *Publisher) Publish(snapshot *dataset.Table) (*Release, error) {
+	return p.PublishContext(context.Background(), snapshot)
+}
+
+// PublishContext is Publish under a context: the publisher polls ctx once
+// per materialized row, so a canceled request aborts the release mid-build.
+func (p *Publisher) PublishContext(ctx context.Context, snapshot *dataset.Table) (*Release, error) {
 	sensitive := p.cfg.Sensitive
 	if sensitive == "" {
 		names := snapshot.Schema().SensitiveNames()
@@ -196,10 +206,14 @@ func (p *Publisher) Publish(snapshot *dataset.Table) (*Release, error) {
 	}
 	sort.Strings(keys)
 	bucketID := 0
+	done, total := 0, snapshot.Len()
 	for _, k := range keys {
 		b := buckets[k]
 		counts := make(map[string]int)
 		for _, rc := range b.members {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			row, err := snapshot.Row(rc.row)
 			if err != nil {
 				return nil, err
@@ -221,6 +235,10 @@ func (p *Publisher) Publish(snapshot *dataset.Table) (*Release, error) {
 			}
 			counts[v]++
 			rel.Signatures[rc.id] = b.signature
+			done++
+			if p.cfg.Progress != nil {
+				p.cfg.Progress(done, total)
+			}
 		}
 		// Counterfeits for signature values with no member.
 		for _, v := range b.signature {

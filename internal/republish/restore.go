@@ -1,0 +1,111 @@
+package republish
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ppdp/ppdp/internal/dataset"
+)
+
+// ReleaseFromTables reconstructs a Release from its published QIT and ST
+// tables. The signature map and counterfeit count are fully derivable from
+// the tables (the QIT carries each record's bucket and tracking id, the ST
+// each bucket's value set in signature order), so durable storage only needs
+// the two table snapshots — this is the recovery half of persisting a
+// sequential-publication history through the content-addressed store.
+func ReleaseFromTables(version int, qit, st *dataset.Table) (*Release, error) {
+	bucketCol, err := qit.Schema().Index("bucket")
+	if err != nil {
+		return nil, fmt.Errorf("%w: QIT: %v", ErrConfig, err)
+	}
+	idIdx := qit.Schema().IdentifierIndices()
+	if len(idIdx) != 1 {
+		return nil, fmt.Errorf("%w: QIT must carry exactly one identifier column (got %d)", ErrConfig, len(idIdx))
+	}
+	idCol := idIdx[0]
+	stBucketCol, err := st.Schema().Index("bucket")
+	if err != nil {
+		return nil, fmt.Errorf("%w: ST: %v", ErrConfig, err)
+	}
+	sensIdx := st.Schema().SensitiveIndices()
+	if len(sensIdx) != 1 {
+		return nil, fmt.Errorf("%w: ST must carry exactly one sensitive column (got %d)", ErrConfig, len(sensIdx))
+	}
+	sensCol := sensIdx[0]
+
+	// The publisher emits ST rows per bucket in signature order, so the
+	// per-bucket value list rebuilds the signature exactly.
+	sigByBucket := make(map[string][]string)
+	for r := 0; r < st.Len(); r++ {
+		row, err := st.Row(r)
+		if err != nil {
+			return nil, err
+		}
+		b := row[stBucketCol]
+		sigByBucket[b] = append(sigByBucket[b], row[sensCol])
+	}
+
+	rel := &Release{Version: version, QIT: qit, ST: st, Signatures: make(map[string][]string)}
+	for r := 0; r < qit.Len(); r++ {
+		row, err := qit.Row(r)
+		if err != nil {
+			return nil, err
+		}
+		id := row[idCol]
+		if id == CounterfeitValue {
+			rel.Counterfeits++
+			continue
+		}
+		sig, ok := sigByBucket[row[bucketCol]]
+		if !ok {
+			return nil, fmt.Errorf("%w: QIT bucket %q has no ST rows", ErrConfig, row[bucketCol])
+		}
+		rel.Signatures[id] = sig
+	}
+	return rel, nil
+}
+
+// Restore rebuilds a publisher from a previously published history so
+// publication can continue after a restart: every individual's signature is
+// re-fixed from the release it first appeared in, and the next Publish call
+// produces release len(history)+1. The history must be m-invariant under the
+// configuration's m (a signature drift means the stored history is corrupt
+// or was produced under a different policy).
+func Restore(cfg Config, history []*Release) (*Publisher, error) {
+	p, err := NewPublisher(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, rel := range history {
+		if rel.Version != i+1 {
+			return nil, fmt.Errorf("%w: release %d carries version %d", ErrConfig, i+1, rel.Version)
+		}
+		for _, id := range sortedIDs(rel.Signatures) {
+			sig := rel.Signatures[id]
+			if len(uniq(sig)) < cfg.M {
+				return nil, fmt.Errorf("%w: release %d: individual %s has signature %v with fewer than %d distinct values",
+					ErrEligibility, rel.Version, id, sig, cfg.M)
+			}
+			prev, ok := p.signatures[id]
+			if !ok {
+				p.signatures[id] = sig
+				continue
+			}
+			if !equalSignature(prev, sig) {
+				return nil, fmt.Errorf("%w: release %d: individual %s changed signature from %v to %v",
+					ErrConfig, rel.Version, id, prev, sig)
+			}
+		}
+		p.releases = append(p.releases, rel)
+	}
+	return p, nil
+}
+
+func sortedIDs(sigs map[string][]string) []string {
+	out := make([]string, 0, len(sigs))
+	for id := range sigs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

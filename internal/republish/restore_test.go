@@ -1,0 +1,145 @@
+package republish
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/ppdp/ppdp/internal/synth"
+)
+
+// publishHistory runs a fresh publisher over growing hospital snapshots and
+// returns the accumulated releases.
+func publishHistory(t *testing.T, m int, sizes ...int) []*Release {
+	t.Helper()
+	full := synth.Hospital(900, 1)
+	pub, err := NewPublisher(Config{M: m, ID: "name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*Release
+	for _, n := range sizes {
+		rel, err := pub.Publish(snapshotAt(t, full, n))
+		if err != nil {
+			t.Fatalf("publish at %d rows: %v", n, err)
+		}
+		out = append(out, rel)
+	}
+	return out
+}
+
+// TestReleaseFromTablesRoundTrip rebuilds each release from nothing but its
+// published QIT/ST tables — exactly what store recovery does — and checks the
+// derived signature map and counterfeit count match the originals.
+func TestReleaseFromTablesRoundTrip(t *testing.T) {
+	for _, rel := range publishHistory(t, 3, 300, 600, 900) {
+		got, err := ReleaseFromTables(rel.Version, rel.QIT, rel.ST)
+		if err != nil {
+			t.Fatalf("release %d: %v", rel.Version, err)
+		}
+		if got.Version != rel.Version || got.Counterfeits != rel.Counterfeits {
+			t.Errorf("release %d: rebuilt version/counterfeits = %d/%d, want %d/%d",
+				rel.Version, got.Version, got.Counterfeits, rel.Version, rel.Counterfeits)
+		}
+		if len(got.Signatures) != len(rel.Signatures) {
+			t.Fatalf("release %d: rebuilt %d signatures, want %d", rel.Version, len(got.Signatures), len(rel.Signatures))
+		}
+		for id, sig := range rel.Signatures {
+			if !equalSignature(got.Signatures[id], sig) {
+				t.Fatalf("release %d: signature for %s rebuilt as %v, want %v", rel.Version, id, got.Signatures[id], sig)
+			}
+		}
+	}
+}
+
+// TestReleaseFromTablesRejectsForeignTables feeds tables that are not a
+// QIT/ST pair and expects configuration errors, not panics or bogus
+// histories.
+func TestReleaseFromTablesRejectsForeignTables(t *testing.T) {
+	raw := synth.Hospital(50, 1)
+	if _, err := ReleaseFromTables(1, raw, raw); !errors.Is(err, ErrConfig) {
+		t.Errorf("raw microdata accepted as QIT: %v", err)
+	}
+	rel := publishHistory(t, 3, 300)[0]
+	if _, err := ReleaseFromTables(1, rel.QIT, raw); !errors.Is(err, ErrConfig) {
+		t.Errorf("raw microdata accepted as ST: %v", err)
+	}
+}
+
+// TestRestoreContinuesPublication is the restart contract: a publisher
+// rebuilt from a stored history must keep every fixed signature and publish
+// the next release so the full chain stays m-invariant.
+func TestRestoreContinuesPublication(t *testing.T) {
+	hist := publishHistory(t, 3, 300, 600)
+	pub, err := Restore(Config{M: 3, ID: "name"}, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pub.Releases()) != 2 {
+		t.Fatalf("restored publisher holds %d releases", len(pub.Releases()))
+	}
+	full := synth.Hospital(900, 1)
+	rel, err := pub.Publish(snapshotAt(t, full, 900))
+	if err != nil {
+		t.Fatalf("publish after restore: %v", err)
+	}
+	if rel.Version != 3 {
+		t.Fatalf("release after restore carries version %d, want 3", rel.Version)
+	}
+	ok, why, err := CheckInvariance(pub.Releases(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("chain across restore is not 3-invariant: %s", why)
+	}
+}
+
+// TestRestoreValidation covers the corrupt-history rejections: version gaps,
+// signature drift between releases, and signatures that do not meet the
+// configured m.
+func TestRestoreValidation(t *testing.T) {
+	hist := publishHistory(t, 3, 300, 600)
+
+	// Version gap.
+	gapped := []*Release{hist[1]}
+	if _, err := Restore(Config{M: 3, ID: "name"}, gapped); !errors.Is(err, ErrConfig) {
+		t.Errorf("version gap accepted: %v", err)
+	}
+
+	// Signature drift: mutate one individual's signature in release 2.
+	var victim string
+	for id := range hist[1].Signatures {
+		if _, ok := hist[0].Signatures[id]; ok {
+			victim = id
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no individual spans both releases")
+	}
+	drifted := &Release{Version: 2, QIT: hist[1].QIT, ST: hist[1].ST,
+		Signatures: make(map[string][]string), Counterfeits: hist[1].Counterfeits}
+	for id, sig := range hist[1].Signatures {
+		drifted.Signatures[id] = sig
+	}
+	drifted.Signatures[victim] = []string{"flu", "ulcer", "gastritis"}
+	if !equalSignature(drifted.Signatures[victim], hist[0].Signatures[victim]) {
+		_, err := Restore(Config{M: 3, ID: "name"}, []*Release{hist[0], drifted})
+		if !errors.Is(err, ErrConfig) {
+			t.Errorf("signature drift accepted: %v", err)
+		} else if !strings.Contains(err.Error(), victim) {
+			t.Errorf("drift error does not name the individual: %v", err)
+		}
+	}
+
+	// A stored 3-signature history cannot back an m=4 publisher.
+	if _, err := Restore(Config{M: 4, ID: "name"}, hist[:1]); !errors.Is(err, ErrEligibility) {
+		t.Errorf("undersized signatures accepted for m=4: %v", err)
+	}
+
+	// The configuration itself is still validated first.
+	if _, err := Restore(Config{M: 1, ID: "name"}, nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("m=1 accepted: %v", err)
+	}
+}

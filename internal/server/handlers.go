@@ -163,7 +163,62 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 		writeRegistryError(w, err)
 		return
 	}
+	// A replace bumps the dataset generation: wake the reconciler for every
+	// spec watching this name (after the registry lock is released).
+	s.notifyDatasetChanged(ds)
 	writeJSON(w, http.StatusCreated, datasetJSON(ds))
+}
+
+// handleAppendRows ingests a CSV body under POST /v1/datasets/{name}/rows and
+// appends its rows to the stored dataset. The upload must parse under the
+// dataset's own schema — a header or column-type mismatch is a 400 with the
+// "schema_mismatch" code. The append is copy-on-write: releases pin the
+// previous snapshot, so the grown table replaces the name as a new generation
+// (same path as a PUT replace, including tenant quota accounting) and the
+// reconciler is notified.
+func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	cur, err := s.reg.getDataset(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+		return
+	}
+	f, err := synth.FamilyByName(cur.family)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "unsupported",
+			"dataset %q has no resolvable schema family (%v); re-upload it under a known family first", name, err)
+		return
+	}
+	rows, err := f.ReadCSV(r.Body)
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_csv", "%v", err)
+		return
+	}
+	// Clone-then-append: the stored table is immutable (released snapshots and
+	// concurrent readers share it), so the rows land on a deep copy that then
+	// replaces the name as the next generation.
+	merged := cur.table.Clone()
+	if err := merged.AppendTable(rows); err != nil {
+		if errors.Is(err, dataset.ErrSchemaMismatch) {
+			writeError(w, http.StatusBadRequest, "schema_mismatch", "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	merged.SetScanWorkers(s.scanWorkers())
+	ds := &storedDataset{name: name, family: cur.family, tenant: tenantOf(r), table: merged, hier: cur.hier, created: time.Now()}
+	if err := s.reg.putDataset(ds, true, s.cfg.TenantMaxDatasets); err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	s.notifyDatasetChanged(ds)
+	writeJSON(w, http.StatusOK, datasetJSON(ds))
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
@@ -308,6 +363,10 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "%v", err)
 	case errors.Is(err, errDatasetReferred):
 		writeError(w, http.StatusConflict, "conflict", "%v", err)
+	case errors.Is(err, errDatasetSpecPinned):
+		// Machine-readable for automation: delete the spec(s) first, which
+		// cascades to their releases, then retry the dataset delete.
+		writeError(w, http.StatusConflict, "spec_pinned", "%v", err)
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 	default:
@@ -573,6 +632,11 @@ func (s *Server) handleGetRelease(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteRelease(w http.ResponseWriter, r *http.Request) {
 	if err := s.reg.deleteRelease(r.PathValue("id")); err != nil {
+		if errors.Is(err, errReleaseSpecOwned) {
+			writeError(w, http.StatusConflict, "spec_pinned",
+				"%v; delete the spec to remove its release", err)
+			return
+		}
 		writeError(w, http.StatusNotFound, "not_found", "%v", err)
 		return
 	}

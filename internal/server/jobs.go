@@ -26,6 +26,9 @@ type jobMeta struct {
 	algorithm string
 	policy    *policy.Policy
 	policyRef string
+	// spec names the release spec a reconciliation job serves ("" for
+	// client-submitted anonymizations).
+	spec string
 }
 
 // preparedRun is a fully validated anonymization ready for the executor: the
@@ -283,6 +286,7 @@ type jobInfo struct {
 	Algorithm     string         `json:"algorithm,omitempty"`
 	Policy        *policy.Policy `json:"policy,omitempty"`
 	PolicyRef     string         `json:"policy_ref,omitempty"`
+	Spec          string         `json:"spec,omitempty"`
 	Progress      progressJSON   `json:"progress"`
 	QueuePosition int            `json:"queue_position,omitempty"`
 	ReleaseID     string         `json:"release_id,omitempty"`
@@ -318,6 +322,7 @@ func jobJSON(snap jobs.Snapshot) jobInfo {
 		info.Algorithm = m.algorithm
 		info.Policy = m.policy
 		info.PolicyRef = m.policyRef
+		info.Spec = m.spec
 	}
 	if !snap.Started.IsZero() {
 		t := snap.Started

@@ -27,6 +27,10 @@ import (
 //	jobs_queue_wait_seconds               histogram  time jobs spent queued before dispatch
 //	jobs_queued / jobs_running            gauge      executor occupancy (collected from the manager)
 //	registry_datasets/releases/policies   gauge      registry occupancy (collected from the registry)
+//	reconcile_specs                       gauge      release specs tracked by the reconciler
+//	reconcile_success/noop/errors_total   counter    reconciliation runs by outcome
+//	reconcile_retries_total               counter    backoff retries after failed reconciliations
+//	reconcile_lag                         gauge      summed dataset-generation lag over all specs
 //	cache_hits/misses/evictions_total     counter    result-cache counters (collected from the cache)
 //	cache_entries / cache_capacity        gauge      result-cache occupancy
 //	uptime_seconds                        gauge      seconds since server construction
@@ -71,6 +75,13 @@ type serverMetrics struct {
 	regDatasets *obsmetrics.FuncMetric
 	regReleases *obsmetrics.FuncMetric
 	regPolicies *obsmetrics.FuncMetric
+
+	reconSpecs   *obsmetrics.FuncMetric
+	reconSuccess *obsmetrics.FuncMetric
+	reconNoop    *obsmetrics.FuncMetric
+	reconErrors  *obsmetrics.FuncMetric
+	reconRetries *obsmetrics.FuncMetric
+	reconLag     *obsmetrics.FuncMetric
 
 	// Cache metrics are nil when caching is disabled.
 	cacheHits      *obsmetrics.FuncMetric
@@ -211,6 +222,35 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Policies stored in the registry.", func() float64 {
 			_, _, pol := s.reg.counts()
 			return float64(pol)
+		})
+
+	// Reconciler metrics collect from the manager's Stats snapshot at scrape
+	// time (the manager keeps the authoritative counters under its own lock);
+	// the closures read s.recon lazily — New assigns it before the first
+	// scrape, like s.jobs above.
+	m.reconSpecs = r.GaugeFunc("ppdp_reconcile_specs",
+		"Release specs tracked by the reconciler.", func() float64 {
+			return float64(s.recon.Stats().Specs)
+		})
+	m.reconSuccess = r.CounterFunc("ppdp_reconcile_success_total",
+		"Reconciliations that published a new release.", func() float64 {
+			return float64(s.recon.Stats().Success)
+		})
+	m.reconNoop = r.CounterFunc("ppdp_reconcile_noop_total",
+		"Reconciliations short-circuited by a byte-identical dataset fingerprint.", func() float64 {
+			return float64(s.recon.Stats().Noop)
+		})
+	m.reconErrors = r.CounterFunc("ppdp_reconcile_errors_total",
+		"Reconciliation runs that failed.", func() float64 {
+			return float64(s.recon.Stats().Errors)
+		})
+	m.reconRetries = r.CounterFunc("ppdp_reconcile_retries_total",
+		"Backoff retries scheduled after failed reconciliations.", func() float64 {
+			return float64(s.recon.Stats().Retries)
+		})
+	m.reconLag = r.GaugeFunc("ppdp_reconcile_lag",
+		"Summed dataset-generation lag over all tracked specs.", func() float64 {
+			return float64(s.recon.Stats().Lag)
 		})
 
 	if s.cache != nil {

@@ -359,6 +359,8 @@ func TestMetricsExpositionContract(t *testing.T) {
 		"ppdp_jobs_running", "ppdp_registry_datasets", "ppdp_registry_releases",
 		"ppdp_registry_policies", "ppdp_cache_hits_total", "ppdp_cache_misses_total",
 		"ppdp_cache_evictions_total", "ppdp_cache_entries", "ppdp_cache_capacity",
+		"ppdp_reconcile_specs", "ppdp_reconcile_success_total", "ppdp_reconcile_noop_total",
+		"ppdp_reconcile_errors_total", "ppdp_reconcile_retries_total", "ppdp_reconcile_lag",
 		"ppdp_uptime_seconds",
 	}
 	scrapeUntil(t, ts, func(fams map[string]*expoFamily) error {
@@ -391,6 +393,11 @@ func TestMetricsExpositionContract(t *testing.T) {
 		if v, _ := sampleValue(fams["ppdp_registry_datasets"], nil); v != 1 {
 			return fmt.Errorf("registry_datasets = %g, want 1", v)
 		}
+		// No release specs were declared: the reconcile families expose but
+		// sit at zero.
+		if v, _ := sampleValue(fams["ppdp_reconcile_specs"], nil); v != 0 {
+			return fmt.Errorf("reconcile_specs = %g, want 0", v)
+		}
 		return nil
 	})
 }
@@ -405,12 +412,53 @@ func TestMetricsHealthzConsistency(t *testing.T) {
 	ts, _ := bootPersistent(t, Config{JobWorkers: 2, DataDir: t.TempDir()})
 	seedDataset(t, ts, "census", "census", 300)
 
+	// A reconciler spec rides along: "feed" grows by two appends while the
+	// hammer runs, so ppdp_reconcile_* counters move under the same load the
+	// consistency checks run against. Settling generation 1 before the hammer
+	// starts pins the reconciliation count: one publish per generation, three
+	// in total.
+	chunks := censusChunks(t, 150, 200, 250)
+	if status, body := sendCSV(t, "PUT", ts.URL+"/v1/datasets/feed?family=census", chunks[0]); status != http.StatusCreated {
+		t.Fatalf("upload feed: %d %v", status, body)
+	}
+	if status, body := doJSON(t, "POST", ts.URL+"/v1/specs", map[string]any{
+		"name": "live", "dataset": "feed", "algorithm": "mondrian", "k": 4}); status != http.StatusCreated {
+		t.Fatalf("create spec: %d %v", status, body)
+	}
+	pollSpec(t, ts, "live", specSettled(1))
+
 	const (
 		goroutines = 4
 		iters      = 5
 		asyncJobs  = 4
 	)
 	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, chunk := range chunks[1:] {
+			if status, body := sendCSV(t, "POST", ts.URL+"/v1/datasets/feed/rows", chunk); status != http.StatusOK {
+				t.Errorf("append %d: %d %v", i+1, status, body)
+				return
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				status, body := doJSON(t, "GET", ts.URL+"/v1/specs/live", nil)
+				if status != http.StatusOK {
+					t.Errorf("poll spec: %d %v", status, body)
+					return
+				}
+				if specSettled(2 + i)(body) {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Errorf("spec never reconciled generation %d: %v", 2+i, body)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
 		go func(g int) {
@@ -530,25 +578,57 @@ func TestMetricsHealthzConsistency(t *testing.T) {
 		if c := sumSamples(fams["ppdp_store_wal_fsync_seconds"], "ppdp_store_wal_fsync_seconds_count"); c < gauge("ppdp_store_wal_fsyncs_total") {
 			return fmt.Errorf("fsync histogram count %g < wal_fsyncs_total %g", c, gauge("ppdp_store_wal_fsyncs_total"))
 		}
+		recon, _ := hz["reconcile"].(map[string]any)
+		if recon == nil {
+			return fmt.Errorf("healthz has no reconcile block: %v", hz)
+		}
+		rnum := func(key string) float64 { v, _ := recon[key].(float64); return v }
+		for hzKey, fam := range map[string]string{
+			"specs": "ppdp_reconcile_specs", "success": "ppdp_reconcile_success_total",
+			"noop": "ppdp_reconcile_noop_total", "errors": "ppdp_reconcile_errors_total",
+			"retries": "ppdp_reconcile_retries_total", "generation_lag": "ppdp_reconcile_lag",
+		} {
+			if rnum(hzKey) != gauge(fam) {
+				return fmt.Errorf("healthz reconcile %s = %g but %s = %g", hzKey, rnum(hzKey), fam, gauge(fam))
+			}
+		}
+		// The feed settled each generation before the next append, so the
+		// reconciler ran exactly once per generation and ended fully caught
+		// up, with no failures and no fingerprint short-circuits.
+		if v := gauge("ppdp_reconcile_specs"); v != 1 {
+			return fmt.Errorf("reconcile_specs = %g, want 1", v)
+		}
+		reconRuns := gauge("ppdp_reconcile_success_total") + gauge("ppdp_reconcile_errors_total")
+		if reconRuns != 3 || gauge("ppdp_reconcile_errors_total") != 0 {
+			return fmt.Errorf("reconcile success+errors = %g (errors %g), want 3 clean runs",
+				reconRuns, gauge("ppdp_reconcile_errors_total"))
+		}
+		if v := gauge("ppdp_reconcile_lag"); v != 0 {
+			return fmt.Errorf("reconcile_lag = %g, want 0", v)
+		}
 
 		// Exact operation accounting: every anonymize op either executed a
 		// run or hit the cache, every op finished as a succeeded job, and the
-		// histograms observed exactly the executed runs.
+		// histograms observed exactly the executed runs. Reconciliation runs
+		// ride the same executor (they finish as succeeded jobs and wait in
+		// the same queue) but deliberately stay out of ppdp_runs_total and
+		// the run-duration histogram, which meter client-billable work.
 		runs := sumSamples(fams["ppdp_runs_total"], "ppdp_runs_total")
 		hits := gauge("ppdp_cache_hits_total")
 		if runs+hits != totalOps {
 			return fmt.Errorf("runs %g + cache hits %g != %g operations", runs, hits, totalOps)
 		}
-		if v, _ := sampleValue(fams["ppdp_jobs_total"], map[string]string{"state": "succeeded"}); v != totalOps {
-			return fmt.Errorf("jobs_total{succeeded} = %g, want %g", v, totalOps)
+		if v, _ := sampleValue(fams["ppdp_jobs_total"], map[string]string{"state": "succeeded"}); v != totalOps+reconRuns {
+			return fmt.Errorf("jobs_total{succeeded} = %g, want %g client ops + %g reconciliations", v, totalOps, reconRuns)
 		}
 		if c := sumSamples(fams["ppdp_run_duration_seconds"], "ppdp_run_duration_seconds_count"); c != runs {
 			return fmt.Errorf("run_duration count %g != runs_total %g", c, runs)
 		}
-		if c := sumSamples(fams["ppdp_jobs_queue_wait_seconds"], "ppdp_jobs_queue_wait_seconds_count"); c != runs {
-			return fmt.Errorf("queue_wait count %g != runs_total %g (one dispatch per executed run)", c, runs)
+		if c := sumSamples(fams["ppdp_jobs_queue_wait_seconds"], "ppdp_jobs_queue_wait_seconds_count"); c != runs+reconRuns {
+			return fmt.Errorf("queue_wait count %g != runs %g + reconciliations %g (one dispatch per executed job)", c, runs, reconRuns)
 		}
-		// Request accounting by route: all jobs and sync anonymize calls.
+		// Request accounting by route: all jobs, sync anonymize calls, and
+		// the spec/append rides.
 		if v, _ := sampleValue(fams["ppdp_http_requests_total"],
 			map[string]string{"route": "POST /v1/anonymize", "status": "200"}); v != float64(goroutines*iters) {
 			return fmt.Errorf("anonymize 200s = %g, want %d", v, goroutines*iters)
@@ -556,6 +636,14 @@ func TestMetricsHealthzConsistency(t *testing.T) {
 		if v, _ := sampleValue(fams["ppdp_http_requests_total"],
 			map[string]string{"route": "POST /v1/jobs", "status": "202"}); v != float64(asyncJobs) {
 			return fmt.Errorf("job 202s = %g, want %d", v, asyncJobs)
+		}
+		if v, _ := sampleValue(fams["ppdp_http_requests_total"],
+			map[string]string{"route": "POST /v1/datasets/{name}/rows", "status": "200"}); v != 2 {
+			return fmt.Errorf("append 200s = %g, want 2", v)
+		}
+		if v, _ := sampleValue(fams["ppdp_http_requests_total"],
+			map[string]string{"route": "POST /v1/specs", "status": "201"}); v != 1 {
+			return fmt.Errorf("spec 201s = %g, want 1", v)
 		}
 		return nil
 	})

@@ -38,8 +38,12 @@ var errPersist = errors.New("storage failure")
 // hierarchy set is not persisted — it is rebuilt from the family, which
 // regenerates deterministically.
 type datasetMeta struct {
-	Family      string `json:"family,omitempty"`
-	Tenant      string `json:"tenant,omitempty"`
+	Family string `json:"family,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	// Generation counts content versions of the name (1 at creation, +1 per
+	// replace or append); the reconciler compares it against the generation
+	// each release spec last reconciled.
+	Generation  uint64 `json:"generation,omitempty"`
 	CreatedUnix int64  `json:"created_unix_ns"`
 }
 
@@ -65,8 +69,11 @@ type releaseMeta struct {
 	TableFP       string            `json:"table_fp,omitempty"`
 	QITFP         string            `json:"qit_fp,omitempty"`
 	STFP          string            `json:"st_fp,omitempty"`
-	ElapsedNS     int64             `json:"elapsed_ns"`
-	CreatedUnix   int64             `json:"created_unix_ns"`
+	// Spec names the release spec that owns this release ("" for ad-hoc
+	// releases published through POST /v1/anonymize).
+	Spec        string `json:"spec,omitempty"`
+	ElapsedNS   int64  `json:"elapsed_ns"`
+	CreatedUnix int64  `json:"created_unix_ns"`
 }
 
 // policyMeta is the journaled form of one stored policy (already canonical).
@@ -90,11 +97,13 @@ func hierarchyForFamily(family string) *hierarchy.Set {
 }
 
 // persistDataset journals a dataset put. The caller must hold the registry
-// write lock; the table snapshot must already be durable (see putDataset).
-func (r *registry) persistDataset(ds *storedDataset, fp string) error {
+// write lock; the table snapshot must already be durable and its fingerprint
+// recorded on ds.fp (see putDataset).
+func (r *registry) persistDataset(ds *storedDataset) error {
 	meta, err := json.Marshal(datasetMeta{
 		Family:      ds.family,
 		Tenant:      ds.tenant,
+		Generation:  ds.generation,
 		CreatedUnix: ds.created.UnixNano(),
 	})
 	if err != nil {
@@ -102,7 +111,7 @@ func (r *registry) persistDataset(ds *storedDataset, fp string) error {
 	}
 	err = r.st.Apply(store.Op{
 		Op: store.OpPut, Kind: store.KindDataset, Key: ds.name,
-		Tables: []string{fp}, Meta: meta,
+		Tables: []string{ds.fp}, Meta: meta,
 	})
 	if err != nil {
 		return fmt.Errorf("%w: %v", errPersist, err)
@@ -129,6 +138,7 @@ func (r *registry) persistRelease(rel *storedRelease, originFP string, tableFPs 
 		TableFP:       tableFPs.table,
 		QITFP:         tableFPs.qit,
 		STFP:          tableFPs.st,
+		Spec:          rel.spec,
 		ElapsedNS:     rel.elapsed.Nanoseconds(),
 		CreatedUnix:   rel.created.UnixNano(),
 	})
@@ -224,12 +234,20 @@ func (s *Server) recover(st *store.Store) error {
 			return fmt.Errorf("server: recover dataset %q: %w", rec.Key, err)
 		}
 		tbl.SetScanWorkers(s.scanWorkers())
+		gen := m.Generation
+		if gen == 0 {
+			gen = 1 // records journaled before generations existed
+		}
 		reg.datasets[rec.Key] = &storedDataset{
-			name:    rec.Key,
-			family:  m.Family,
-			tenant:  m.Tenant,
-			table:   tbl,
-			hier:    hierarchyForFamily(m.Family),
+			name:       rec.Key,
+			family:     m.Family,
+			tenant:     m.Tenant,
+			table:      tbl,
+			hier:       hierarchyForFamily(m.Family),
+			generation: gen,
+			// The snapshot is content-addressed, so its fingerprint in the
+			// record IS the dataset's content fingerprint — no rescan needed.
+			fp:      rec.Tables[0],
 			created: time.Unix(0, m.CreatedUnix),
 		}
 	}
@@ -247,10 +265,24 @@ func (s *Server) recover(st *store.Store) error {
 		}
 		reg.policies[rec.Key] = &storedPolicy{name: rec.Key, policy: canon, created: time.Unix(0, m.CreatedUnix)}
 	}
+	// Specs recover before releases: a spec-owned release is only valid while
+	// its owning spec references it, which the release loop checks below.
+	if err := s.recoverSpecs(st); err != nil {
+		return err
+	}
 	for _, rec := range st.Records(store.KindRelease) {
 		var m releaseMeta
 		if err := json.Unmarshal(rec.Meta, &m); err != nil {
 			return fmt.Errorf("server: recover release %q: undecodable metadata: %w", rec.Key, err)
+		}
+		if m.Spec != "" {
+			// A spec-owned release whose spec is gone or points elsewhere is a
+			// straggler from a crash mid-swap; drop it rather than resurrect a
+			// release no spec acknowledges.
+			sp, ok := reg.specs[m.Spec]
+			if !ok || sp.releaseID != rec.Key {
+				continue
+			}
 		}
 		load := func(fp string) (*dataset.Table, error) {
 			if fp == "" {
@@ -296,6 +328,7 @@ func (s *Server) recover(st *store.Store) error {
 			id:        rec.Key,
 			seq:       m.Seq,
 			dataset:   m.Dataset,
+			spec:      m.Spec,
 			origin:    originDS,
 			algorithm: core.Algorithm(m.Algorithm),
 			policyRef: m.PolicyRef,

@@ -65,7 +65,7 @@ func TestPolicyCRUD(t *testing.T) {
 	if status, body := doJSON(t, "POST", ts.URL+"/v1/policies", map[string]any{
 		"name": "bad",
 		"policy": map[string]any{
-			"criteria": []map[string]any{{"type": "m-invariance", "m": 3}},
+			"criteria": []map[string]any{{"type": "z-anonymity", "z": 3}},
 		},
 	}); status != http.StatusBadRequest || errorCode(t, body) != "bad_json" {
 		// The strict criterion decoder fires inside the request decode.

@@ -16,14 +16,17 @@ import (
 
 // Registry errors.
 var (
-	errDatasetExists   = errors.New("dataset already exists")
-	errDatasetMissing  = errors.New("dataset not found")
-	errReleaseMissing  = errors.New("release not found")
-	errPolicyExists    = errors.New("policy already exists")
-	errPolicyMissing   = errors.New("policy not found")
-	errDatasetReferred = errors.New("dataset is referenced by stored releases")
-	errRegistryFull    = errors.New("registry is full")
-	errTenantQuota     = errors.New("tenant dataset quota exceeded")
+	errDatasetExists     = errors.New("dataset already exists")
+	errDatasetMissing    = errors.New("dataset not found")
+	errReleaseMissing    = errors.New("release not found")
+	errPolicyExists      = errors.New("policy already exists")
+	errPolicyMissing     = errors.New("policy not found")
+	errDatasetReferred   = errors.New("dataset is referenced by stored releases")
+	errDatasetSpecPinned = errors.New("dataset is watched by release specs")
+	errSpecExists        = errors.New("spec already exists")
+	errSpecMissing       = errors.New("spec not found")
+	errRegistryFull      = errors.New("registry is full")
+	errTenantQuota       = errors.New("tenant dataset quota exceeded")
 )
 
 // Default registry occupancy caps (see Config.MaxDatasets/MaxReleases/
@@ -39,6 +42,11 @@ const (
 	DefaultMaxPolicies = 256
 )
 
+// maxSpecs caps stored release specs. Specs are small records, but each one
+// pins a release and schedules work on every dataset change, so the name
+// space stays bounded like the other kinds.
+const maxSpecs = 256
+
 // storedDataset is one named table in the registry together with the
 // hierarchy set used to anonymize and score it. The table is treated as
 // immutable once stored: handlers only read it (reads build the shared
@@ -52,6 +60,15 @@ type storedDataset struct {
 	table   *dataset.Table
 	hier    *hierarchy.Set
 	created time.Time
+	// generation counts the dataset's content versions: 1 at creation,
+	// incremented on every PUT replace and row append. The reconciler uses it
+	// to decide whether a spec's release is stale.
+	generation uint64
+	// fp is the table's content fingerprint, captured when the dataset is
+	// stored (it doubles as the snapshot address under -data-dir). The
+	// reconciler's byte-identical short-circuit compares it across
+	// generations.
+	fp string
 }
 
 // storedRelease is one anonymization result kept for later report queries.
@@ -72,6 +89,11 @@ type storedRelease struct {
 	release   *core.Release
 	elapsed   time.Duration
 	created   time.Time
+	// spec names the release spec that owns this release ("" for ad-hoc
+	// releases). Spec-owned releases are re-published by the reconciler when
+	// their dataset moves, so they do not block PUT replace or row appends
+	// the way ad-hoc releases do — the reconciler is the one mutating them.
+	spec string
 }
 
 // storedPolicy is one named privacy policy kept for reuse by policy_ref.
@@ -93,6 +115,7 @@ type registry struct {
 	datasets map[string]*storedDataset
 	releases map[string]*storedRelease
 	policies map[string]*storedPolicy
+	specs    map[string]*storedSpec
 	nextID   int
 
 	// Occupancy caps, resolved from the Config (or the defaults) at
@@ -123,6 +146,7 @@ func newRegistry(maxDatasets, maxReleases, maxPolicies int) *registry {
 		datasets:    make(map[string]*storedDataset),
 		releases:    make(map[string]*storedRelease),
 		policies:    make(map[string]*storedPolicy),
+		specs:       make(map[string]*storedSpec),
 		maxDatasets: maxDatasets,
 		maxReleases: maxReleases,
 		maxPolicies: maxPolicies,
@@ -197,35 +221,45 @@ func (r *registry) deletePolicy(name string) error {
 }
 
 // putDataset stores ds. When replace is false a name collision fails with
-// errDatasetExists. Even with replace, a dataset that stored releases still
-// reference is protected — swapping the table underneath them would silently
-// corrupt their utility reports, the same breakage deleteDataset refuses.
-// maxPerTenant, when positive, caps how many datasets ds.tenant may hold
-// (replacing one's own dataset never consumes quota).
+// errDatasetExists. Even with replace, a dataset that ad-hoc stored releases
+// still reference is protected — swapping the table underneath them would
+// silently corrupt their utility reports, the same breakage deleteDataset
+// refuses. Releases owned by a release spec are exempt: the reconciler
+// re-publishes them from the new content, which is exactly what replacing a
+// watched dataset asks for (each spec-owned release pins its own origin
+// snapshot, so reports stay correct mid-reconciliation). maxPerTenant, when
+// positive, caps how many datasets ds.tenant may hold (replacing one's own
+// dataset never consumes quota).
 func (r *registry) putDataset(ds *storedDataset, replace bool, maxPerTenant int) error {
 	// Persist the table snapshot before taking the lock: encoding is the
 	// expensive part and PutTable is content-addressed and idempotent, so a
 	// put whose op is then rejected below leaves at worst an unreferenced
-	// snapshot for the next checkpoint's GC.
-	var fp string
+	// snapshot for the next checkpoint's GC. The snapshot address doubles as
+	// the content fingerprint; without a store it is computed directly (and
+	// cached on the table).
 	if r.st != nil {
-		var err error
-		if fp, err = r.st.PutTable(ds.table); err != nil {
+		fp, err := r.st.PutTable(ds.table)
+		if err != nil {
 			return fmt.Errorf("%w: %v", errPersist, err)
 		}
+		ds.fp = fp
+	} else if ds.table != nil { // registry unit tests store table-less stubs
+		ds.fp = ds.table.Fingerprint()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	existing, exists := r.datasets[ds.name]
+	ds.generation = 1
 	if exists {
 		if !replace {
 			return fmt.Errorf("%w: %q", errDatasetExists, ds.name)
 		}
 		for _, rel := range r.releases {
-			if rel.dataset == ds.name {
+			if rel.dataset == ds.name && rel.spec == "" {
 				return fmt.Errorf("%w: %q (release %s)", errDatasetReferred, ds.name, rel.id)
 			}
 		}
+		ds.generation = existing.generation + 1
 	} else if len(r.datasets) >= r.maxDatasets {
 		return fmt.Errorf("%w: %d datasets stored (limit %d)", errRegistryFull, len(r.datasets), r.maxDatasets)
 	}
@@ -240,7 +274,7 @@ func (r *registry) putDataset(ds *storedDataset, replace bool, maxPerTenant int)
 		}
 	}
 	if r.st != nil {
-		if err := r.persistDataset(ds, fp); err != nil {
+		if err := r.persistDataset(ds); err != nil {
 			return err
 		}
 	}
@@ -306,12 +340,21 @@ func (r *registry) listDatasets() []*storedDataset {
 
 // deleteDataset removes a dataset. Datasets still referenced by a stored
 // release are protected: deleting them would silently break the release's
-// utility reports.
+// utility reports. Datasets watched by a release spec are protected too —
+// the spec's whole purpose is to keep a release in sync with the dataset, so
+// the spec must be deleted first (the error carries the machine-readable
+// spec_pinned code; cascade-pausing specs instead was rejected as too easy to
+// trip silently).
 func (r *registry) deleteDataset(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.datasets[name]; !ok {
 		return fmt.Errorf("%w: %q", errDatasetMissing, name)
+	}
+	for _, sp := range r.specs {
+		if sp.dataset == name {
+			return fmt.Errorf("%w: %q (spec %s)", errDatasetSpecPinned, name, sp.name)
+		}
 	}
 	for _, rel := range r.releases {
 		if rel.dataset == name {
@@ -361,12 +404,22 @@ func (r *registry) putRelease(rel *storedRelease) (string, error) {
 	return rel.id, nil
 }
 
-// deleteRelease removes a stored release, unpinning its dataset.
+// errReleaseSpecOwned refuses deleting a release out from under the spec
+// that continuously republishes it.
+var errReleaseSpecOwned = errors.New("release is managed by a spec")
+
+// deleteRelease removes a stored release, unpinning its dataset. Releases
+// owned by a release spec are deleted through DELETE /v1/specs/{name}, which
+// cascades; removing one directly would leave the spec pointing at nothing.
 func (r *registry) deleteRelease(id string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.releases[id]; !ok {
+	rel, ok := r.releases[id]
+	if !ok {
 		return fmt.Errorf("%w: %q", errReleaseMissing, id)
+	}
+	if rel.spec != "" {
+		return fmt.Errorf("%w: %q (spec %s)", errReleaseSpecOwned, id, rel.spec)
 	}
 	if r.st != nil {
 		if err := r.persistDelete(store.KindRelease, id); err != nil {

@@ -50,6 +50,7 @@ import (
 	"github.com/ppdp/ppdp/internal/core"
 	"github.com/ppdp/ppdp/internal/engine"
 	"github.com/ppdp/ppdp/internal/jobs"
+	"github.com/ppdp/ppdp/internal/reconcile"
 	"github.com/ppdp/ppdp/internal/resultcache"
 	"github.com/ppdp/ppdp/internal/store"
 )
@@ -133,6 +134,11 @@ type Config struct {
 	MaxDatasets int
 	MaxReleases int
 	MaxPolicies int
+	// ReconcileBackoff and ReconcileBackoffMax tune the release reconciler's
+	// retry schedule after a failed reconciliation (500ms doubling to 1m when
+	// zero). Tests set them low for fast convergence.
+	ReconcileBackoff    time.Duration
+	ReconcileBackoffMax time.Duration
 }
 
 // Defaults for the zero Config.
@@ -156,6 +162,8 @@ type Server struct {
 	metrics *serverMetrics
 	mux     *http.ServeMux
 	started time.Time
+	// recon keeps release specs continuously reconciled with their datasets.
+	recon *reconcile.Manager
 	// store is the durable registry state (nil without Config.DataDir).
 	store *store.Store
 
@@ -201,6 +209,16 @@ func New(cfg Config) *Server {
 		TTL:          cfg.JobTTL,
 		Observer:     s.metrics,
 	})
+	var reconLogf func(string, ...any)
+	if cfg.Log != nil {
+		reconLogf = cfg.Log.Printf
+	}
+	s.recon = reconcile.New(reconcile.Config{
+		Engine:      reconEngine{s},
+		BackoffBase: cfg.ReconcileBackoff,
+		BackoffMax:  cfg.ReconcileBackoffMax,
+		Logf:        reconLogf,
+	})
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -240,10 +258,14 @@ func Open(cfg Config) (*Server, error) {
 	s.store = st
 	s.reg.st = st
 	s.metrics.registerStore(s)
+	// Recovered specs re-enter the control loop: one whose dataset moved while
+	// the server was down (or whose last reconciliation never landed) starts
+	// catching up immediately.
+	s.trackRecoveredSpecs()
 	if cfg.Log != nil {
 		stats := st.Stats()
-		cfg.Log.Printf("ppdp serve: recovered %d datasets, %d releases, %d policies from %s in %.3fs (wal records=%d torn=%v)",
-			stats.Datasets, stats.Releases, stats.Policies, cfg.DataDir,
+		cfg.Log.Printf("ppdp serve: recovered %d datasets, %d releases, %d policies, %d specs from %s in %.3fs (wal records=%d torn=%v)",
+			stats.Datasets, stats.Releases, stats.Policies, stats.Specs, cfg.DataDir,
 			stats.RecoverySeconds, stats.RecoveredRecords, stats.RecoveredTorn)
 	}
 	return s, nil
@@ -255,6 +277,10 @@ func Open(cfg Config) (*Server, error) {
 // attached. Serve calls it on shutdown; embedders that only use Handler call
 // it themselves.
 func (s *Server) Close() {
+	// The reconciler stops first so no new reconciliations reach the executor;
+	// its Close only waits for enqueue handoffs, not for the runs themselves,
+	// which the executor's Close below drains.
+	s.recon.Close()
 	s.jobs.Close()
 	if s.store != nil {
 		s.store.Close()
@@ -301,10 +327,11 @@ var routeTable = []struct {
 	{RouteDoc{"GET /metrics", "Prometheus text exposition: request/run latency histograms, queue depth and wait, job lifecycle counters, registry and cache occupancy"}, (*Server).handleMetrics},
 	{RouteDoc{"GET /v1/algorithms", "capability cards of every registered algorithm, including supported policy criteria"}, (*Server).handleAlgorithms},
 	{RouteDoc{"POST /v1/datasets", "generate a synthetic census/hospital dataset under a registry name"}, (*Server).handleGenerateDataset},
-	{RouteDoc{"PUT /v1/datasets/{name}", "upload a CSV dataset (create-or-replace; ?family= selects the schema)"}, (*Server).handleUploadDataset},
+	{RouteDoc{"PUT /v1/datasets/{name}", "upload a CSV dataset (create-or-replace; ?family= selects the schema; replacing a spec-watched dataset triggers reconciliation)"}, (*Server).handleUploadDataset},
+	{RouteDoc{"POST /v1/datasets/{name}/rows", "append CSV rows to a stored dataset (schema must match; bumps the dataset generation and triggers spec reconciliation)"}, (*Server).handleAppendRows},
 	{RouteDoc{"GET /v1/datasets", "list stored datasets"}, (*Server).handleListDatasets},
 	{RouteDoc{"GET /v1/datasets/{name}", "dataset metadata; a row page with ?limit/?offset; streamed CSV under Accept: text/csv"}, (*Server).handleGetDataset},
-	{RouteDoc{"DELETE /v1/datasets/{name}", "delete a dataset (refused while stored releases reference it)"}, (*Server).handleDeleteDataset},
+	{RouteDoc{"DELETE /v1/datasets/{name}", "delete a dataset (409 while ad-hoc releases reference it or release specs watch it — delete those first)"}, (*Server).handleDeleteDataset},
 	{RouteDoc{"POST /v1/policies", "store a named privacy policy (canonicalized, immutable)"}, (*Server).handleCreatePolicy},
 	{RouteDoc{"GET /v1/policies", "list stored policies"}, (*Server).handleListPolicies},
 	{RouteDoc{"GET /v1/policies/{name}", "fetch one stored policy in canonical form"}, (*Server).handleGetPolicy},
@@ -315,9 +342,13 @@ var routeTable = []struct {
 	{RouteDoc{"GET /v1/jobs", "list jobs (summaries: no result payloads or policy documents)"}, (*Server).handleListJobs},
 	{RouteDoc{"GET /v1/jobs/{id}", "job detail: state, live progress, queue position, policy, result"}, (*Server).handleGetJob},
 	{RouteDoc{"DELETE /v1/jobs/{id}", "cancel a queued or running job (409 when already finished)"}, (*Server).handleCancelJob},
+	{RouteDoc{"POST /v1/specs", "declare a release spec: the reconciler keeps a release of the dataset continuously published under the pinned policy (same body as /v1/anonymize plus a name)"}, (*Server).handleCreateSpec},
+	{RouteDoc{"GET /v1/specs", "list release specs (summaries: no policy documents)"}, (*Server).handleListSpecs},
+	{RouteDoc{"GET /v1/specs/{name}", "spec detail: declaration, current release id, reconciler state (idle/running/backoff), generation lag, m-invariance history"}, (*Server).handleGetSpec},
+	{RouteDoc{"DELETE /v1/specs/{name}", "delete a spec and the release it owns"}, (*Server).handleDeleteSpec},
 	{RouteDoc{"GET /v1/releases", "list stored releases"}, (*Server).handleListReleases},
 	{RouteDoc{"GET /v1/releases/{id}", "release metadata: algorithm, canonical policy, per-criterion measurements"}, (*Server).handleGetRelease},
-	{RouteDoc{"DELETE /v1/releases/{id}", "delete a stored release, unpinning its dataset"}, (*Server).handleDeleteRelease},
+	{RouteDoc{"DELETE /v1/releases/{id}", "delete a stored release, unpinning its dataset (409 spec_pinned for spec-owned releases — delete the spec instead)"}, (*Server).handleDeleteRelease},
 	{RouteDoc{"GET /v1/releases/{id}/data", "streamed CSV rows (default); a JSON row page with ?limit/?offset under Accept: application/json; ?table=qit|st for anatomy"}, (*Server).handleReleaseData},
 	{RouteDoc{"GET /v1/releases/{id}/risk", "re-identification and attribute-disclosure risk report (?threshold=)"}, (*Server).handleReleaseRisk},
 	{RouteDoc{"GET /v1/releases/{id}/utility", "utility report against the pinned dataset snapshot (?k=)"}, (*Server).handleReleaseUtility},
@@ -493,16 +524,28 @@ func (s *Server) routePattern(r *http.Request) string {
 // hit/miss/eviction counters and occupancy (absent when caching is disabled);
 // Storage reports the durable store's health (absent without -data-dir).
 type healthResponse struct {
-	Status      string            `json:"status"`
-	Datasets    int               `json:"datasets"`
-	Releases    int               `json:"releases"`
-	Policies    int               `json:"policies"`
-	JobsQueued  int               `json:"jobs_queued"`
-	JobsRunning int               `json:"jobs_running"`
-	Cache       *cacheStatsJSON   `json:"cache,omitempty"`
-	Storage     *storageStatsJSON `json:"storage,omitempty"`
-	UptimeSec   int64             `json:"uptime_seconds"`
-	Go          string            `json:"go"`
+	Status      string              `json:"status"`
+	Datasets    int                 `json:"datasets"`
+	Releases    int                 `json:"releases"`
+	Policies    int                 `json:"policies"`
+	JobsQueued  int                 `json:"jobs_queued"`
+	JobsRunning int                 `json:"jobs_running"`
+	Reconcile   *reconcileStatsJSON `json:"reconcile,omitempty"`
+	Cache       *cacheStatsJSON     `json:"cache,omitempty"`
+	Storage     *storageStatsJSON   `json:"storage,omitempty"`
+	UptimeSec   int64               `json:"uptime_seconds"`
+	Go          string              `json:"go"`
+}
+
+// reconcileStatsJSON is the /healthz reconciler block: tracked specs, run
+// outcomes and the summed generation lag.
+type reconcileStatsJSON struct {
+	Specs   int   `json:"specs"`
+	Success int64 `json:"success"`
+	Noop    int64 `json:"noop"`
+	Errors  int64 `json:"errors"`
+	Retries int64 `json:"retries"`
+	Lag     int64 `json:"generation_lag"`
 }
 
 // storageStatsJSON is the /healthz storage block: WAL growth since the last
@@ -538,8 +581,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Policies:    int(m.regPolicies.Value()),
 		JobsQueued:  int(m.jobsQueued.Value()),
 		JobsRunning: int(m.jobsRunning.Value()),
-		UptimeSec:   int64(m.uptime.Value()),
-		Go:          runtime.Version(),
+		Reconcile: &reconcileStatsJSON{
+			Specs:   int(m.reconSpecs.Value()),
+			Success: int64(m.reconSuccess.Value()),
+			Noop:    int64(m.reconNoop.Value()),
+			Errors:  int64(m.reconErrors.Value()),
+			Retries: int64(m.reconRetries.Value()),
+			Lag:     int64(m.reconLag.Value()),
+		},
+		UptimeSec: int64(m.uptime.Value()),
+		Go:        runtime.Version(),
 	}
 	if m.cacheHits != nil {
 		resp.Cache = &cacheStatsJSON{

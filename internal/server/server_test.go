@@ -99,7 +99,7 @@ func TestAlgorithmsEndpoint(t *testing.T) {
 		t.Fatalf("status = %d", status)
 	}
 	algs, ok := body["algorithms"].([]any)
-	if !ok || len(algs) != 7 {
+	if !ok || len(algs) != 8 {
 		t.Fatalf("algorithms = %v", body)
 	}
 	// The listing is generated from the engine registry: the default

@@ -1,0 +1,771 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"github.com/ppdp/ppdp/internal/core"
+	"github.com/ppdp/ppdp/internal/jobs"
+	"github.com/ppdp/ppdp/internal/policy"
+	"github.com/ppdp/ppdp/internal/republish"
+	"github.com/ppdp/ppdp/internal/store"
+)
+
+// This file is the durable half of the release-reconciler subsystem: release
+// specs. A spec declares desired state — "keep a release of dataset D under
+// algorithm A and policy P" — and the reconcile.Manager (the runtime half,
+// internal/reconcile) re-publishes the spec's release whenever the dataset
+// moves to a new generation. The registry owns every durable transition: spec
+// create/delete, the atomic release swap of a successful reconciliation, and
+// the m-invariance release history that gives the "republish" algorithm its
+// sequential mode.
+
+// storedSpec is one release spec. Fields are guarded by the registry mutex;
+// the reconciler serializes runs per spec, so at most one reconciliation
+// mutates a spec at a time.
+type storedSpec struct {
+	name      string
+	tenant    string
+	dataset   string
+	algorithm core.Algorithm
+	// policyRef names the stored policy the spec referenced at creation; the
+	// enforced document itself is pinned on policy (resolving at creation
+	// means a later delete or re-create of the name never changes what the
+	// spec republishes).
+	policyRef string
+	policy    *policy.Policy
+	params    anonymizeRequest
+	// releaseID is the spec's current release ("" until the first
+	// reconciliation lands); reconGen/reconFP are the dataset generation and
+	// content fingerprint that release reflects.
+	releaseID string
+	reconGen  uint64
+	reconFP   string
+	// history is the m-invariance release sequence (nil for other
+	// algorithms): each reconciliation appends one release, and the whole
+	// chain is revalidated against the fixed per-individual signatures
+	// before a new release may land.
+	history []*republish.Release
+	// invariant records the latest cross-release m-invariance check.
+	invariant       bool
+	invariantDetail string
+	created         time.Time
+}
+
+// mInvariance returns the spec's m-invariance criterion, if its policy
+// declares one — the switch between the one-shot engine path and the
+// sequential republish path.
+func (sp *storedSpec) mInvariance() (policy.Criterion, bool) {
+	if sp.policy == nil {
+		return policy.Criterion{}, false
+	}
+	return sp.policy.Find(policy.MInvariance)
+}
+
+// ---- registry: spec CRUD ----
+
+// putSpec stores a new spec (specs are immutable declarations; changing one
+// means delete + create). The watched dataset must exist under the same lock
+// that deleteDataset uses for its spec check, so a spec can never be created
+// against a dataset that is concurrently deleted.
+func (r *registry) putSpec(sp *storedSpec) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.specs[sp.name]; ok {
+		return fmt.Errorf("%w: %q", errSpecExists, sp.name)
+	}
+	if len(r.specs) >= maxSpecs {
+		return fmt.Errorf("%w: %d specs stored (limit %d)", errRegistryFull, len(r.specs), maxSpecs)
+	}
+	if _, ok := r.datasets[sp.dataset]; !ok {
+		return fmt.Errorf("%w: %q", errDatasetMissing, sp.dataset)
+	}
+	if r.st != nil {
+		if err := r.persistSpec(sp); err != nil {
+			return err
+		}
+	}
+	r.specs[sp.name] = sp
+	return nil
+}
+
+// getSpec looks a spec up by name.
+func (r *registry) getSpec(name string) (*storedSpec, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sp, ok := r.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errSpecMissing, name)
+	}
+	return sp, nil
+}
+
+// listSpecs returns every stored spec in name order.
+func (r *registry) listSpecs() []*storedSpec {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*storedSpec, 0, len(r.specs))
+	for _, sp := range r.specs {
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// deleteSpec removes a spec and cascades to the release it owns: the release
+// exists to satisfy the spec, and spec-owned releases cannot be deleted
+// directly, so orphaning it would pin the dataset forever.
+func (r *registry) deleteSpec(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sp, ok := r.specs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", errSpecMissing, name)
+	}
+	if r.st != nil {
+		if err := r.persistDelete(store.KindSpec, name); err != nil {
+			return err
+		}
+		if sp.releaseID != "" {
+			if err := r.persistDelete(store.KindRelease, sp.releaseID); err != nil {
+				return err
+			}
+		}
+	}
+	delete(r.specs, name)
+	if sp.releaseID != "" {
+		delete(r.releases, sp.releaseID)
+	}
+	return nil
+}
+
+// specRun is a consistent snapshot of everything one reconciliation needs,
+// taken under the registry read lock so the expensive work (anonymizing,
+// sequential publication) runs without holding it.
+type specRun struct {
+	name      string
+	tenant    string
+	dataset   string
+	algorithm core.Algorithm
+	policyRef string
+	policy    *policy.Policy
+	params    anonymizeRequest
+	history   []*republish.Release
+	ds        *storedDataset
+}
+
+// specRunSnapshot captures a spec and its dataset for one reconciliation.
+func (r *registry) specRunSnapshot(name string) (*specRun, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sp, ok := r.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errSpecMissing, name)
+	}
+	ds, ok := r.datasets[sp.dataset]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errDatasetMissing, sp.dataset)
+	}
+	hist := make([]*republish.Release, len(sp.history))
+	copy(hist, sp.history)
+	return &specRun{
+		name:      sp.name,
+		tenant:    sp.tenant,
+		dataset:   sp.dataset,
+		algorithm: sp.algorithm,
+		policyRef: sp.policyRef,
+		policy:    sp.policy,
+		params:    sp.params,
+		history:   hist,
+		ds:        ds,
+	}, nil
+}
+
+// swapSpecRelease atomically lands one successful reconciliation: the new
+// release is journaled under a fresh id, the spec record is journaled
+// pointing at it (with the advanced generation, fingerprint and — for
+// m-invariance — the grown history), and the superseded release is journaled
+// deleted, all under one hold of the registry write lock. Readers therefore
+// observe either the old release id or the new one, never neither; and a
+// crash between the journal appends recovers to a state the recovery loop
+// reconciles (a release whose owning spec does not reference it is dropped).
+func (r *registry) swapSpecRelease(name string, rel *storedRelease, hist *republish.Release, invariant bool, invariantDetail string, gen uint64, fp string) (string, error) {
+	var originFP string
+	var fps releaseTableFPs
+	if r.st != nil {
+		var err error
+		if originFP, fps, err = r.persistReleaseTables(rel); err != nil {
+			return "", err
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sp, ok := r.specs[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q (deleted mid-reconciliation)", errSpecMissing, name)
+	}
+	// The swap replaces the old release, so occupancy only grows for the
+	// spec's first release.
+	if sp.releaseID == "" && len(r.releases) >= r.maxReleases {
+		return "", fmt.Errorf("%w: %d releases stored (limit %d)", errRegistryFull, len(r.releases), r.maxReleases)
+	}
+	r.nextID++
+	rel.seq = r.nextID
+	rel.id = fmt.Sprintf("r%d", r.nextID)
+	rel.spec = name
+	if r.st != nil {
+		if err := r.persistRelease(rel, originFP, fps); err != nil {
+			r.nextID--
+			return "", err
+		}
+	}
+	oldID := sp.releaseID
+	sp.releaseID = rel.id
+	if gen > sp.reconGen {
+		sp.reconGen, sp.reconFP = gen, fp
+	}
+	if hist != nil {
+		sp.history = append(sp.history, hist)
+		sp.invariant, sp.invariantDetail = invariant, invariantDetail
+	}
+	if r.st != nil {
+		if err := r.persistSpec(sp); err != nil {
+			// Roll the spec back and un-journal the release so memory and
+			// acknowledged history stay aligned; the manager retries.
+			sp.releaseID = oldID
+			if hist != nil {
+				sp.history = sp.history[:len(sp.history)-1]
+			}
+			_ = r.persistDelete(store.KindRelease, rel.id)
+			return "", err
+		}
+	}
+	r.releases[rel.id] = rel
+	if oldID != "" {
+		if r.st != nil {
+			// A failed delete journal leaves a superseded release record
+			// behind; recovery drops releases their owning spec no longer
+			// references, so this is not propagated as a swap failure.
+			_ = r.persistDelete(store.KindRelease, oldID)
+		}
+		delete(r.releases, oldID)
+	}
+	return rel.id, nil
+}
+
+// markSpecSynced records a reconciliation that produced no new release (the
+// fingerprint short-circuit): the dataset generation advanced but its bytes
+// are identical to what the current release reflects. The bump is journaled
+// so the short-circuit survives a restart.
+func (r *registry) markSpecSynced(name string, gen uint64, fp string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sp, ok := r.specs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", errSpecMissing, name)
+	}
+	if gen <= sp.reconGen {
+		return nil
+	}
+	old, oldFP := sp.reconGen, sp.reconFP
+	sp.reconGen, sp.reconFP = gen, fp
+	if r.st != nil {
+		if err := r.persistSpec(sp); err != nil {
+			sp.reconGen, sp.reconFP = old, oldFP
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- persistence ----
+
+// specMeta is the journaled form of one release spec. The m-invariance
+// history is stored as table fingerprints only: ST rows are emitted per
+// bucket in signature order, so ReleaseFromTables reconstructs signatures and
+// counterfeit counts exactly from the QIT/ST snapshots at recovery.
+type specMeta struct {
+	Tenant          string            `json:"tenant,omitempty"`
+	Dataset         string            `json:"dataset"`
+	Algorithm       string            `json:"algorithm"`
+	PolicyRef       string            `json:"policy_ref,omitempty"`
+	Policy          *policy.Policy    `json:"policy"`
+	Params          anonymizeRequest  `json:"params"`
+	ReleaseID       string            `json:"release_id,omitempty"`
+	ReconGen        uint64            `json:"reconciled_generation"`
+	ReconFP         string            `json:"reconciled_fp,omitempty"`
+	History         []specHistoryMeta `json:"history,omitempty"`
+	Invariant       bool              `json:"invariant,omitempty"`
+	InvariantDetail string            `json:"invariant_detail,omitempty"`
+	CreatedUnix     int64             `json:"created_unix_ns"`
+}
+
+// specHistoryMeta references one historical m-invariance release by its
+// snapshot fingerprints.
+type specHistoryMeta struct {
+	Version int    `json:"version"`
+	QITFP   string `json:"qit_fp"`
+	STFP    string `json:"st_fp"`
+}
+
+// persistSpec journals a spec put under the registry write lock. History
+// tables must already be durable — they always are, because every history
+// entry was first journaled as that reconciliation's release (PutTable is
+// content-addressed, so the spec record referencing the same fingerprints
+// keeps the snapshots alive after the release record is superseded).
+func (r *registry) persistSpec(sp *storedSpec) error {
+	m := specMeta{
+		Tenant:          sp.tenant,
+		Dataset:         sp.dataset,
+		Algorithm:       string(sp.algorithm),
+		PolicyRef:       sp.policyRef,
+		Policy:          sp.policy,
+		Params:          sp.params,
+		ReleaseID:       sp.releaseID,
+		ReconGen:        sp.reconGen,
+		ReconFP:         sp.reconFP,
+		Invariant:       sp.invariant,
+		InvariantDetail: sp.invariantDetail,
+		CreatedUnix:     sp.created.UnixNano(),
+	}
+	var tables []string
+	for _, rel := range sp.history {
+		qitFP, err := r.st.PutTable(rel.QIT)
+		if err != nil {
+			return fmt.Errorf("%w: %v", errPersist, err)
+		}
+		stFP, err := r.st.PutTable(rel.ST)
+		if err != nil {
+			return fmt.Errorf("%w: %v", errPersist, err)
+		}
+		m.History = append(m.History, specHistoryMeta{Version: rel.Version, QITFP: qitFP, STFP: stFP})
+		tables = append(tables, qitFP, stFP)
+	}
+	meta, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errPersist, err)
+	}
+	err = r.st.Apply(store.Op{
+		Op: store.OpPut, Kind: store.KindSpec, Key: sp.name,
+		Tables: tables, Meta: meta,
+	})
+	if err != nil {
+		return fmt.Errorf("%w: %v", errPersist, err)
+	}
+	return nil
+}
+
+// recoverSpecs rebuilds the spec map from the store. The m-invariance history
+// loads as zero-copy mmap views and each release's signatures are
+// reconstructed from its QIT/ST tables, so a recovered publisher resumes the
+// sequence exactly where the crashed process left it.
+func (s *Server) recoverSpecs(st *store.Store) error {
+	reg := s.reg
+	for _, rec := range st.Records(store.KindSpec) {
+		var m specMeta
+		if err := json.Unmarshal(rec.Meta, &m); err != nil {
+			return fmt.Errorf("server: recover spec %q: undecodable metadata: %w", rec.Key, err)
+		}
+		if m.Policy == nil {
+			return fmt.Errorf("server: recover spec %q: no pinned policy", rec.Key)
+		}
+		sp := &storedSpec{
+			name:            rec.Key,
+			tenant:          m.Tenant,
+			dataset:         m.Dataset,
+			algorithm:       core.Algorithm(m.Algorithm),
+			policyRef:       m.PolicyRef,
+			policy:          m.Policy,
+			params:          m.Params,
+			releaseID:       m.ReleaseID,
+			reconGen:        m.ReconGen,
+			reconFP:         m.ReconFP,
+			invariant:       m.Invariant,
+			invariantDetail: m.InvariantDetail,
+			created:         time.Unix(0, m.CreatedUnix),
+		}
+		for _, h := range m.History {
+			qit, err := st.Table(h.QITFP)
+			if err != nil {
+				return fmt.Errorf("server: recover spec %q: history v%d QIT: %w", rec.Key, h.Version, err)
+			}
+			stt, err := st.Table(h.STFP)
+			if err != nil {
+				return fmt.Errorf("server: recover spec %q: history v%d ST: %w", rec.Key, h.Version, err)
+			}
+			qit.SetScanWorkers(s.scanWorkers())
+			stt.SetScanWorkers(s.scanWorkers())
+			rel, err := republish.ReleaseFromTables(h.Version, qit, stt)
+			if err != nil {
+				return fmt.Errorf("server: recover spec %q: history v%d: %w", rec.Key, h.Version, err)
+			}
+			sp.history = append(sp.history, rel)
+		}
+		reg.specs[rec.Key] = sp
+	}
+	return nil
+}
+
+// trackRecoveredSpecs hands every recovered spec to the reconcile manager
+// with its dataset's current generation. A spec whose dataset moved while
+// the server was down (or whose last reconciliation never landed) starts
+// catching up immediately.
+func (s *Server) trackRecoveredSpecs() {
+	for _, sp := range s.reg.listSpecs() {
+		var gen uint64
+		var fp string
+		if ds, err := s.reg.getDataset(sp.dataset); err == nil {
+			gen, fp = ds.generation, ds.fp
+		}
+		s.recon.Track(sp.name, sp.dataset, gen, fp, sp.reconGen, sp.reconFP)
+	}
+}
+
+// ---- reconcile engine ----
+
+// reconEngine implements reconcile.Engine on the server: Enqueue routes
+// reconciliations through the shared job executor (one admission policy for
+// interactive and reconciler work), Publish runs the spec's pipeline and
+// swaps its release, and Noop journals fingerprint short-circuits.
+type reconEngine struct{ s *Server }
+
+func (e reconEngine) Enqueue(name string, run func(ctx context.Context)) error {
+	sp, err := e.s.reg.getSpec(name)
+	if err != nil {
+		return err
+	}
+	timeout := e.s.cfg.RequestTimeout
+	if sp.params.TimeoutMS > 0 {
+		if d := time.Duration(sp.params.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	_, err = e.s.jobs.Submit(func(ctx context.Context, progress func(done, total int)) (any, error) {
+		run(ctx)
+		return nil, nil
+	}, jobs.Options{
+		Tenant: sp.tenant,
+		Meta: jobMeta{
+			spec:      name,
+			dataset:   sp.dataset,
+			algorithm: string(sp.algorithm),
+			policyRef: sp.policyRef,
+		},
+		Timeout: timeout,
+	})
+	return err
+}
+
+func (e reconEngine) Publish(ctx context.Context, name string) (uint64, string, error) {
+	return e.s.reconcilePublish(ctx, name)
+}
+
+func (e reconEngine) Noop(name string, gen uint64, fp string) error {
+	return e.s.reg.markSpecSynced(name, gen, fp)
+}
+
+// reconcilePublish runs one reconciliation of a spec against its dataset's
+// current state and atomically swaps the spec's release. It returns the
+// dataset generation and fingerprint the new release reflects — read from
+// the same snapshot the run consumed, so a dataset that advances while the
+// job is queued simply leaves residual lag for the manager's finish re-check.
+func (s *Server) reconcilePublish(ctx context.Context, name string) (uint64, string, error) {
+	if s.runGate != nil {
+		s.runGate(ctx)
+	}
+	run, err := s.reg.specRunSnapshot(name)
+	if err != nil {
+		return 0, "", err
+	}
+	gen, fp := run.ds.generation, run.ds.fp
+	start := time.Now()
+	var rel *core.Release
+	var hist *republish.Release
+	invariant, invariantDetail := false, ""
+	if c, ok := run.policy.Find(policy.MInvariance); ok {
+		hist, rel, invariant, invariantDetail, err = s.sequentialPublish(ctx, run, c)
+	} else {
+		rel, err = s.oneShotPublish(ctx, run)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, "", err
+	}
+	stored := &storedRelease{
+		dataset:   run.dataset,
+		origin:    run.ds,
+		algorithm: run.algorithm,
+		policyRef: run.policyRef,
+		params:    run.params,
+		release:   rel,
+		elapsed:   elapsed,
+		created:   time.Now(),
+	}
+	if _, err := s.reg.swapSpecRelease(name, stored, hist, invariant, invariantDetail, gen, fp); err != nil {
+		return 0, "", err
+	}
+	return gen, fp, nil
+}
+
+// oneShotPublish reconciles a stateless spec: the pinned policy rebuilds the
+// core pipeline and the dataset's current table runs through it, exactly as
+// a POST /v1/anonymize of the spec's declaration would.
+func (s *Server) oneShotPublish(ctx context.Context, run *specRun) (*core.Release, error) {
+	anon, err := core.New(core.Config{
+		Algorithm:        run.algorithm,
+		Policy:           run.policy,
+		Sensitive:        run.params.Sensitive,
+		QuasiIdentifiers: run.params.QuasiIdentifiers,
+		Hierarchies:      run.ds.hier,
+		StrictMondrian:   run.params.StrictMondrian,
+		Workers:          s.cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return anon.AnonymizeContext(ctx, run.ds.table)
+}
+
+// sequentialPublish reconciles an m-invariance spec: the publisher is
+// restored from the spec's release history (revalidating every release
+// against the fixed per-individual signatures — a tampered or non-invariant
+// history refuses to extend), the dataset's current snapshot is published as
+// the next release, and the whole chain is checked for m-invariance. The
+// check's verdict lands on the release's measurements and the spec's status.
+func (s *Server) sequentialPublish(ctx context.Context, run *specRun, c policy.Criterion) (*republish.Release, *core.Release, bool, string, error) {
+	sensitive := c.Sensitive
+	if sensitive == "" {
+		sensitive = run.params.Sensitive
+	}
+	pub, err := republish.Restore(republish.Config{
+		M:                c.M,
+		ID:               c.ID,
+		Sensitive:        sensitive,
+		QuasiIdentifiers: run.params.QuasiIdentifiers,
+	}, run.history)
+	if err != nil {
+		return nil, nil, false, "", err
+	}
+	hist, err := pub.PublishContext(ctx, run.ds.table)
+	if err != nil {
+		return nil, nil, false, "", err
+	}
+	ok, detail, err := republish.CheckInvariance(pub.Releases(), c.M)
+	if err != nil {
+		return nil, nil, false, "", err
+	}
+	// Measured is the weakest signature width across individuals of the new
+	// release — the effective m the history sustains.
+	minSig := 0
+	for _, sig := range hist.Signatures {
+		if minSig == 0 || len(sig) < minSig {
+			minSig = len(sig)
+		}
+	}
+	if sensitive == "" {
+		if names := run.ds.table.Schema().SensitiveNames(); len(names) > 0 {
+			sensitive = names[0]
+		}
+	}
+	rel := &core.Release{
+		QIT:       hist.QIT,
+		ST:        hist.ST,
+		Algorithm: run.algorithm,
+		Policy:    run.policy,
+		Measured: core.Measurements{
+			DistinctL: minSig,
+			Criteria: map[string]core.CriterionMeasurement{
+				policy.MInvariance: {
+					Satisfied: ok,
+					Measured:  float64(minSig),
+					Target:    float64(c.M),
+					Sensitive: sensitive,
+				},
+			},
+		},
+	}
+	return hist, rel, ok, detail, nil
+}
+
+// notifyDatasetChanged tells the reconcile manager a dataset moved. The
+// caller passes the freshly stored entry after putDataset succeeded, so the
+// generation and fingerprint are read without the registry lock — the manager
+// takes its own lock and calls back into the registry from its goroutines,
+// and notifying under the registry lock would order the two locks both ways.
+func (s *Server) notifyDatasetChanged(ds *storedDataset) {
+	if s.recon != nil {
+		s.recon.Notify(ds.name, ds.generation, ds.fp)
+	}
+}
+
+// ---- HTTP surface ----
+
+// specRequest is the POST /v1/specs body: a name plus the same declaration
+// POST /v1/anonymize takes (dataset, algorithm, policy | policy_ref | flat
+// parameters, column overrides). Store/include_rows/no_cache are accepted for
+// symmetry and ignored — a spec always stores its release and never inlines
+// rows.
+type specRequest struct {
+	Name string `json:"name"`
+	anonymizeRequest
+}
+
+// specInfo is the JSON view of a release spec: the declaration, the current
+// release, and the reconciler's runtime status.
+type specInfo struct {
+	Name      string         `json:"name"`
+	Dataset   string         `json:"dataset"`
+	Algorithm string         `json:"algorithm"`
+	Policy    *policy.Policy `json:"policy,omitempty"`
+	PolicyRef string         `json:"policy_ref,omitempty"`
+	ReleaseID string         `json:"release_id,omitempty"`
+	// State is the reconciler's view: idle, running or backoff.
+	State     string `json:"state"`
+	Retries   int    `json:"retries,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+	// DatasetGeneration / ReconciledGeneration expose the spec's lag.
+	DatasetGeneration    uint64    `json:"dataset_generation"`
+	ReconciledGeneration uint64    `json:"reconciled_generation"`
+	Created              time.Time `json:"created"`
+	// History and Invariant are present for m-invariance specs: the release
+	// sequence so far and the latest cross-release signature check.
+	History   []specHistoryJSON `json:"history,omitempty"`
+	Invariant *invariantJSON    `json:"invariant,omitempty"`
+}
+
+// specHistoryJSON summarizes one historical m-invariance release.
+type specHistoryJSON struct {
+	Version      int `json:"version"`
+	Rows         int `json:"rows"`
+	Counterfeits int `json:"counterfeits"`
+}
+
+// invariantJSON is the latest cross-release m-invariance verdict.
+type invariantJSON struct {
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func (s *Server) specJSON(sp *storedSpec) specInfo {
+	// The reconciler mutates the release pointer, history and invariance
+	// verdict under the registry write lock (swapSpecRelease), so the render
+	// snapshots them under the read lock. The declaration fields are
+	// immutable after putSpec and need no protection.
+	s.reg.mu.RLock()
+	info := specInfo{
+		Name:      sp.name,
+		Dataset:   sp.dataset,
+		Algorithm: string(sp.algorithm),
+		Policy:    sp.policy,
+		PolicyRef: sp.policyRef,
+		ReleaseID: sp.releaseID,
+		State:     "idle",
+		Created:   sp.created,
+	}
+	if _, ok := sp.mInvariance(); ok {
+		for _, rel := range sp.history {
+			info.History = append(info.History, specHistoryJSON{
+				Version:      rel.Version,
+				Rows:         rel.QIT.Len(),
+				Counterfeits: rel.Counterfeits,
+			})
+		}
+		if len(sp.history) > 0 {
+			info.Invariant = &invariantJSON{OK: sp.invariant, Detail: sp.invariantDetail}
+		}
+	}
+	s.reg.mu.RUnlock()
+	if st, ok := s.recon.Status(sp.name); ok {
+		info.State = st.State
+		info.Retries = st.Retries
+		info.LastError = st.LastError
+		info.DatasetGeneration = st.DatasetGeneration
+		info.ReconciledGeneration = st.ReconciledGeneration
+	}
+	return info
+}
+
+// handleCreateSpec declares a release spec. The request validates exactly
+// like an anonymize request (the policy is resolved and pinned here, so a
+// later policy delete never changes what the spec republishes); on success
+// the spec is journaled and handed to the reconciler, which publishes the
+// first release asynchronously — poll GET /v1/specs/{name} for release_id.
+func (s *Server) handleCreateSpec(w http.ResponseWriter, r *http.Request) {
+	var req specRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "name is required")
+		return
+	}
+	p := s.prepareAnonymize(w, req.anonymizeRequest)
+	if p == nil {
+		return
+	}
+	sp := &storedSpec{
+		name:      req.Name,
+		tenant:    tenantOf(r),
+		dataset:   req.Dataset,
+		algorithm: p.alg,
+		policyRef: p.policyRef,
+		policy:    p.anon.Policy(),
+		params:    req.anonymizeRequest,
+		created:   time.Now(),
+	}
+	if err := s.reg.putSpec(sp); err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	// Seed the control loop with the dataset's current generation; reconGen 0
+	// means the first reconciliation starts immediately.
+	s.recon.Track(sp.name, sp.dataset, p.ds.generation, p.ds.fp, 0, "")
+	w.Header().Set("Location", "/v1/specs/"+sp.name)
+	writeJSON(w, http.StatusCreated, s.specJSON(sp))
+}
+
+func (s *Server) handleListSpecs(w http.ResponseWriter, r *http.Request) {
+	list := s.reg.listSpecs()
+	out := make([]specInfo, len(list))
+	for i, sp := range list {
+		out[i] = s.specJSON(sp)
+		// Listings stay summaries, like jobs: the policy document is served
+		// by GET /v1/specs/{name}.
+		out[i].Policy = nil
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"specs": out})
+}
+
+func (s *Server) handleGetSpec(w http.ResponseWriter, r *http.Request) {
+	sp, err := s.reg.getSpec(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.specJSON(sp))
+}
+
+// handleDeleteSpec removes a spec, cascading to the release it owns. The
+// manager forgets the spec first so no new reconciliation starts; one already
+// in flight finds the spec gone at swap time and its outcome is dropped.
+func (s *Server) handleDeleteSpec(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.recon.Forget(name)
+	if err := s.reg.deleteSpec(name); err != nil {
+		switch {
+		case errors.Is(err, errSpecMissing):
+			writeError(w, http.StatusNotFound, "not_found", "%v", err)
+		case errors.Is(err, errPersist):
+			writeError(w, http.StatusInternalServerError, "storage", "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		}
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

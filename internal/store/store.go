@@ -34,6 +34,7 @@ const (
 	KindDataset = "dataset"
 	KindRelease = "release"
 	KindPolicy  = "policy"
+	KindSpec    = "spec"
 )
 
 // Op codes.
@@ -630,6 +631,7 @@ type Stats struct {
 	Datasets         int
 	Releases         int
 	Policies         int
+	Specs            int
 }
 
 // Stats returns current storage statistics.
@@ -651,6 +653,7 @@ func (s *Store) Stats() Stats {
 		Datasets:         len(s.records[KindDataset]),
 		Releases:         len(s.records[KindRelease]),
 		Policies:         len(s.records[KindPolicy]),
+		Specs:            len(s.records[KindSpec]),
 	}
 	for _, mt := range s.mapped {
 		st.MappedBytes += mt.Size()
